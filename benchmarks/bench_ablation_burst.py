@@ -1,0 +1,57 @@
+"""Ablation: maximum burst (transfer) size.
+
+DESIGN.md question: the paper allows multi-word grants "to avoid
+incurring control overhead for each word", bounded by a maximum
+transfer size so no master monopolizes the bus.  With a non-pipelined
+arbiter (1 visible arbitration cycle per grant), sweep max_burst under
+saturating 16-word traffic: small bursts pay the arbitration overhead
+per word and throughput collapses; large bursts amortize it.
+"""
+
+from conftest import cycles, run_once
+
+from repro.arbiters.lottery import StaticLotteryArbiter
+from repro.bus.topology import build_single_bus_system
+from repro.metrics.report import format_table
+from repro.traffic.classes import get_traffic_class
+
+BURSTS = [1, 2, 4, 8, 16]
+
+
+def run_burst_ablation(num_cycles):
+    rows = []
+    for burst in BURSTS:
+        arbiter = StaticLotteryArbiter(tickets=[1, 2, 3, 4], lfsr_seed=3)
+        system, bus = build_single_bus_system(
+            4,
+            arbiter,
+            get_traffic_class("T9").generator_factory(seed=2),
+            max_burst=burst,
+            arbitration_cycles=1,
+        )
+        system.run(num_cycles)
+        mean_latency = sum(bus.metrics.latencies_per_word()) / 4
+        rows.append((burst, bus.metrics.utilization(), mean_latency))
+    return rows
+
+
+def test_bench_ablation_burst(benchmark):
+    rows = run_once(benchmark, run_burst_ablation, cycles(80_000))
+    print()
+    print(
+        format_table(
+            ["max_burst", "utilization", "mean lat/word"],
+            list(rows),
+            title=(
+                "Max burst-size ablation (T9, non-pipelined arbitration: "
+                "1 cycle/grant)"
+            ),
+        )
+    )
+    util = {burst: u for burst, u, _ in rows}
+    latency = {burst: lat for burst, _, lat in rows}
+    # Per-word arbitration halves throughput; 16-word grants amortize
+    # the overhead to ~6%.
+    assert util[1] < 0.55
+    assert util[16] > 0.9
+    assert latency[16] < latency[1]

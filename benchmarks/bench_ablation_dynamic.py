@@ -1,0 +1,66 @@
+"""Ablation: dynamic vs static ticket assignment under shifting demand.
+
+DESIGN.md question: what does Section 4.4's dynamic variant buy?  Two
+phases of saturating traffic; the QoS goal flips between phases
+(master 0 becomes the important one).  The static manager keeps its
+design-time tickets; the dynamic manager is re-programmed at the phase
+boundary.  The claim: only the dynamic manager tracks the new target in
+phase 2.
+"""
+
+from conftest import cycles, run_once
+
+from repro.arbiters.lottery import DynamicLotteryArbiter, StaticLotteryArbiter
+from repro.bus.topology import build_single_bus_system
+from repro.metrics.report import format_table
+from repro.traffic.classes import get_traffic_class
+
+PHASE1 = [1, 2, 3, 4]
+PHASE2 = [4, 3, 2, 1]
+
+
+def _shares_after(bus, before):
+    after = [m.words for m in bus.metrics.masters]
+    delta = [b - a for a, b in zip(before, after)]
+    total = sum(delta)
+    return [d / total for d in delta]
+
+
+def run_dynamic_ablation(phase_cycles):
+    results = {}
+    for label, arbiter in (
+        ("static", StaticLotteryArbiter(tickets=PHASE1, lfsr_seed=3)),
+        ("dynamic", DynamicLotteryArbiter(tickets=PHASE1, lfsr_seed=3)),
+    ):
+        system, bus = build_single_bus_system(
+            4, arbiter, get_traffic_class("T8").generator_factory(seed=2)
+        )
+        system.run(phase_cycles)
+        snapshot = [m.words for m in bus.metrics.masters]
+        if label == "dynamic":
+            arbiter.set_all_tickets(PHASE2)
+        system.run(phase_cycles)
+        results[label] = _shares_after(bus, snapshot)
+    return results
+
+
+def test_bench_ablation_dynamic(benchmark):
+    results = run_once(benchmark, run_dynamic_ablation, cycles(60_000))
+    print()
+    print(
+        format_table(
+            ["manager", "C1", "C2", "C3", "C4"],
+            [[label] + shares for label, shares in results.items()],
+            title=(
+                "Phase-2 bandwidth shares after the QoS flip "
+                "(target 4:3:2:1 = 40/30/20/10%)"
+            ),
+        )
+    )
+    dynamic = results["dynamic"]
+    static = results["static"]
+    # The dynamic manager tracks the flipped target...
+    assert dynamic[0] > dynamic[1] > dynamic[2] > dynamic[3]
+    assert abs(dynamic[0] - 0.4) < 0.05
+    # ...while the static one still serves the stale phase-1 ratio.
+    assert static[3] > static[0]

@@ -1,0 +1,70 @@
+"""Ablation: arbitration energy overhead across architectures.
+
+DESIGN.md question (extension; the paper motivates power but does not
+evaluate it): how much energy does each arbitration architecture add
+per word moved?  Runs identical saturating traffic under each arbiter,
+then applies the gate-level energy model: wire energy scales with the
+words moved; arbitration + leakage energy scale with the arbiter's
+gate count and how often it arbitrates.
+"""
+
+from conftest import cycles, run_once
+
+from repro.arbiters.registry import make_arbiter
+from repro.bus.topology import build_single_bus_system
+from repro.core.energy_model import estimate_run_energy
+from repro.core.hardware_model import (
+    estimate_dynamic_manager,
+    estimate_static_manager,
+    estimate_static_priority,
+    estimate_tdma,
+)
+from repro.metrics.report import format_table
+from repro.traffic.classes import get_traffic_class
+
+CONFIGS = [
+    ("static-priority", {}, lambda: estimate_static_priority(4)),
+    ("tdma", {}, lambda: estimate_tdma(4, 10)),
+    ("lottery-static", {}, lambda: estimate_static_manager(4, 16)),
+    ("lottery-dynamic", {}, lambda: estimate_dynamic_manager(4)),
+]
+
+
+def run_energy_ablation(num_cycles):
+    rows = []
+    for name, kwargs, hardware_factory in CONFIGS:
+        arbiter = make_arbiter(name, 4, [1, 2, 3, 4], **kwargs)
+        system, bus = build_single_bus_system(
+            4, arbiter, get_traffic_class("T9").generator_factory(seed=2)
+        )
+        system.run(num_cycles)
+        breakdown = estimate_run_energy(bus.metrics, hardware_factory())
+        rows.append((name, breakdown))
+    return rows
+
+
+def test_bench_ablation_energy(benchmark):
+    rows = run_once(benchmark, run_energy_ablation, cycles(60_000))
+    print()
+    print(
+        format_table(
+            ["arbiter", "pJ/word", "arb overhead", "words"],
+            [
+                [
+                    name,
+                    "{:.2f}".format(b.pj_per_word),
+                    "{:.2%}".format(b.arbitration_overhead),
+                    b.words,
+                ]
+                for name, b in rows
+            ],
+            title="Arbitration energy overhead (T9: 16-word saturation)",
+        )
+    )
+    overhead = {name: b.arbitration_overhead for name, b in rows}
+    # The lottery costs more than a bare priority selector but stays a
+    # small fraction of the wire energy; the dynamic manager's adder
+    # tree and modulo datapath make it the most expensive.
+    assert overhead["static-priority"] < overhead["lottery-static"]
+    assert overhead["lottery-static"] < overhead["lottery-dynamic"]
+    assert overhead["lottery-static"] < 0.2

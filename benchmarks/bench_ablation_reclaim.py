@@ -1,0 +1,51 @@
+"""Ablation: TDMA second-level reclaim capability.
+
+DESIGN.md question: how much of TDMA's behaviour depends on how capable
+the level-2 idle-slot reclaim is?  Compare "none" (pure TDMA), "single"
+(one rr candidate per slot) and "scan" (Figure 2's full search) on
+bandwidth waste and on the bursty class's latency.
+"""
+
+from conftest import cycles, run_once
+
+from repro.arbiters.tdma import TdmaArbiter
+from repro.bus.topology import build_single_bus_system
+from repro.metrics.report import format_table
+from repro.traffic.classes import get_traffic_class
+
+POLICIES = ("none", "single", "scan")
+
+
+def run_reclaim_ablation(num_cycles):
+    rows = []
+    for policy in POLICIES:
+        arbiter = TdmaArbiter.from_slot_counts([1, 2, 3, 4], reclaim=policy)
+        system, bus = build_single_bus_system(
+            4, arbiter, get_traffic_class("T6").generator_factory(seed=3)
+        )
+        system.run(num_cycles)
+        rows.append(
+            (
+                policy,
+                bus.metrics.utilization(),
+                arbiter.wasted_slots,
+                sum(bus.metrics.latencies_per_word()) / 4,
+            )
+        )
+    return rows
+
+
+def test_bench_ablation_reclaim(benchmark):
+    rows = run_once(benchmark, run_reclaim_ablation, cycles(300_000))
+    print()
+    print(
+        format_table(
+            ["reclaim", "utilization", "wasted slots", "mean lat/word"],
+            list(rows),
+            title="TDMA reclaim ablation (T6: rare intense bursts)",
+        )
+    )
+    latency = {policy: lat for policy, _, _, lat in rows}
+    # Each step up in reclaim capability strictly improves latency on
+    # bursty traffic.
+    assert latency["none"] > latency["single"] > latency["scan"]

@@ -1,0 +1,50 @@
+"""Ablation: LFSR hardware RNG vs an ideal software RNG.
+
+DESIGN.md question: does the cheap word-sampled LFSR change the
+bandwidth allocation relative to ideal uniform randomness?  The claim to
+verify is that it does not — allocation error stays within the noise of
+the ideal source.
+"""
+
+from conftest import cycles, run_once
+
+from repro.arbiters.lottery import StaticLotteryArbiter
+from repro.bus.topology import build_single_bus_system
+from repro.core.lottery_manager import SoftwareRandomSource, StaticLotteryManager
+from repro.metrics.bandwidth import share_ratio_error
+from repro.sim.rng import RandomStream
+from repro.traffic.classes import get_traffic_class
+
+TICKETS = [1, 2, 3, 4]
+
+
+def _run(arbiter, num_cycles):
+    system, bus = build_single_bus_system(
+        4, arbiter, get_traffic_class("T8").generator_factory(seed=2)
+    )
+    system.run(num_cycles)
+    scaled = arbiter.manager.tickets.tickets
+    return share_ratio_error(bus.metrics.bandwidth_shares(), list(scaled))
+
+
+def run_rng_ablation(num_cycles):
+    lfsr_error = _run(StaticLotteryArbiter(tickets=TICKETS, lfsr_seed=3),
+                      num_cycles)
+    ideal = StaticLotteryManager(
+        TICKETS,
+        random_source=SoftwareRandomSource(RandomStream(3, "ideal")),
+    )
+    ideal_error = _run(StaticLotteryArbiter(manager=ideal), num_cycles)
+    return lfsr_error, ideal_error
+
+
+def test_bench_ablation_rng(benchmark):
+    lfsr_error, ideal_error = run_once(
+        benchmark, run_rng_ablation, cycles(120_000)
+    )
+    print()
+    print("allocation error vs scaled tickets (lower is better)")
+    print("  LFSR word-sampled source : {:.4f}".format(lfsr_error))
+    print("  ideal software source    : {:.4f}".format(ideal_error))
+    assert lfsr_error < 0.05
+    assert abs(lfsr_error - ideal_error) < 0.04

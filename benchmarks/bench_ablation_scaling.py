@@ -1,0 +1,42 @@
+"""Ablation: power-of-two ticket scaling resolution.
+
+DESIGN.md question: how much allocation error does Section 4.3's
+power-of-two scaling introduce, and how fast does raising the scaled
+total (a wider LFSR) buy it back?  Uses an awkward ratio (1:2:4, T=7 —
+the paper's own scaling example) where rounding error is visible.
+"""
+
+from conftest import run_once
+
+from repro.core.scaling import scale_to_power_of_two, scaling_error
+from repro.metrics.report import format_table
+
+TICKETS = [1, 2, 4]
+TOTALS = [8, 16, 32, 64, 128, 256]
+
+
+def run_scaling_ablation():
+    rows = []
+    for total in TOTALS:
+        scaled = scale_to_power_of_two(TICKETS, minimum_total=total)
+        rows.append((total, scaled, scaling_error(TICKETS, scaled)))
+    return rows
+
+
+def test_bench_ablation_scaling(benchmark):
+    rows = run_once(benchmark, run_scaling_ablation)
+    print()
+    print(
+        format_table(
+            ["scaled total", "holdings", "worst share error"],
+            [[total, str(scaled), error] for total, scaled, error in rows],
+            title="Scaling ablation for tickets 1:2:4 (paper example: 32 -> 5:9:18)",
+        )
+    )
+    errors = [error for _, _, error in rows]
+    # Error shrinks (weakly) as resolution grows, and is negligible by
+    # 8 bits of tickets.
+    assert errors[-1] < 0.02
+    assert errors[-1] <= errors[0]
+    # The paper's worked example is reproduced exactly.
+    assert scale_to_power_of_two(TICKETS, minimum_total=32) == [5, 9, 18]

@@ -1,0 +1,31 @@
+"""Figure 12(b): TDMA latency surface, classes T1-T6 x slot holdings.
+
+Paper claims regenerated here:
+* latency is large and strongly class-dependent under TDMA (the paper's
+  surface peaks at 8.55 cycles/word for T6);
+* the latency of high-priority components varies significantly across
+  classes (the paper reports a wide spread).
+"""
+
+from conftest import cycles, run_once
+
+from repro.experiments.figure12 import run_figure12_latency
+
+
+def test_bench_figure12b(benchmark):
+    result = run_once(
+        benchmark,
+        run_figure12_latency,
+        "tdma",
+        cycles=cycles(300_000),
+        reclaim="single",
+    )
+    print()
+    print(result.format_report())
+    # The bursty class dominates the surface.
+    t6_peak = result.latency("T6", 1)
+    assert t6_peak == max(max(row) for row in result.surface)
+    # High-priority latency spread across classes is wide (paper: the
+    # TDMA latency of the most-slots component varies severalfold).
+    col = [row[-1] for row in result.surface]
+    assert max(col) / min(col) > 2.0

@@ -1,0 +1,33 @@
+"""Figure 12(c): LOTTERYBUS latency surface, classes T1-T6 x tickets.
+
+Paper claims regenerated here:
+* LOTTERYBUS latencies are uniformly low compared to the TDMA surface
+  of Figure 12(b) (the paper's 8.55 -> 1.17 cycles/word comparison);
+* latency falls monotonically with ticket holdings within each class;
+* under the sparse class most grants are immediate (~1 cycle/word).
+"""
+
+from conftest import cycles, run_once
+
+from repro.experiments.figure12 import run_figure12_latency
+
+
+def test_bench_figure12c(benchmark):
+    result = run_once(
+        benchmark,
+        run_figure12_latency,
+        "lottery-static",
+        cycles=cycles(300_000),
+    )
+    print()
+    print(result.format_report())
+    for name, row in zip(result.class_names, result.surface):
+        # More tickets never hurts within a class (tolerate noise).
+        assert row[-1] <= row[0] * 1.1, name
+    assert result.latency("T3", 4) < 2.0
+    # Compare against the TDMA surface of Figure 12(b).
+    tdma = run_figure12_latency(
+        "tdma", cycles=cycles(300_000), reclaim="single"
+    )
+    for weight in (1, 2, 3, 4):
+        assert result.latency("T6", weight) < tdma.latency("T6", weight)

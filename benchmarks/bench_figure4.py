@@ -1,0 +1,22 @@
+"""Figure 4: bandwidth sharing under static priority, 24 assignments.
+
+Paper claims regenerated here:
+* a master's bandwidth share is extremely sensitive to its priority
+  (C1 ranges from under 1% to ~98% across assignments);
+* low-priority masters starve (the paper reports ~0.1% on average for
+  the lowest-priority component).
+"""
+
+from conftest import cycles, run_once
+
+from repro.experiments.figure4 import run_figure4
+
+
+def test_bench_figure4(benchmark):
+    result = run_once(benchmark, run_figure4, cycles=cycles(60_000))
+    print()
+    print(result.format_report())
+    low, high = result.master_range(0)
+    assert low < 0.02
+    assert high > 0.9
+    assert result.average_when_lowest(3) < 0.02

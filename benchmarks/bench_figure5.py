@@ -1,0 +1,20 @@
+"""Figure 5: TDMA latency vs request/reservation time-alignment.
+
+Paper claims regenerated here:
+* aligned periodic requests (Trace 1) wait ~0-1 slots per transaction;
+* the identical pattern phase-shifted (Trace 2) waits ~3+ slots;
+* LOTTERYBUS latency is independent of the phase.
+"""
+
+from conftest import cycles, run_once
+
+from repro.experiments.figure5 import run_figure5
+
+
+def test_bench_figure5(benchmark):
+    result = run_once(benchmark, run_figure5, cycles=cycles(40_000))
+    print()
+    print(result.format_report())
+    assert result.aligned_wait() < 0.5
+    assert result.worst_wait() >= 3.0
+    assert result.lottery_spread() < 0.5

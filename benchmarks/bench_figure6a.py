@@ -1,0 +1,17 @@
+"""Figure 6(a): bandwidth sharing under LOTTERYBUS, 24 ticket assignments.
+
+Paper claim regenerated here: the fraction of bandwidth each component
+receives is directly proportional to its lottery tickets, for every
+assignment (the paper reports e.g. ~10% at 1 ticket, ~28.8% at 3).
+"""
+
+from conftest import cycles, run_once
+
+from repro.experiments.figure6 import run_figure6a
+
+
+def test_bench_figure6a(benchmark):
+    result = run_once(benchmark, run_figure6a, cycles=cycles(60_000))
+    print()
+    print(result.format_report())
+    assert result.worst_share_error() < 0.08

@@ -1,0 +1,13 @@
+"""Figure 8: the worked lottery-drawing example (deterministic)."""
+
+from conftest import run_once
+
+from repro.experiments.figure8 import run_figure8
+
+
+def test_bench_figure8(benchmark):
+    result = run_once(benchmark, run_figure8)
+    print()
+    print(result.format_report())
+    assert result.outcome.winner == 3
+    assert result.outcome.partial_sums == (1, 1, 4, 8)

@@ -1,0 +1,23 @@
+"""Section 5.2: hardware cost of the lottery manager.
+
+Paper claims regenerated here: the 4-master static lottery manager maps
+to ~1458 cell grids with ~3.1 ns arbitration on a 0.35 um cell-based
+array, i.e. single-cycle arbitration past 300 MHz.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.hardware import run_hardware_comparison
+
+
+def test_bench_hardware(benchmark):
+    result = run_once(benchmark, run_hardware_comparison)
+    print()
+    print(result.format_report())
+    static = result.by_name("static-lottery")
+    assert static.area_cell_grids == pytest.approx(1458, rel=0.05)
+    assert static.arbitration_ns == pytest.approx(3.1, rel=0.05)
+    assert static.max_bus_mhz > 300
+    dynamic = result.by_name("dynamic-lottery")
+    assert dynamic.area_cell_grids > static.area_cell_grids

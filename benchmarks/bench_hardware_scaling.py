@@ -1,0 +1,33 @@
+"""Hardware scaling: static vs dynamic manager as the SoC grows.
+
+The static manager precomputes a table with one row per request map —
+2**n rows for n masters — so its area grows exponentially, while the
+dynamic manager's AND/adder-tree datapath grows ~linearly (with a
+log-depth tree).  This analysis locates the crossover, the design
+guidance implicit in Section 4.4's "the problem is considerably
+harder" remark: past a handful of masters the table, not the datapath,
+dominates.
+"""
+
+from conftest import run_once
+
+from repro.experiments.hardware import run_hardware_scaling
+
+
+def test_bench_hardware_scaling(benchmark):
+    result = run_once(benchmark, run_hardware_scaling)
+    print()
+    print(result.format_report())
+    by_n = {
+        n: (static.area_cell_grids, dynamic.area_cell_grids)
+        for n, static, dynamic in result.rows
+    }
+    # At the paper's 4 masters the static manager is far cheaper...
+    assert by_n[4][0] < by_n[4][1]
+    # ...but its exponential table overtakes the dynamic datapath.
+    assert by_n[12][0] > by_n[12][1]
+    assert result.crossover_masters() == 8
+    # Static arbitration delay stays near-constant (table lookup); the
+    # 4-master point matches the paper's 3.1 ns.
+    static4 = next(s for n, s, _ in result.rows if n == 4)
+    assert abs(static4.arbitration_ns - 3.1) < 0.2

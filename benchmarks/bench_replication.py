@@ -1,0 +1,35 @@
+"""Replicated headline numbers with 95% confidence intervals.
+
+Re-runs the central claim — lottery bandwidth shares track tickets —
+across 8 independent seeds and checks the design targets fall inside
+the measured confidence intervals.
+"""
+
+import pytest
+from conftest import cycles, run_once
+
+from repro.experiments.replication import run_replicated_testbed
+
+
+def test_bench_replication(benchmark):
+    result = run_once(
+        benchmark,
+        run_replicated_testbed,
+        "lottery-dynamic",  # unscaled holdings: targets are exactly 1:2:3:4
+        "T8",
+        [1, 2, 3, 4],
+        seeds=range(1, 9),
+        cycles=cycles(50_000),
+    )
+    print()
+    print(result.format_report())
+    targets = [0.1, 0.2, 0.3, 0.4]
+    for master, target in enumerate(targets):
+        mu, halfwidth = result.interval("share{}".format(master))
+        assert abs(mu - target) < max(halfwidth, 0.01) + 0.005, (
+            "share{} CI {}±{} misses target {}".format(
+                master, mu, halfwidth, target
+            )
+        )
+    util, _ = result.interval("utilization")
+    assert util == pytest.approx(1.0, abs=0.01)

@@ -1,0 +1,18 @@
+"""Section 4.2: the starvation bound p = 1 - (1 - t/T)**n.
+
+Regenerates the analytic-vs-measured first-win distribution for the
+smallest ticket holder under continuous contention; the claim is that
+access probability converges geometrically to one (no starvation).
+"""
+
+from conftest import cycles, run_once
+
+from repro.experiments.starvation import run_starvation
+
+
+def test_bench_starvation(benchmark):
+    result = run_once(benchmark, run_starvation, drawings=cycles(200_000))
+    print()
+    print(result.format_report())
+    assert result.worst_gap() < 0.03
+    assert result.empirical[-1] > 0.999

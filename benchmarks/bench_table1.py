@@ -1,0 +1,35 @@
+"""Table 1: the 4-port output-queued ATM switch under three architectures.
+
+Paper claims regenerated here:
+* static priority gives port 1 minimal latency (paper: 1.39
+  cycles/word) but starves the lowest-priority port (~0.x%);
+* TDMA redistributes port 1's idle slots round-robin, so port 3
+  receives well below its reservation (paper: 47% vs ~60% reserved) and
+  port 1's bursty traffic suffers multi-x latency;
+* LOTTERYBUS matches port 3's reservation closely (paper: 59%).
+
+Known deviation (documented in EXPERIMENTS.md): under perpetual full
+contention our lottery's port-1 latency is comparable to TDMA's, not
+~4x better as the paper reports.
+"""
+
+from conftest import cycles, run_once
+
+from repro.experiments.table1 import run_table1
+
+
+def test_bench_table1(benchmark):
+    result = run_once(benchmark, run_table1, cycles=cycles(500_000))
+    print()
+    print(result.format_report())
+    # Bandwidth rows.
+    assert result.bandwidth("static priority", 3) < 0.02
+    lottery_p3 = result.bandwidth("LOTTERYBUS", 2)
+    assert 0.5 < lottery_p3 < 0.68
+    assert result.bandwidth("TDMA (scan reclaim)", 2) < lottery_p3 - 0.05
+    assert result.bandwidth("TDMA (single reclaim)", 2) < lottery_p3 - 0.05
+    # Latency row: static priority is minimal; TDMA suffers the
+    # resonance pathology.
+    pri = result.port1_latency("static priority")
+    assert pri < 2.0
+    assert result.port1_latency("TDMA (single reclaim)") > 2.5 * pri

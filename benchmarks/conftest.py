@@ -1,0 +1,25 @@
+"""Shared benchmark helpers.
+
+Every benchmark runs its experiment exactly once under pytest-benchmark
+timing (rounds=1) — the interesting output is the regenerated paper
+table/figure, which each bench prints so ``pytest benchmarks/
+--benchmark-only -s`` shows the full reproduction alongside timings.
+"""
+
+import os
+
+# Scale factor for benchmark cycle counts; raise for tighter confidence
+# intervals, lower for smoke runs.  1.0 keeps the full suite around a
+# couple of minutes on a laptop.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Execute ``func`` once under the benchmark timer; return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)
+
+
+def cycles(base):
+    """Scale a cycle count by REPRO_BENCH_SCALE (minimum 1000)."""
+    return max(1000, int(base * SCALE))

@@ -1,0 +1,112 @@
+"""Dynamic LOTTERYBUS: a run-time bandwidth controller.
+
+The paper's dynamic variant lets components re-communicate their ticket
+holdings at run time (Section 4.4) but leaves the control policy to the
+designer.  This example builds one: a feedback controller samples each
+master's achieved bandwidth share once per epoch and nudges its tickets
+toward a target share — so the system tracks QoS targets even as the
+offered traffic mix shifts mid-run.
+
+Phase 1: all masters saturate; targets 40/30/20/10.
+Phase 2 (mid-run): the targets flip to 10/20/30/40.
+
+Run:  python examples/dynamic_qos.py
+"""
+
+from repro import DynamicLotteryArbiter, build_single_bus_system
+from repro.metrics.report import format_table
+from repro.sim.component import Component
+from repro.traffic import get_traffic_class
+
+EPOCH = 2_000
+PHASE_CYCLES = 150_000
+PHASE1_TARGETS = [0.4, 0.3, 0.2, 0.1]
+PHASE2_TARGETS = [0.1, 0.2, 0.3, 0.4]
+
+
+class BandwidthController(Component):
+    """Proportional controller from measured shares to ticket updates."""
+
+    def __init__(self, name, bus, arbiter, targets, gain=60, floor=1, cap=255):
+        super().__init__(name)
+        self.bus = bus
+        self.arbiter = arbiter
+        self.targets = list(targets)
+        self.gain = gain
+        self.floor = floor
+        self.cap = cap
+        self._last_words = [0] * len(targets)
+
+    def set_targets(self, targets):
+        self.targets = list(targets)
+
+    def tick(self, cycle):
+        if cycle == 0 or cycle % EPOCH:
+            return
+        words = [m.words for m in self.bus.metrics.masters]
+        delta = [now - before for now, before in zip(words, self._last_words)]
+        self._last_words = words
+        moved = sum(delta)
+        if moved == 0:
+            return
+        for master, target in enumerate(self.targets):
+            error = target - delta[master] / moved
+            current = self.arbiter.tickets[master]
+            updated = min(self.cap, max(self.floor,
+                                        round(current + self.gain * error)))
+            self.arbiter.set_tickets(master, updated)
+
+
+def shares_since(bus, snapshot):
+    words = [m.words for m in bus.metrics.masters]
+    delta = [now - before for now, before in zip(words, snapshot)]
+    total = sum(delta)
+    return [d / total for d in delta]
+
+
+def main():
+    arbiter = DynamicLotteryArbiter(tickets=[1, 1, 1, 1])
+    system, bus = build_single_bus_system(
+        4, arbiter, get_traffic_class("T8").generator_factory(seed=3)
+    )
+    controller = BandwidthController("qos", bus, arbiter, PHASE1_TARGETS)
+    system.add_generator(controller)
+
+    system.run(PHASE_CYCLES)
+    snapshot = [m.words for m in bus.metrics.masters]
+    phase1 = shares_since(bus, [0] * 4)
+
+    controller.set_targets(PHASE2_TARGETS)
+    system.run(PHASE_CYCLES)
+    phase2 = shares_since(bus, snapshot)
+
+    rows = []
+    for master in range(4):
+        rows.append(
+            [
+                "C{}".format(master + 1),
+                "{:.0%}".format(PHASE1_TARGETS[master]),
+                "{:.1%}".format(phase1[master]),
+                "{:.0%}".format(PHASE2_TARGETS[master]),
+                "{:.1%}".format(phase2[master]),
+                arbiter.tickets[master],
+            ]
+        )
+    print(
+        format_table(
+            [
+                "master",
+                "phase-1 target",
+                "phase-1 measured",
+                "phase-2 target",
+                "phase-2 measured",
+                "final tickets",
+            ],
+            rows,
+            title="Run-time QoS control over the dynamic lottery manager",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

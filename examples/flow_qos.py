@@ -1,0 +1,107 @@
+"""Per-data-flow bandwidth control with a DMA engine.
+
+The paper's abstract promises "fine grained control over the fraction
+of communication bandwidth that each system component **or data flow**
+receives".  This example exercises the flow case: one DMA engine and
+one CPU share a bus whose arbiter holds tickets per *flow*, not per
+master.  The DMA alternates between a real-time video stream (flow
+"video", 6 tickets) and background housekeeping ("bulk", 1 ticket);
+the CPU's cache refills run as flow "cpu" (3 tickets).
+
+While the DMA carries video its transfers outrank the CPU; when it
+falls back to bulk, the CPU outranks it — bandwidth follows the data,
+not the component.
+
+Run:  python examples/flow_qos.py
+"""
+
+from repro.arbiters.flow_lottery import FlowLotteryArbiter
+from repro.bus import BusSystem, MasterInterface, SharedBus, Slave
+from repro.metrics.report import format_table
+from repro.soc.dma import DmaDescriptor, DmaEngine
+from repro.traffic.generator import ClosedLoopGenerator
+from repro.traffic.message import FixedWords
+
+FLOW_TICKETS = {"video": 6, "cpu": 3, "bulk": 1}
+PHASE_CYCLES = 120_000
+
+
+def build():
+    dma_if = MasterInterface("dma", 0)
+    cpu_if = MasterInterface("cpu", 1)
+    arbiter = FlowLotteryArbiter(2, FLOW_TICKETS, lfsr_seed=4)
+    bus = SharedBus(
+        "bus", [dma_if, cpu_if], arbiter, slaves=[Slave("mem", 0)],
+        max_burst=16,
+    )
+    dma = DmaEngine("dma.engine", dma_if, chunk_words=16)
+    dma.attach(bus)
+    system = BusSystem()
+    system.add_generator(dma)
+    # CPU transfers sized like the DMA chunks, so word shares equal
+    # ticket shares (the lottery allocates grants; see
+    # benchmarks/bench_ablation_compensation.py for the mixed-size case).
+    system.add_generator(
+        ClosedLoopGenerator(
+            "cpu.gen", cpu_if, FixedWords(16), 0, seed=9, flow="cpu"
+        )
+    )
+    system.add_bus(bus)
+    return system, bus, arbiter, dma
+
+
+def keep_programmed(dma, flow, words=4000):
+    """Top the DMA chain up so it always has work of the given flow.
+
+    Descriptors are large relative to the top-up interval, so the engine
+    never drains between refills.
+    """
+    if dma.queue_depth < 2:
+        dma.program([DmaDescriptor(words, flow=flow)])
+
+
+def run_phase(system, bus, dma, flow, cycles):
+    start_words = [m.words for m in bus.metrics.masters]
+    remaining = cycles
+    while remaining > 0:
+        keep_programmed(dma, flow)
+        step = min(500, remaining)
+        system.run(step)
+        remaining -= step
+    end_words = [m.words for m in bus.metrics.masters]
+    delta = [b - a for a, b in zip(start_words, end_words)]
+    total = sum(delta)
+    return [d / total for d in delta]
+
+
+def main():
+    system, bus, arbiter, dma = build()
+    video_phase = run_phase(system, bus, dma, "video", PHASE_CYCLES)
+    bulk_phase = run_phase(system, bus, dma, "bulk", PHASE_CYCLES)
+
+    rows = [
+        [
+            "DMA engine",
+            "{:.1%}".format(video_phase[0]),
+            "{:.1%}".format(bulk_phase[0]),
+        ],
+        [
+            "CPU",
+            "{:.1%}".format(video_phase[1]),
+            "{:.1%}".format(bulk_phase[1]),
+        ],
+    ]
+    print(
+        format_table(
+            ["component", "DMA carrying video (6 vs 3)", "DMA carrying bulk (1 vs 3)"],
+            rows,
+            title="Flow-level lottery: bandwidth follows the data flow",
+        )
+    )
+    print()
+    print("carried words per flow:", arbiter.usage.words)
+    print("targets: video phase ~ 67%/33%, bulk phase ~ 25%/75%")
+
+
+if __name__ == "__main__":
+    main()

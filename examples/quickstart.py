@@ -1,0 +1,49 @@
+"""Quickstart: a 4-master LOTTERYBUS SoC in ~20 lines.
+
+Builds the paper's Figure 3 system — four masters contending for a
+shared memory over a single bus — installs a static lottery arbiter
+with tickets 1:2:3:4, drives it with saturating traffic, and prints the
+resulting bandwidth division and per-word latencies.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import StaticLotteryArbiter, build_single_bus_system
+from repro.metrics.report import format_table
+from repro.traffic import get_traffic_class
+
+
+def main():
+    arbiter = StaticLotteryArbiter(tickets=[1, 2, 3, 4])
+    system, bus = build_single_bus_system(
+        num_masters=4,
+        arbiter=arbiter,
+        generator_factory=get_traffic_class("T8").generator_factory(seed=1),
+        max_burst=16,
+    )
+    system.run(200_000)
+
+    metrics = bus.metrics
+    rows = []
+    for master in range(4):
+        rows.append(
+            [
+                "C{}".format(master + 1),
+                arbiter.manager.requested_tickets[master],
+                arbiter.tickets[master],
+                "{:.1%}".format(metrics.bandwidth_shares()[master]),
+                "{:.2f}".format(metrics.latency_per_word(master)),
+            ]
+        )
+    print(
+        format_table(
+            ["master", "tickets", "scaled", "bandwidth share", "lat (cyc/word)"],
+            rows,
+            title="LOTTERYBUS quickstart: shares track tickets, no one starves",
+        )
+    )
+    print("bus utilization: {:.1%}".format(metrics.utilization()))
+
+
+if __name__ == "__main__":
+    main()

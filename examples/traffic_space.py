@@ -1,0 +1,49 @@
+"""Explore the communication traffic space across all arbiters.
+
+Runs every registered arbitration scheme against every traffic class
+(T1-T9) with weights 1:2:3:4 and prints a grid of utilization and the
+highest-weight master's per-word latency — a compact map of where each
+architecture shines (the expanded version of Section 5.1).
+
+Run:  python examples/traffic_space.py [cycles]
+"""
+
+import sys
+
+from repro.arbiters import available_arbiters
+from repro.experiments.system import run_testbed
+from repro.metrics.report import format_table
+from repro.traffic.classes import TRAFFIC_CLASSES
+
+WEIGHTS = [1, 2, 3, 4]
+
+
+def main(cycles=60_000):
+    class_names = sorted(TRAFFIC_CLASSES)
+    rows = []
+    for arbiter_name in available_arbiters():
+        cells = [arbiter_name]
+        for class_name in class_names:
+            result = run_testbed(
+                arbiter_name, class_name, WEIGHTS, cycles=cycles, seed=4
+            )
+            cells.append(
+                "{:.0%}/{:.1f}".format(
+                    result.utilization, result.latencies_per_word[3]
+                )
+            )
+        rows.append(cells)
+    print(
+        format_table(
+            ["arbiter"] + class_names,
+            rows,
+            title=(
+                "Traffic space: utilization / C4 latency (cycles/word), "
+                "weights 1:2:3:4"
+            ),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 60_000)

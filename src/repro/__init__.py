@@ -1,0 +1,87 @@
+"""repro — a reproduction of LOTTERYBUS (DAC 2001).
+
+LOTTERYBUS is a probabilistic shared-bus arbitration architecture for
+system-on-chip designs: each master holds lottery tickets, and a
+centralized lottery manager grants the bus by drawing a random winner
+weighted by the contending masters' tickets.  Compared to static
+priority arbitration it provides proportional bandwidth control without
+starvation; compared to TDMA it provides low latency independent of
+request/slot phase alignment.
+
+Quickstart::
+
+    from repro import StaticLotteryArbiter, build_single_bus_system
+    from repro.traffic import get_traffic_class
+
+    arbiter = StaticLotteryArbiter(tickets=[1, 2, 3, 4])
+    system, bus = build_single_bus_system(
+        4, arbiter, get_traffic_class("T8").generator_factory(seed=1)
+    )
+    system.run(100_000)
+    print(bus.metrics.bandwidth_shares())   # ~[0.1, 0.2, 0.3, 0.4]
+"""
+
+from repro.arbiters import (
+    Arbiter,
+    DynamicLotteryArbiter,
+    RoundRobinArbiter,
+    StaticLotteryArbiter,
+    StaticPriorityArbiter,
+    TdmaArbiter,
+    TokenRingArbiter,
+    available_arbiters,
+    make_arbiter,
+)
+from repro.bus import (
+    Bridge,
+    BusSystem,
+    Grant,
+    MasterInterface,
+    Request,
+    SharedBus,
+    Slave,
+    build_single_bus_system,
+)
+from repro.core import (
+    LFSR,
+    DynamicLotteryManager,
+    StaticLotteryManager,
+    TicketAssignment,
+    access_probability,
+    scale_to_power_of_two,
+)
+from repro.metrics import MetricsCollector
+from repro.sim import Component, RandomStream, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Arbiter",
+    "DynamicLotteryArbiter",
+    "RoundRobinArbiter",
+    "StaticLotteryArbiter",
+    "StaticPriorityArbiter",
+    "TdmaArbiter",
+    "TokenRingArbiter",
+    "available_arbiters",
+    "make_arbiter",
+    "Bridge",
+    "BusSystem",
+    "Grant",
+    "MasterInterface",
+    "Request",
+    "SharedBus",
+    "Slave",
+    "build_single_bus_system",
+    "LFSR",
+    "DynamicLotteryManager",
+    "StaticLotteryManager",
+    "TicketAssignment",
+    "access_probability",
+    "scale_to_power_of_two",
+    "MetricsCollector",
+    "Component",
+    "RandomStream",
+    "Simulator",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""The arbiter interface."""
+
+
+class Arbiter:
+    """Decides which pending master owns the bus next.
+
+    The bus calls :meth:`arbitrate` once per cycle while it is free,
+    passing the per-master pending word counts (0 = no request).  The
+    arbiter returns a :class:`~repro.bus.transaction.Grant` or ``None``
+    for an idle cycle.  Arbiters with internal clocked state (the TDMA
+    timing wheel, a token) advance that state per call, which the bus
+    guarantees happens exactly once per free cycle.
+    """
+
+    name = "abstract"
+
+    def __init__(self, num_masters):
+        if num_masters < 1:
+            raise ValueError("need at least one master")
+        self.num_masters = num_masters
+
+    def arbitrate(self, cycle, pending):
+        raise NotImplementedError
+
+    def reset(self):
+        """Return clocked arbiter state to power-on; default no-op."""
+
+    def _check_pending(self, pending):
+        if len(pending) != self.num_masters:
+            raise ValueError(
+                "pending vector has {} entries for {} masters".format(
+                    len(pending), self.num_masters
+                )
+            )
+
+    def __repr__(self):
+        return "{}(num_masters={})".format(type(self).__name__, self.num_masters)

@@ -1,0 +1,71 @@
+"""The flow-aware LOTTERYBUS arbiter."""
+
+from repro.arbiters.base import Arbiter
+from repro.bus.transaction import Grant
+from repro.core.flows import FlowLotteryManager, FlowTicketTable, FlowUsage
+
+
+class FlowLotteryArbiter(Arbiter):
+    """LOTTERYBUS allocating bandwidth per data flow (see core.flows).
+
+    The arbiter must be bound to its bus (the bus does this at
+    construction) so it can read the flow label at the head of each
+    master's queue.
+
+    :param num_masters: masters on the bus.
+    :param flows: mapping of flow name -> tickets, or a prebuilt
+        :class:`FlowTicketTable`.
+    :param default_tickets: holding for unlabeled/unknown flows.
+    """
+
+    name = "lottery-flow"
+
+    def __init__(self, num_masters, flows, default_tickets=1, lfsr_seed=1,
+                 random_source=None):
+        super().__init__(num_masters)
+        if not isinstance(flows, FlowTicketTable):
+            flows = FlowTicketTable(flows, default_tickets=default_tickets)
+        self.table = flows
+        self.manager = FlowLotteryManager(
+            flows, random_source=random_source, lfsr_seed=lfsr_seed
+        )
+        self.usage = FlowUsage()
+        self._bus = None
+
+    def bind(self, bus):
+        """Called by the bus at construction."""
+        if len(bus.masters) != self.num_masters:
+            raise ValueError(
+                "arbiter sized for {} masters, bus has {}".format(
+                    self.num_masters, len(bus.masters)
+                )
+            )
+        self._bus = bus
+        bus.add_completion_hook(self.usage.on_completion)
+
+    def reset(self):
+        self.manager.reset()
+        self.usage = FlowUsage()
+        if self._bus is not None:
+            self._bus.add_completion_hook(self.usage.on_completion)
+
+    def _head_flows(self, pending):
+        flows = []
+        for master_id, words in enumerate(pending):
+            if words == 0:
+                flows.append(None)
+            else:
+                flow = self._bus.masters[master_id].head().flow
+                flows.append(flow if flow is not None else "")
+        return flows
+
+    def arbitrate(self, cycle, pending):
+        self._check_pending(pending)
+        if self._bus is None:
+            raise RuntimeError(
+                "FlowLotteryArbiter must be bound to a bus before use"
+            )
+        winner = self.manager.draw(self._head_flows(pending))
+        if winner is None:
+            return None
+        return Grant(winner)

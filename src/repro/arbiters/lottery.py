@@ -1,0 +1,110 @@
+"""LOTTERYBUS arbiters: thin bus-protocol wrappers over the managers."""
+
+from repro.arbiters.base import Arbiter
+from repro.bus.transaction import Grant
+from repro.core.lottery_manager import DynamicLotteryManager, StaticLotteryManager
+
+
+class _LotteryArbiter(Arbiter):
+    """Common arbitration path: request map -> lottery -> grant."""
+
+    def __init__(self, manager):
+        super().__init__(manager.num_masters)
+        self.manager = manager
+        self.last_outcome = None
+
+    def reset(self):
+        self.manager.reset()
+        self.last_outcome = None
+
+    def arbitrate(self, cycle, pending):
+        self._check_pending(pending)
+        request_map = [words > 0 for words in pending]
+        outcome = self.manager.draw(request_map)
+        self.last_outcome = outcome
+        if outcome is None or outcome.winner is None:
+            # No requests, or a rejection-policy draw missed every range.
+            return None
+        return Grant(outcome.winner)
+
+
+class StaticLotteryArbiter(_LotteryArbiter):
+    """LOTTERYBUS with statically assigned tickets (Section 4.3).
+
+    Accepts either a prebuilt :class:`StaticLotteryManager` or the
+    keyword arguments to construct one (``tickets`` plus the manager's
+    options).
+    """
+
+    name = "lottery-static"
+
+    def __init__(self, tickets=None, manager=None, **manager_kwargs):
+        if manager is None:
+            if tickets is None:
+                raise ValueError("provide tickets or a manager")
+            manager = StaticLotteryManager(tickets, **manager_kwargs)
+        elif tickets is not None or manager_kwargs:
+            raise ValueError("pass either a manager or constructor arguments")
+        super().__init__(manager)
+
+    @property
+    def tickets(self):
+        """The scaled holdings the hardware uses."""
+        return self.manager.tickets.tickets
+
+
+class CompensatedLotteryArbiter(_LotteryArbiter):
+    """LOTTERYBUS with Waldspurger-style compensation tickets.
+
+    An extension beyond the paper (see :mod:`repro.core.compensation`):
+    masters granted partial bursts have their tickets inflated until the
+    next grant, so *word* shares track base tickets even when masters
+    move different message sizes.
+
+    :param tickets: base holdings, one per master.
+    :param max_burst: the bus quantum — must match the bus's
+        ``max_burst`` for the inflation arithmetic to be exact.
+    """
+
+    name = "lottery-compensated"
+
+    def __init__(self, tickets, max_burst=16, **manager_kwargs):
+        from repro.core.compensation import CompensatedLotteryManager
+
+        manager = CompensatedLotteryManager(tickets, max_burst,
+                                            **manager_kwargs)
+        super().__init__(manager)
+        self.max_burst = max_burst
+
+    def arbitrate(self, cycle, pending):
+        grant = super().arbitrate(cycle, pending)
+        if grant is not None:
+            burst = min(pending[grant.master], self.max_burst)
+            self.manager.note_grant(grant.master, burst)
+        return grant
+
+
+class DynamicLotteryArbiter(_LotteryArbiter):
+    """LOTTERYBUS with dynamically assigned tickets (Section 4.4)."""
+
+    name = "lottery-dynamic"
+
+    def __init__(self, tickets=None, manager=None, **manager_kwargs):
+        if manager is None:
+            if tickets is None:
+                raise ValueError("provide tickets or a manager")
+            manager = DynamicLotteryManager(tickets, **manager_kwargs)
+        elif tickets is not None or manager_kwargs:
+            raise ValueError("pass either a manager or constructor arguments")
+        super().__init__(manager)
+
+    @property
+    def tickets(self):
+        return self.manager.tickets
+
+    def set_tickets(self, master, count):
+        """Forward a run-time ticket update to the manager."""
+        self.manager.set_tickets(master, count)
+
+    def set_all_tickets(self, tickets):
+        self.manager.set_all_tickets(tickets)

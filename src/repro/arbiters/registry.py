@@ -1,0 +1,80 @@
+"""Name-based arbiter construction, for CLIs and sweep harnesses."""
+
+from repro.arbiters.lottery import (
+    CompensatedLotteryArbiter,
+    DynamicLotteryArbiter,
+    StaticLotteryArbiter,
+)
+from repro.arbiters.round_robin import RoundRobinArbiter
+from repro.arbiters.static_priority import StaticPriorityArbiter
+from repro.arbiters.tdma import TdmaArbiter
+from repro.arbiters.token_ring import TokenRingArbiter
+from repro.arbiters.weighted_rr import WeightedRoundRobinArbiter
+
+
+def _make_static_priority(num_masters, weights):
+    # Interpret weights as relative importance; rank them into unique
+    # priorities (ties broken by master index, lower index wins).
+    order = sorted(range(num_masters), key=lambda m: (weights[m], -m))
+    priorities = [0] * num_masters
+    for rank, master in enumerate(order):
+        priorities[master] = rank + 1
+    return StaticPriorityArbiter(priorities)
+
+
+def make_arbiter(name, num_masters, weights=None, **kwargs):
+    """Build an arbiter by name with a uniform weight interface.
+
+    ``weights`` expresses per-master importance and maps onto each
+    scheme's native knob: priorities (static-priority), slot counts
+    (TDMA), tickets (lottery).  Weight-free schemes ignore it.
+
+    :param name: one of :func:`available_arbiters`.
+    :param num_masters: masters on the bus.
+    :param weights: positive per-master weights (default all ones).
+    :param kwargs: scheme-specific extras (e.g. ``lfsr_seed``,
+        ``reclaim_idle``, ``hold_limit``).
+    """
+    if weights is None:
+        weights = [1] * num_masters
+    if len(weights) != num_masters:
+        raise ValueError("weights length must equal num_masters")
+    if any(w < 1 for w in weights):
+        raise ValueError("weights must be positive integers")
+
+    if name == "static-priority":
+        return _make_static_priority(num_masters, weights)
+    if name == "round-robin":
+        return RoundRobinArbiter(num_masters)
+    if name == "tdma":
+        return TdmaArbiter.from_slot_counts(list(weights), **kwargs)
+    if name == "token-ring":
+        # Without a hold limit a permanently backlogged station would
+        # never release the token; default to one max-size burst.
+        kwargs.setdefault("hold_limit", 16)
+        return TokenRingArbiter(num_masters, **kwargs)
+    if name == "lottery-static":
+        return StaticLotteryArbiter(tickets=list(weights), **kwargs)
+    if name == "lottery-dynamic":
+        return DynamicLotteryArbiter(tickets=list(weights), **kwargs)
+    if name == "lottery-compensated":
+        return CompensatedLotteryArbiter(list(weights), **kwargs)
+    if name == "weighted-rr":
+        return WeightedRoundRobinArbiter(list(weights), **kwargs)
+    raise ValueError(
+        "unknown arbiter {!r}; choose from {}".format(name, available_arbiters())
+    )
+
+
+def available_arbiters():
+    """Names accepted by :func:`make_arbiter`."""
+    return [
+        "static-priority",
+        "round-robin",
+        "tdma",
+        "token-ring",
+        "lottery-static",
+        "lottery-dynamic",
+        "lottery-compensated",
+        "weighted-rr",
+    ]

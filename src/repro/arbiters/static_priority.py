@@ -1,0 +1,39 @@
+"""Static priority based arbitration (Section 2.1).
+
+"The bus arbiter periodically examines accumulated requests from the
+master interfaces, and grants bus access to the master of highest
+priority among the requesting masters."
+"""
+
+from repro.arbiters.base import Arbiter
+from repro.bus.transaction import Grant
+
+
+class StaticPriorityArbiter(Arbiter):
+    """Always grants the highest-priority pending master.
+
+    :param priorities: one value per master; **larger values mean higher
+        priority** (the paper assigns 1..4 with 4 the highest).  Values
+        must be unique so arbitration is deterministic.
+    """
+
+    name = "static-priority"
+
+    def __init__(self, priorities):
+        super().__init__(len(priorities))
+        priorities = [int(p) for p in priorities]
+        if len(set(priorities)) != len(priorities):
+            raise ValueError("priorities must be unique")
+        self.priorities = tuple(priorities)
+        # Masters sorted from highest to lowest priority; arbitration is
+        # then a first-match scan, mirroring the hardware selector.
+        self._order = sorted(
+            range(len(priorities)), key=lambda m: -priorities[m]
+        )
+
+    def arbitrate(self, cycle, pending):
+        self._check_pending(pending)
+        for master in self._order:
+            if pending[master]:
+                return Grant(master)
+        return None

@@ -1,0 +1,70 @@
+"""Deficit-weighted round-robin arbitration.
+
+A deterministic proportional-share baseline beyond the paper: each
+master holds a quantum proportional to its weight; a deficit counter
+accumulates quantum each round and pays for granted words (deficit
+round-robin, Shreedhar & Varghese).  Long-run bandwidth shares match
+the lottery's ticket proportions but the service pattern is
+deterministic — the natural "what if we didn't randomize?" comparison
+for LOTTERYBUS, used by the jitter benchmark.
+"""
+
+from repro.arbiters.base import Arbiter
+from repro.bus.transaction import Grant
+
+
+class WeightedRoundRobinArbiter(Arbiter):
+    """Deficit round-robin over per-master word credits.
+
+    :param weights: positive per-master weights.
+    :param quantum_scale: words of quantum per weight unit added each
+        time a master is visited (default 4; larger values give longer
+        uninterrupted runs per master).
+    """
+
+    name = "weighted-rr"
+
+    def __init__(self, weights, quantum_scale=4):
+        super().__init__(len(weights))
+        weights = [int(w) for w in weights]
+        if any(w < 1 for w in weights):
+            raise ValueError("weights must be positive")
+        if quantum_scale < 1:
+            raise ValueError("quantum_scale must be >= 1")
+        self.weights = tuple(weights)
+        self.quantum_scale = quantum_scale
+        self._deficits = [0] * len(weights)
+        self._current = 0
+
+    def reset(self):
+        self._deficits = [0] * self.num_masters
+        self._current = 0
+
+    def _advance(self):
+        self._current = (self._current + 1) % self.num_masters
+
+    def arbitrate(self, cycle, pending):
+        self._check_pending(pending)
+        if not any(pending):
+            return None
+        # Visit masters round-robin; top up the visited master's deficit
+        # and grant as many words as its credit covers.  A master with
+        # no pending request forfeits its credit (standard DRR).
+        for _ in range(self.num_masters):
+            master = self._current
+            if pending[master]:
+                if self._deficits[master] <= 0:
+                    self._deficits[master] += (
+                        self.weights[master] * self.quantum_scale
+                    )
+                allowance = self._deficits[master]
+                words = min(pending[master], allowance)
+                if words >= 1:
+                    self._deficits[master] -= words
+                    if self._deficits[master] <= 0:
+                        self._advance()
+                    return Grant(master, max_words=words)
+            else:
+                self._deficits[master] = 0
+            self._advance()
+        return None

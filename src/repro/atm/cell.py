@@ -1,0 +1,51 @@
+"""ATM cells."""
+
+# An ATM cell is 53 octets (5-octet header + 48-octet payload); over a
+# 32-bit system bus that is ceil(53 / 4) = 14 bus words per cell.
+CELL_BYTES = 53
+BUS_WORD_BYTES = 4
+CELL_WORDS = -(-CELL_BYTES // BUS_WORD_BYTES)
+
+
+class ATMCell:
+    """One cell flowing through the switch.
+
+    :param port: destination output port index.
+    :param sequence: per-port arrival sequence number.
+    :param arrival_cycle: cycle the cell arrived at the switch input.
+    """
+
+    __slots__ = (
+        "port",
+        "sequence",
+        "arrival_cycle",
+        "address",
+        "dequeue_cycle",
+        "forward_cycle",
+    )
+
+    def __init__(self, port, sequence, arrival_cycle):
+        if port < 0 or sequence < 0 or arrival_cycle < 0:
+            raise ValueError("invalid cell parameters")
+        self.port = port
+        self.sequence = sequence
+        self.arrival_cycle = arrival_cycle
+        self.address = None
+        self.dequeue_cycle = None
+        self.forward_cycle = None
+
+    @property
+    def forwarded(self):
+        return self.forward_cycle is not None
+
+    @property
+    def switch_latency(self):
+        """Cycles from switch arrival to forwarding (port-to-port delay)."""
+        if self.forward_cycle is None:
+            raise ValueError("cell has not been forwarded")
+        return self.forward_cycle - self.arrival_cycle
+
+    def __repr__(self):
+        return "ATMCell(port={}, seq={}, arrival={})".format(
+            self.port, self.sequence, self.arrival_cycle
+        )

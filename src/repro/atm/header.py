@@ -1,0 +1,113 @@
+"""ATM UNI cell-header encoding and HEC protection (ITU-T I.432).
+
+The switch model moves whole cells; this module supplies the real
+header format so workloads and tests can construct valid cells:
+
+* 4-bit GFC, 8-bit VPI, 16-bit VCI, 3-bit PT, 1-bit CLP packed into the
+  first four octets;
+* the fifth octet is the Header Error Control byte: CRC-8 over the
+  first four octets with generator ``x^8 + x^2 + x + 1`` (0x107),
+  XORed with the coset leader 0x55 as I.432 prescribes.
+
+The HEC lets single-bit header corruption be detected (and located);
+:func:`verify` reports whether a received header is intact.
+"""
+
+_GENERATOR = 0x107  # x^8 + x^2 + x + 1
+_COSET = 0x55
+
+GFC_MAX = 0xF
+VPI_MAX = 0xFF
+VCI_MAX = 0xFFFF
+PT_MAX = 0x7
+
+
+def crc8(data):
+    """CRC-8 over an iterable of octets with the I.432 generator."""
+    remainder = 0
+    for octet in data:
+        if not 0 <= octet <= 0xFF:
+            raise ValueError("octet out of range: {}".format(octet))
+        remainder ^= octet
+        for _ in range(8):
+            if remainder & 0x80:
+                remainder = ((remainder << 1) ^ _GENERATOR) & 0xFF
+            else:
+                remainder = (remainder << 1) & 0xFF
+    return remainder
+
+
+def compute_hec(header4):
+    """The HEC octet for the first four header octets."""
+    header4 = list(header4)
+    if len(header4) != 4:
+        raise ValueError("HEC covers exactly four octets")
+    return crc8(header4) ^ _COSET
+
+
+def encode_header(vpi, vci, pt=0, clp=0, gfc=0):
+    """Pack a UNI header into its five octets (including HEC)."""
+    if not 0 <= gfc <= GFC_MAX:
+        raise ValueError("GFC out of range")
+    if not 0 <= vpi <= VPI_MAX:
+        raise ValueError("VPI out of range")
+    if not 0 <= vci <= VCI_MAX:
+        raise ValueError("VCI out of range")
+    if not 0 <= pt <= PT_MAX:
+        raise ValueError("PT out of range")
+    if clp not in (0, 1):
+        raise ValueError("CLP must be 0 or 1")
+    octets = [
+        (gfc << 4) | (vpi >> 4),
+        ((vpi & 0xF) << 4) | (vci >> 12),
+        (vci >> 4) & 0xFF,
+        ((vci & 0xF) << 4) | (pt << 1) | clp,
+    ]
+    return octets + [compute_hec(octets)]
+
+
+def decode_header(octets):
+    """Unpack five header octets; returns a dict of fields.
+
+    Raises :class:`ValueError` when the HEC does not match (a corrupted
+    header a real switch would discard or correct).
+    """
+    octets = list(octets)
+    if len(octets) != 5:
+        raise ValueError("a UNI header is five octets")
+    if not verify(octets):
+        raise ValueError("HEC mismatch: corrupted header")
+    gfc = octets[0] >> 4
+    vpi = ((octets[0] & 0xF) << 4) | (octets[1] >> 4)
+    vci = ((octets[1] & 0xF) << 12) | (octets[2] << 4) | (octets[3] >> 4)
+    pt = (octets[3] >> 1) & 0x7
+    clp = octets[3] & 1
+    return {"gfc": gfc, "vpi": vpi, "vci": vci, "pt": pt, "clp": clp}
+
+
+def verify(octets):
+    """True when the five-octet header's HEC is consistent."""
+    octets = list(octets)
+    if len(octets) != 5:
+        raise ValueError("a UNI header is five octets")
+    return compute_hec(octets[:4]) == octets[4]
+
+
+def locate_single_bit_error(octets):
+    """Find a single flipped bit in a received header, if any.
+
+    Returns ``(octet_index, bit_index)`` of the unique single-bit flip
+    that makes the header consistent, or ``None`` when the header is
+    either already valid or not correctable as a single-bit error.
+    This is the "correction mode" of the I.432 HEC state machine.
+    """
+    octets = list(octets)
+    if verify(octets):
+        return None
+    for index in range(5):
+        for bit in range(8):
+            candidate = list(octets)
+            candidate[index] ^= 1 << bit
+            if verify(candidate):
+                return (index, bit)
+    return None

@@ -1,0 +1,81 @@
+"""Output ports.
+
+"Each port polls its queue to detect presence of a cell.  If it is not
+empty, the port issues a dequeue signal to its local memory, and
+requests access to the shared system bus.  Once it acquires the bus, it
+extracts the relevant cell from the shared memory, and forwards it onto
+the output link."
+"""
+
+from repro.atm.cell import CELL_WORDS
+from repro.metrics.latency import LatencyStats
+from repro.sim.component import Component
+
+
+class OutputPort(Component):
+    """One output port: queue poller, bus master, output link driver.
+
+    The port handles one cell at a time: dequeue, read the payload over
+    the bus (``cell_words`` bus words from the shared memory), forward.
+
+    :param interface: the port's MasterInterface on the system bus.
+    :param queue: the port's OutputQueue.
+    :param memory: the SharedCellMemory (for buffer release).
+    :param cell_words: bus words per cell (default 14 = 53 bytes / 32-bit).
+    """
+
+    def __init__(self, name, port_id, interface, queue, memory, cell_words=CELL_WORDS):
+        super().__init__(name)
+        if cell_words < 1:
+            raise ValueError("cell_words must be >= 1")
+        self.port_id = port_id
+        self.interface = interface
+        self.queue = queue
+        self.memory = memory
+        self.cell_words = cell_words
+        self._inflight = None
+        self.cells_forwarded = 0
+        self.cell_latency = LatencyStats()
+        self.total_switch_latency = 0
+
+    def reset(self):
+        self._inflight = None
+        self.cells_forwarded = 0
+        self.cell_latency = LatencyStats()
+        self.total_switch_latency = 0
+
+    @property
+    def busy(self):
+        return self._inflight is not None
+
+    def attach(self, bus):
+        """Subscribe to bus completions so forwarded cells are detected."""
+        bus.add_completion_hook(self._on_bus_completion)
+
+    def tick(self, cycle):
+        if self._inflight is None and not self.queue.empty:
+            cell = self.queue.dequeue(cycle)
+            request = self.interface.submit(
+                self.cell_words, cycle, slave=self.memory.slave_id, tag=cell
+            )
+            if request is None:
+                raise RuntimeError("port interface rejected a request")
+            self._inflight = cell
+
+    def _on_bus_completion(self, request, cycle):
+        if request.master != self.interface.master_id:
+            return
+        cell = request.tag
+        cell.forward_cycle = cycle
+        self.memory.read_cell(cell)
+        self.cells_forwarded += 1
+        self.cell_latency.record(request)
+        self.total_switch_latency += cell.switch_latency
+        self._inflight = None
+
+    @property
+    def avg_switch_latency(self):
+        """Mean cycles from switch arrival to forwarding."""
+        if self.cells_forwarded == 0:
+            return 0.0
+        return self.total_switch_latency / self.cells_forwarded

@@ -1,0 +1,52 @@
+"""Per-port output queues (the ports' local address memories)."""
+
+from collections import deque
+
+
+class OutputQueue:
+    """FIFO of queued cells for one output port.
+
+    Models the port's dedicated local memory that "stores queued cell
+    addresses".  Unbounded by default; a capacity turns overflow into
+    cell drops (counted, never raising), which is what a real line card
+    does under sustained overload.
+    """
+
+    def __init__(self, port, capacity=None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 when given")
+        self.port = port
+        self.capacity = capacity
+        self._cells = deque()
+        self.enqueued = 0
+        self.dropped = 0
+        self.max_depth = 0
+
+    def reset(self):
+        self._cells.clear()
+        self.enqueued = 0
+        self.dropped = 0
+        self.max_depth = 0
+
+    def __len__(self):
+        return len(self._cells)
+
+    @property
+    def empty(self):
+        return not self._cells
+
+    def enqueue(self, cell):
+        """Append a cell; returns False (and counts a drop) when full."""
+        if self.capacity is not None and len(self._cells) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._cells.append(cell)
+        self.enqueued += 1
+        self.max_depth = max(self.max_depth, len(self._cells))
+        return True
+
+    def dequeue(self, cycle):
+        """Pop the head cell, stamping its dequeue cycle."""
+        cell = self._cells.popleft()
+        cell.dequeue_cycle = cycle
+        return cell

@@ -1,0 +1,49 @@
+"""The cell arrival scheduler.
+
+Models Figure 13's front end: for every arriving cell it writes the
+payload into the dual-ported shared memory (through the non-bus port)
+and the cell's starting address onto the destination output queue.
+"""
+
+from repro.atm.cell import ATMCell
+from repro.sim.component import Component
+
+
+class CellArrivalScheduler(Component):
+    """Drives the per-port arrival processes each cycle."""
+
+    def __init__(self, name, workload, queues, memory, seed=0):
+        super().__init__(name)
+        if workload.num_ports != len(queues):
+            raise ValueError("workload and queue counts differ")
+        self.workload = workload
+        self.queues = queues
+        self.memory = memory
+        self.seed = seed
+        self.cells_arrived = 0
+        self.cells_dropped = 0
+        self._sequence = [0] * workload.num_ports
+        for port, process in enumerate(workload.processes):
+            process.bind(seed, port)
+
+    def reset(self):
+        self.cells_arrived = 0
+        self.cells_dropped = 0
+        self._sequence = [0] * self.workload.num_ports
+        for process in self.workload.processes:
+            process.reset()
+
+    def tick(self, cycle):
+        for port, process in enumerate(self.workload.processes):
+            if not process.arrives(cycle):
+                continue
+            cell = ATMCell(port, self._sequence[port], cycle)
+            self._sequence[port] += 1
+            self.cells_arrived += 1
+            if not self.memory.write_cell(cell):
+                self.cells_dropped += 1
+                continue
+            if not self.queues[port].enqueue(cell):
+                # Queue overflow: release the payload buffer too.
+                self.memory.read_cell(cell)
+                self.cells_dropped += 1

@@ -1,0 +1,60 @@
+"""The dual-ported shared payload memory.
+
+Arriving payloads are written through the memory's second port (no
+system-bus cycles); ports read payloads out over the shared system bus.
+The model tracks address allocation so tests can assert no payload is
+ever read after free or leaked.
+"""
+
+from repro.bus.slave import Slave
+
+
+class SharedCellMemory(Slave):
+    """Payload store appearing as slave 0 on the system bus.
+
+    :param num_cells: capacity in cell buffers.
+    """
+
+    def __init__(self, name, num_cells=1024, slave_id=0, **kwargs):
+        super().__init__(name, slave_id, **kwargs)
+        if num_cells < 1:
+            raise ValueError("memory needs at least one cell buffer")
+        self.num_cells = num_cells
+        self._free = list(range(num_cells - 1, -1, -1))
+        self._occupied = set()
+        self.writes = 0
+        self.reads = 0
+        self.write_failures = 0
+
+    def reset(self):
+        super().reset()
+        self._free = list(range(self.num_cells - 1, -1, -1))
+        self._occupied = set()
+        self.writes = 0
+        self.reads = 0
+        self.write_failures = 0
+
+    @property
+    def occupancy(self):
+        return len(self._occupied)
+
+    def write_cell(self, cell):
+        """Store an arriving payload; returns False when memory is full."""
+        if not self._free:
+            self.write_failures += 1
+            return False
+        address = self._free.pop()
+        self._occupied.add(address)
+        cell.address = address
+        self.writes += 1
+        return True
+
+    def read_cell(self, cell):
+        """Release a payload after its bus read completes."""
+        if cell.address not in self._occupied:
+            raise ValueError(
+                "read of unallocated address {!r}".format(cell.address)
+            )
+        self._occupied.remove(cell.address)
+        self._free.append(cell.address)
+        self.reads += 1

@@ -1,0 +1,113 @@
+"""The assembled output-queued ATM switch."""
+
+from repro.atm.cell import CELL_WORDS
+from repro.atm.port import OutputPort
+from repro.atm.queue import OutputQueue
+from repro.atm.scheduler import CellArrivalScheduler
+from repro.atm.shared_memory import SharedCellMemory
+from repro.bus.bus import SharedBus
+from repro.bus.master import MasterInterface
+from repro.sim.kernel import Simulator
+
+
+class SwitchReport:
+    """Per-port performance of one switch run (Table 1's columns)."""
+
+    def __init__(self, cycles, bandwidth_fractions, bandwidth_shares,
+                 latencies_per_word, switch_latencies, cells_forwarded,
+                 cells_arrived, cells_dropped):
+        self.cycles = cycles
+        self.bandwidth_fractions = bandwidth_fractions
+        self.bandwidth_shares = bandwidth_shares
+        self.latencies_per_word = latencies_per_word
+        self.switch_latencies = switch_latencies
+        self.cells_forwarded = cells_forwarded
+        self.cells_arrived = cells_arrived
+        self.cells_dropped = cells_dropped
+
+    def __repr__(self):
+        return "SwitchReport(cycles={}, forwarded={})".format(
+            self.cycles, self.cells_forwarded
+        )
+
+
+class OutputQueuedSwitch:
+    """A 4-port (by default) output-queued ATM switch forwarding unit.
+
+    :param arbiter: the system-bus arbiter under evaluation.
+    :param workload: a :class:`~repro.atm.workload.PortWorkload`.
+    :param cell_words: bus words per cell.
+    :param max_burst: bus maximum burst size; at least ``cell_words`` by
+        default so one grant forwards one whole cell.
+    :param memory_cells: shared-memory capacity in cells.
+    :param queue_capacity: per-port queue bound (None = unbounded).
+    """
+
+    def __init__(
+        self,
+        arbiter,
+        workload,
+        cell_words=CELL_WORDS,
+        max_burst=None,
+        memory_cells=4096,
+        queue_capacity=None,
+        seed=0,
+    ):
+        num_ports = workload.num_ports
+        if arbiter.num_masters != num_ports:
+            raise ValueError("arbiter sized for {} masters, workload has {}".format(
+                arbiter.num_masters, num_ports))
+        if max_burst is None:
+            max_burst = cell_words
+        self.num_ports = num_ports
+        self.memory = SharedCellMemory("switch.mem", num_cells=memory_cells)
+        self.queues = [OutputQueue(p, capacity=queue_capacity) for p in range(num_ports)]
+        interfaces = [
+            MasterInterface("switch.port{}.if".format(p), p) for p in range(num_ports)
+        ]
+        self.bus = SharedBus(
+            "switch.bus",
+            interfaces,
+            arbiter,
+            slaves=[self.memory],
+            max_burst=max_burst,
+        )
+        self.scheduler = CellArrivalScheduler(
+            "switch.sched", workload, self.queues, self.memory, seed=seed
+        )
+        self.ports = [
+            OutputPort(
+                "switch.port{}".format(p),
+                p,
+                interfaces[p],
+                self.queues[p],
+                self.memory,
+                cell_words=cell_words,
+            )
+            for p in range(num_ports)
+        ]
+        for port in self.ports:
+            port.attach(self.bus)
+        self.simulator = Simulator()
+        self.simulator.add(self.scheduler)
+        for port in self.ports:
+            self.simulator.add(port)
+        self.simulator.add(self.bus)
+
+    def run(self, cycles):
+        """Advance the switch; returns the cumulative :class:`SwitchReport`."""
+        self.simulator.run(cycles)
+        return self.report()
+
+    def report(self):
+        metrics = self.bus.metrics
+        return SwitchReport(
+            cycles=metrics.cycles,
+            bandwidth_fractions=metrics.bandwidth_fractions(),
+            bandwidth_shares=metrics.bandwidth_shares(),
+            latencies_per_word=metrics.latencies_per_word(),
+            switch_latencies=[port.avg_switch_latency for port in self.ports],
+            cells_forwarded=[port.cells_forwarded for port in self.ports],
+            cells_arrived=self.scheduler.cells_arrived,
+            cells_dropped=self.scheduler.cells_dropped,
+        )

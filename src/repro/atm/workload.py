@@ -1,0 +1,168 @@
+"""Cell arrival processes for the switch workload.
+
+Table 1's scenario needs two kinds of port traffic: sustained backlog on
+the bandwidth-provisioned ports (so the division of bus bandwidth is
+observable) and bursty real-time traffic on the latency-critical port.
+"""
+
+from repro.sim.rng import RandomStream
+
+
+class ArrivalProcess:
+    """Base: per-cycle decision whether a cell arrives for a port."""
+
+    def bind(self, seed, port):
+        """Give the process its own random stream; called once by the switch."""
+        raise NotImplementedError
+
+    def arrives(self, cycle):
+        raise NotImplementedError
+
+    def reset(self):
+        raise NotImplementedError
+
+
+class BernoulliArrivals(ArrivalProcess):
+    """A cell arrives each cycle with fixed probability ``rate``."""
+
+    def __init__(self, rate):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must lie in [0, 1]")
+        self.rate = rate
+        self._rng = None
+
+    def bind(self, seed, port):
+        self._rng = RandomStream(seed, "arrivals:bernoulli:{}".format(port))
+
+    def reset(self):
+        if self._rng is not None:
+            self._rng.reset()
+
+    def arrives(self, cycle):
+        if self.rate == 0.0:
+            return False
+        return self._rng.random() < self.rate
+
+
+class OnOffArrivals(ArrivalProcess):
+    """Bursty arrivals: ON periods at ``on_rate``, silent OFF periods.
+
+    Dwell times are geometric with means ``mean_on`` / ``mean_off``.
+    """
+
+    def __init__(self, on_rate, mean_on, mean_off):
+        if not 0.0 < on_rate <= 1.0:
+            raise ValueError("on_rate must lie in (0, 1]")
+        if mean_on < 1 or mean_off < 1:
+            raise ValueError("dwell means must be >= 1")
+        self.on_rate = on_rate
+        self.mean_on = mean_on
+        self.mean_off = mean_off
+        self._rng = None
+        self._on = False
+        self._dwell = 0
+
+    def bind(self, seed, port):
+        self._rng = RandomStream(seed, "arrivals:onoff:{}".format(port))
+        self._on = False
+        self._dwell = self._rng.geometric(1.0 / self.mean_off)
+
+    def reset(self):
+        self._rng.reset()
+        self._on = False
+        self._dwell = self._rng.geometric(1.0 / self.mean_off)
+
+    def arrives(self, cycle):
+        arrived = self._on and self._rng.random() < self.on_rate
+        self._dwell -= 1
+        if self._dwell <= 0:
+            self._on = not self._on
+            mean = self.mean_on if self._on else self.mean_off
+            self._dwell = self._rng.geometric(1.0 / mean)
+        return arrived
+
+
+class PeriodicBurstArrivals(ArrivalProcess):
+    """Line-rate cell bursts: during ON, one cell every ``interval`` cycles.
+
+    Models a port fed by a synchronous input line: cells of a burst
+    arrive back-to-back at the line's cell time.  When the interval
+    resonates with a TDMA wheel length the whole burst is locked to one
+    wheel phase — the time-alignment pathology of Section 3 (Figure 5) —
+    while probabilistic arbitration is phase-blind.
+
+    :param interval: cycles between cells within a burst.
+    :param mean_on: mean burst duration in cycles.
+    :param mean_off: mean silence between bursts in cycles.
+    """
+
+    def __init__(self, interval, mean_on, mean_off):
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        if mean_on < 1 or mean_off < 1:
+            raise ValueError("dwell means must be >= 1")
+        self.interval = interval
+        self.mean_on = mean_on
+        self.mean_off = mean_off
+        self._rng = None
+        self._on = False
+        self._dwell = 0
+        self._countdown = 0
+
+    def bind(self, seed, port):
+        self._rng = RandomStream(seed, "arrivals:pburst:{}".format(port))
+        self._reset_state()
+
+    def reset(self):
+        self._rng.reset()
+        self._reset_state()
+
+    def _reset_state(self):
+        self._on = False
+        self._dwell = self._rng.geometric(1.0 / self.mean_off)
+        self._countdown = 0
+
+    def arrives(self, cycle):
+        arrived = False
+        if self._on:
+            if self._countdown == 0:
+                arrived = True
+                self._countdown = self.interval - 1
+            else:
+                self._countdown -= 1
+        self._dwell -= 1
+        if self._dwell <= 0:
+            self._on = not self._on
+            mean = self.mean_on if self._on else self.mean_off
+            self._dwell = self._rng.geometric(1.0 / mean)
+            self._countdown = 0
+        return arrived
+
+
+class PortWorkload:
+    """The full per-port arrival configuration for a switch run."""
+
+    def __init__(self, processes):
+        self.processes = list(processes)
+
+    @property
+    def num_ports(self):
+        return len(self.processes)
+
+    @classmethod
+    def table1(cls, backlog_rate=0.05, burst_rate=0.06):
+        """The Table 1 scenario for a 4-port switch.
+
+        Ports 1-3 (indices 0-2) carry sustained load that keeps their
+        queues backlogged; port 4 (index 3) carries bursty real-time
+        traffic at moderate mean load, so its latency is the interesting
+        metric and its idle slots are up for redistribution.
+        """
+        return cls(
+            [
+                BernoulliArrivals(backlog_rate),
+                BernoulliArrivals(backlog_rate),
+                BernoulliArrivals(backlog_rate),
+                OnOffArrivals(burst_rate, mean_on=200, mean_off=600),
+            ]
+        )

@@ -1,0 +1,29 @@
+"""Shared-bus substrate: transactions, interfaces, buses, bridges."""
+
+from repro.bus.address_map import AddressedMaster, AddressError, AddressMap
+from repro.bus.bridge import Bridge
+from repro.bus.bus import SharedBus
+from repro.bus.checker import BusChecker, CheckerViolation
+from repro.bus.master import MasterInterface
+from repro.bus.network import BusNetwork, NetworkError
+from repro.bus.slave import Slave
+from repro.bus.topology import BusSystem, build_single_bus_system
+from repro.bus.transaction import Grant, Request
+
+__all__ = [
+    "AddressedMaster",
+    "AddressError",
+    "AddressMap",
+    "Bridge",
+    "SharedBus",
+    "BusChecker",
+    "CheckerViolation",
+    "MasterInterface",
+    "BusNetwork",
+    "NetworkError",
+    "Slave",
+    "BusSystem",
+    "build_single_bus_system",
+    "Grant",
+    "Request",
+]

@@ -1,0 +1,71 @@
+"""Bus-to-bus bridges for hierarchical / multi-channel topologies.
+
+A bridge looks like a slave on its *near* bus and like a master on its
+*far* bus (Section 2 of the paper: "bridges are employed to interconnect
+the necessary channels").  A transaction addressed to the bridge's slave
+id on the near bus is forwarded, once it completes there, as a new
+transaction on the far bus targeting a remote slave carried in the
+request tag.
+"""
+
+from repro.bus.slave import Slave
+
+
+class BridgeTag:
+    """Routing information carried in a bridged request's tag.
+
+    :param remote_slave: slave index on the far bus.
+    :param payload: the original request tag, restored on the far side.
+    """
+
+    __slots__ = ("remote_slave", "payload")
+
+    def __init__(self, remote_slave, payload=None):
+        self.remote_slave = remote_slave
+        self.payload = payload
+
+
+class Bridge(Slave):
+    """Connects a near bus (as slave) to a far bus (as master).
+
+    :param name: component name.
+    :param slave_id: this bridge's slave index on the near bus.
+    :param far_master: the MasterInterface the bridge owns on the far bus.
+    :param forwarding_delay: cycles between completion on the near bus
+        and the forwarded request appearing on the far bus (default 1,
+        modelling the bridge's internal register stage).
+    """
+
+    def __init__(self, name, slave_id, far_master, forwarding_delay=1, **kwargs):
+        super().__init__(name, slave_id, **kwargs)
+        if forwarding_delay < 0:
+            raise ValueError("forwarding_delay must be non-negative")
+        self.far_master = far_master
+        self.forwarding_delay = forwarding_delay
+        self._inflight = []
+        self.forwarded = 0
+
+    def reset(self):
+        super().reset()
+        self._inflight = []
+        self.forwarded = 0
+
+    def attach(self, near_bus):
+        """Subscribe to the near bus's completion stream."""
+        near_bus.add_completion_hook(self._on_near_completion)
+
+    def _on_near_completion(self, request, cycle):
+        if request.slave != self.slave_id:
+            return
+        tag = request.tag
+        remote_slave = tag.remote_slave if isinstance(tag, BridgeTag) else 0
+        payload = tag.payload if isinstance(tag, BridgeTag) else tag
+        self._inflight.append(
+            (cycle + self.forwarding_delay, request.words, remote_slave, payload)
+        )
+
+    def tick(self, cycle):
+        while self._inflight and self._inflight[0][0] <= cycle:
+            _, words, remote_slave, payload = self._inflight.pop(0)
+            self.far_master.submit(words, cycle, slave=remote_slave, tag=payload)
+            self.forwarded += 1

@@ -1,0 +1,208 @@
+"""The shared system bus.
+
+One word moves per bus cycle when a burst is active.  The bus owns the
+arbiter and consults it whenever it is free; arbitration is pipelined
+with data transfer by default (zero visible cycles, per the paper), with
+an optional non-pipelined mode that charges arbitration cycles between
+bursts.
+"""
+
+from repro.metrics.collector import MetricsCollector
+from repro.sim.component import Component
+
+
+class BusProtocolError(RuntimeError):
+    """Raised when an arbiter violates the bus protocol."""
+
+
+class _ActiveBurst:
+    """Bookkeeping for the burst currently holding the bus."""
+
+    __slots__ = ("request", "words_left", "slave")
+
+    def __init__(self, request, words_left, slave):
+        self.request = request
+        self.words_left = words_left
+        self.slave = slave
+
+
+class SharedBus(Component):
+    """A single shared channel connecting masters to slaves.
+
+    :param name: component name.
+    :param masters: list of :class:`~repro.bus.master.MasterInterface`,
+        indexed by master id.
+    :param slaves: list of :class:`~repro.bus.slave.Slave`, indexed by
+        slave id; a default zero-wait slave is created if omitted.
+    :param arbiter: an :class:`~repro.arbiters.base.Arbiter`.
+    :param max_burst: maximum words per grant before re-arbitration
+        (the paper's "maximum transfer size"; default 16).
+    :param arbitration_cycles: visible cycles charged per arbitration
+        when not pipelined (default 0 = pipelined with data transfer).
+    :param preemptive: re-arbitrate every cycle instead of at burst
+        boundaries (Section 2's optional pre-emption feature).  A new
+        winner takes the bus mid-burst; the displaced request keeps its
+        progress and competes again.  Each word pays the slave's setup
+        wait states, since preemption re-issues the address phase.
+    :param split_transactions: Section 2's "dynamic bus splitting": a
+        request whose slave needs setup wait states releases the bus
+        during the setup (the address phase is posted, the slave works
+        off-bus, the request re-competes when ready) instead of holding
+        it idle, so other masters' transfers overlap slave latency.
+    :param metrics: optional externally owned MetricsCollector.
+    """
+
+    def __init__(
+        self,
+        name,
+        masters,
+        arbiter,
+        slaves=None,
+        max_burst=16,
+        arbitration_cycles=0,
+        preemptive=False,
+        split_transactions=False,
+        metrics=None,
+    ):
+        super().__init__(name)
+        if not masters:
+            raise ValueError("a bus needs at least one master")
+        if max_burst < 1:
+            raise ValueError("max_burst must be >= 1")
+        if arbitration_cycles < 0:
+            raise ValueError("arbitration_cycles must be non-negative")
+        self.masters = list(masters)
+        if slaves is None:
+            from repro.bus.slave import Slave
+
+            slaves = [Slave(name + ".slave0", 0)]
+        self.slaves = list(slaves)
+        self.arbiter = arbiter
+        self._completion_hooks = []
+        if hasattr(arbiter, "bind"):
+            # Flow-aware arbiters need visibility beyond pending word
+            # counts (e.g. the head request's flow label).
+            arbiter.bind(self)
+        self.max_burst = max_burst
+        self.arbitration_cycles = arbitration_cycles
+        self.preemptive = preemptive
+        self.split_transactions = split_transactions
+        self.metrics = metrics or MetricsCollector(len(self.masters))
+        self._burst = None
+        self._stall = 0
+        for index, master in enumerate(self.masters):
+            if master.master_id != index:
+                raise ValueError(
+                    "master {!r} has id {} but occupies slot {}".format(
+                        master.name, master.master_id, index
+                    )
+                )
+
+    def add_completion_hook(self, hook):
+        """Register ``hook(request, cycle)`` called as requests complete."""
+        self._completion_hooks.append(hook)
+
+    def reset(self):
+        self._burst = None
+        self._stall = 0
+        self.metrics.reset()
+        if hasattr(self.arbiter, "reset"):
+            self.arbiter.reset()
+
+    @property
+    def busy(self):
+        """True while a burst holds the bus."""
+        return self._burst is not None
+
+    def pending_words(self, cycle=None):
+        """Per-master words pending in each head request (arbiter's view).
+
+        With split transactions, a head request parked on slave setup is
+        invisible to arbitration until its ``parked_until`` cycle.
+        """
+        pending = []
+        for master in self.masters:
+            words = master.pending_words
+            if words and cycle is not None:
+                head = master.head()
+                if head.parked_until is not None and head.parked_until > cycle:
+                    words = 0
+            pending.append(words)
+        return pending
+
+    def tick(self, cycle):
+        self.metrics.observe_cycle()
+        if self._stall > 0:
+            self._stall -= 1
+            self.metrics.record_stall()
+            return
+        if self.preemptive:
+            # Pre-emption: the arbiter is consulted every cycle; any
+            # in-progress burst yields to the new winner.
+            self._burst = None
+        if self._burst is None:
+            self._arbitrate(cycle)
+            if self._burst is None:
+                self.metrics.record_idle()
+                return
+            if self._stall > 0:
+                self._stall -= 1
+                self.metrics.record_stall()
+                return
+        self._transfer_word(cycle)
+
+    def _arbitrate(self, cycle):
+        pending = self.pending_words(cycle)
+        grant = self.arbiter.arbitrate(cycle, pending)
+        if grant is None:
+            return
+        if grant.master >= len(self.masters):
+            raise BusProtocolError(
+                "arbiter granted nonexistent master {}".format(grant.master)
+            )
+        if pending[grant.master] == 0:
+            raise BusProtocolError(
+                "arbiter granted idle master {} at cycle {}".format(
+                    grant.master, cycle
+                )
+            )
+        master = self.masters[grant.master]
+        request = master.head()
+        burst = min(request.remaining, self.max_burst)
+        if grant.max_words is not None:
+            burst = min(burst, grant.max_words)
+        if self.preemptive:
+            burst = 1
+        slave = self.slaves[request.slave]
+        if request.first_grant_cycle is None:
+            request.first_grant_cycle = cycle
+        setup = 0 if request.setup_done else slave.begin_burst()
+        if self.split_transactions and setup > 0:
+            # Post the address phase and release the bus: the slave
+            # performs its setup off-bus while others transfer; the
+            # request re-competes once ready.
+            request.setup_done = True
+            request.parked_until = cycle + setup
+            self.metrics.record_grant(grant.master)
+            return
+        self._burst = _ActiveBurst(request, burst, slave)
+        self._stall = self.arbitration_cycles + setup
+        self.metrics.record_grant(grant.master)
+
+    def _transfer_word(self, cycle):
+        burst = self._burst
+        request = burst.request
+        request.remaining -= 1
+        burst.words_left -= 1
+        request.account_word(cycle)
+        self.metrics.record_word(request.master)
+        self._stall = burst.slave.serve_word()
+        if request.complete:
+            request.completion_cycle = cycle
+            self.masters[request.master].pop()
+            self.metrics.record_completion(request)
+            for hook in self._completion_hooks:
+                hook(request, cycle)
+            self._burst = None
+        elif burst.words_left == 0:
+            self._burst = None

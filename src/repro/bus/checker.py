@@ -1,0 +1,101 @@
+"""Run-time protocol checkers for bus systems.
+
+Attach a :class:`BusChecker` to any :class:`~repro.bus.bus.SharedBus`
+(via :meth:`~repro.bus.topology.BusSystem.add_monitor`, so it ticks
+after the bus) and it continuously asserts system invariants while the
+simulation runs:
+
+* **conservation** — words carried never exceed elapsed cycles, and the
+  busy/idle/stall cycle accounts always sum to the observed cycles;
+* **progress** (starvation watchdog) — no master sits with a pending
+  request for more than ``starvation_bound`` cycles without moving a
+  word.  For LOTTERYBUS the paper's Section 4.2 argument says waits are
+  geometrically bounded; the watchdog turns that claim into a checked
+  invariant;
+* **latency sanity** — completed requests never report sub-physical
+  latency (below one cycle per word).
+
+Violations raise :class:`CheckerViolation` at the offending cycle, so a
+failing invariant stops the run right where it broke.
+"""
+
+from repro.sim.component import Component
+
+
+class CheckerViolation(AssertionError):
+    """An invariant failed during simulation."""
+
+
+class BusChecker(Component):
+    """Continuously validated invariants over one bus.
+
+    :param bus: the bus to observe.
+    :param starvation_bound: max cycles a master may wait with a pending
+        request and no word movement before the watchdog trips
+        (``None`` disables the watchdog).
+    """
+
+    def __init__(self, name, bus, starvation_bound=10_000):
+        super().__init__(name)
+        if starvation_bound is not None and starvation_bound < 1:
+            raise ValueError("starvation_bound must be >= 1 when given")
+        self.bus = bus
+        self.starvation_bound = starvation_bound
+        self.checks_performed = 0
+        self.worst_wait = 0
+        self._last_progress = [0] * len(bus.masters)
+        self._last_words = [0] * len(bus.masters)
+        bus.add_completion_hook(self._on_completion)
+
+    def reset(self):
+        self.checks_performed = 0
+        self.worst_wait = 0
+        self._last_progress = [0] * len(self.bus.masters)
+        self._last_words = [0] * len(self.bus.masters)
+
+    def _on_completion(self, request, cycle):
+        if request.completion_cycle - request.arrival_cycle + 1 < request.words:
+            raise CheckerViolation(
+                "{}: request {!r} completed faster than one word/cycle".format(
+                    self.name, request
+                )
+            )
+
+    def tick(self, cycle):
+        self.checks_performed += 1
+        metrics = self.bus.metrics
+        if metrics.busy_cycles > metrics.cycles:
+            raise CheckerViolation(
+                "{}: more words than cycles at cycle {}".format(self.name, cycle)
+            )
+        accounted = (
+            metrics.busy_cycles + metrics.idle_cycles + metrics.stall_cycles
+        )
+        if accounted != metrics.cycles:
+            raise CheckerViolation(
+                "{}: cycle accounting leak at cycle {} "
+                "({} busy + {} idle + {} stall != {} cycles)".format(
+                    self.name,
+                    cycle,
+                    metrics.busy_cycles,
+                    metrics.idle_cycles,
+                    metrics.stall_cycles,
+                    metrics.cycles,
+                )
+            )
+        if self.starvation_bound is None:
+            return
+        for master_id, interface in enumerate(self.bus.masters):
+            words = metrics.masters[master_id].words
+            if words != self._last_words[master_id] or not interface.has_request:
+                self._last_words[master_id] = words
+                self._last_progress[master_id] = cycle
+                continue
+            wait = cycle - self._last_progress[master_id]
+            self.worst_wait = max(self.worst_wait, wait)
+            if wait > self.starvation_bound:
+                raise CheckerViolation(
+                    "{}: master {} starved for {} cycles at cycle {}".format(
+                        self.name, master_id, wait, cycle
+                    )
+                )

@@ -1,0 +1,72 @@
+"""Master-side bus interface."""
+
+from collections import deque
+
+from repro.bus.transaction import Request
+from repro.sim.component import Component
+
+
+class MasterInterface(Component):
+    """Queues a master's outstanding transactions toward one bus.
+
+    Traffic generators (or application components such as ATM ports)
+    call :meth:`submit`; the bus pulls words from the head request when
+    the arbiter grants this master.
+    """
+
+    def __init__(self, name, master_id, max_queue=None):
+        super().__init__(name)
+        self.master_id = master_id
+        self.max_queue = max_queue
+        self._queue = deque()
+        self.submitted_requests = 0
+        self.rejected_requests = 0
+
+    def reset(self):
+        self._queue.clear()
+        self.submitted_requests = 0
+        self.rejected_requests = 0
+
+    def submit(self, words, cycle, slave=0, tag=None, flow=None):
+        """Enqueue a new transaction; returns the Request or None if full."""
+        if self.max_queue is not None and len(self._queue) >= self.max_queue:
+            self.rejected_requests += 1
+            return None
+        request = Request(
+            self.master_id, words, cycle, slave=slave, tag=tag, flow=flow
+        )
+        self._queue.append(request)
+        self.submitted_requests += 1
+        return request
+
+    @property
+    def has_request(self):
+        """True if any transaction is outstanding."""
+        return bool(self._queue)
+
+    @property
+    def queue_depth(self):
+        """Number of outstanding transactions."""
+        return len(self._queue)
+
+    @property
+    def pending_words(self):
+        """Words remaining in the head transaction (0 if idle).
+
+        This is what the arbiter sees as the request line plus transfer
+        size: the head of the queue defines the next burst negotiation.
+        """
+        return self._queue[0].remaining if self._queue else 0
+
+    @property
+    def backlog_words(self):
+        """Total words outstanding across all queued transactions."""
+        return sum(request.remaining for request in self._queue)
+
+    def head(self):
+        """The head request; raises IndexError when idle."""
+        return self._queue[0]
+
+    def pop(self):
+        """Remove and return the (completed) head request."""
+        return self._queue.popleft()

@@ -1,0 +1,243 @@
+"""Multi-channel communication-architecture networks.
+
+Section 4.1: "the components may be interconnected by an arbitrary
+network of shared channels or by a flat system-wide bus".  This module
+builds such networks declaratively: named channels, named endpoints,
+and bridges; each channel gets its own arbiter (e.g. its own lottery
+manager), and transactions addressed to endpoints on other channels are
+routed through bridges automatically.
+
+Routing is static shortest-path over the channel graph, precomputed at
+build time.  A cross-channel transaction is issued to the local bridge
+with a :class:`~repro.bus.bridge.BridgeTag` chain describing the rest
+of its route, so multi-hop paths work without any dynamic lookup.
+"""
+
+from repro.bus.bridge import Bridge, BridgeTag
+from repro.bus.bus import SharedBus
+from repro.bus.master import MasterInterface
+from repro.bus.slave import Slave
+from repro.bus.topology import BusSystem
+
+
+class NetworkError(ValueError):
+    """A malformed network description or unroutable address."""
+
+
+class _Channel:
+    def __init__(self, name, arbiter_factory, max_burst):
+        self.name = name
+        self.arbiter_factory = arbiter_factory
+        self.max_burst = max_burst
+        self.master_names = []
+        self.slave_names = []
+        self.bus = None
+
+
+class BusNetwork:
+    """Builder for an arbitrary network of shared channels.
+
+    Usage::
+
+        net = BusNetwork()
+        net.add_channel("sys", lambda n: StaticLotteryArbiter(tickets=[2, 1][:n] or ...))
+        net.add_channel("periph", make_arbiter_factory)
+        net.add_master("cpu", "sys")
+        net.add_slave("sram", "sys")
+        net.add_slave("uart", "periph")
+        net.add_bridge("sys", "periph")
+        system = net.build()
+        net.submit("cpu", "uart", words=8, cycle=0)
+
+    Arbiter factories receive the channel's final master count.
+    """
+
+    def __init__(self):
+        self._channels = {}
+        self._masters = {}  # name -> channel
+        self._slaves = {}  # name -> channel
+        self._bridges = []  # (from_channel, to_channel)
+        self._interfaces = {}
+        self._slave_ids = {}
+        self._built = False
+        self.system = None
+
+    def add_channel(self, name, arbiter_factory, max_burst=16):
+        if self._built:
+            raise NetworkError("network already built")
+        if name in self._channels:
+            raise NetworkError("duplicate channel {!r}".format(name))
+        self._channels[name] = _Channel(name, arbiter_factory, max_burst)
+        return name
+
+    def _check_channel(self, channel):
+        if channel not in self._channels:
+            raise NetworkError("unknown channel {!r}".format(channel))
+
+    def _check_endpoint_name(self, name):
+        if name in self._masters or name in self._slaves:
+            raise NetworkError("duplicate endpoint {!r}".format(name))
+
+    def add_master(self, name, channel):
+        """A component that initiates transactions on ``channel``."""
+        if self._built:
+            raise NetworkError("network already built")
+        self._check_channel(channel)
+        self._check_endpoint_name(name)
+        self._masters[name] = channel
+        self._channels[channel].master_names.append(name)
+        return name
+
+    def add_slave(self, name, channel, **slave_kwargs):
+        """A responder on ``channel`` (memory, peripheral...)."""
+        if self._built:
+            raise NetworkError("network already built")
+        self._check_channel(channel)
+        self._check_endpoint_name(name)
+        self._slaves[name] = (channel, slave_kwargs)
+        self._channels[channel].slave_names.append(name)
+        return name
+
+    def add_bridge(self, from_channel, to_channel, forwarding_delay=1):
+        """A unidirectional bridge carrying traffic from -> to.
+
+        Add one in each direction for full duplex connectivity.
+        """
+        if self._built:
+            raise NetworkError("network already built")
+        self._check_channel(from_channel)
+        self._check_channel(to_channel)
+        if from_channel == to_channel:
+            raise NetworkError("bridge endpoints must differ")
+        bridge_name = "bridge:{}->{}".format(from_channel, to_channel)
+        # The bridge is a slave on the near channel, a master on the far.
+        self._slaves[bridge_name] = (from_channel, {"_bridge": to_channel,
+                                                    "_delay": forwarding_delay})
+        self._channels[from_channel].slave_names.append(bridge_name)
+        self._masters[bridge_name] = to_channel
+        self._channels[to_channel].master_names.append(bridge_name)
+        self._bridges.append((from_channel, to_channel, bridge_name))
+        return bridge_name
+
+    # -- routing ---------------------------------------------------------
+
+    def _next_hops(self):
+        """Adjacency: channel -> {neighbor_channel: bridge_name}."""
+        adjacency = {name: {} for name in self._channels}
+        for from_channel, to_channel, bridge_name in self._bridges:
+            adjacency[from_channel].setdefault(to_channel, bridge_name)
+        return adjacency
+
+    def route(self, from_channel, to_channel):
+        """Bridge names along the shortest path between two channels."""
+        if from_channel == to_channel:
+            return []
+        adjacency = self._next_hops()
+        frontier = [(from_channel, [])]
+        seen = {from_channel}
+        while frontier:
+            channel, path = frontier.pop(0)
+            for neighbor, bridge_name in adjacency[channel].items():
+                if neighbor in seen:
+                    continue
+                next_path = path + [bridge_name]
+                if neighbor == to_channel:
+                    return next_path
+                seen.add(neighbor)
+                frontier.append((neighbor, next_path))
+        raise NetworkError(
+            "no route from channel {!r} to {!r}".format(from_channel, to_channel)
+        )
+
+    # -- build -----------------------------------------------------------
+
+    def build(self):
+        """Instantiate buses, interfaces and bridges; returns a BusSystem."""
+        if self._built:
+            raise NetworkError("network already built")
+        self.system = BusSystem()
+        bridge_objects = {}
+
+        # Interfaces and slave ids per channel.
+        for channel in self._channels.values():
+            for master_id, name in enumerate(channel.master_names):
+                self._interfaces[name] = MasterInterface(
+                    "{}.{}".format(channel.name, name), master_id
+                )
+            for slave_id, name in enumerate(channel.slave_names):
+                self._slave_ids[name] = slave_id
+
+        # Slaves (plain and bridges), then buses.
+        for channel in self._channels.values():
+            slaves = []
+            for name in channel.slave_names:
+                _, kwargs = self._slaves[name]
+                if "_bridge" in kwargs:
+                    bridge = Bridge(
+                        name,
+                        self._slave_ids[name],
+                        far_master=self._interfaces[name],
+                        forwarding_delay=kwargs["_delay"],
+                    )
+                    bridge_objects[name] = bridge
+                    slaves.append(bridge)
+                else:
+                    slaves.append(Slave(name, self._slave_ids[name], **kwargs))
+            channel.bus = SharedBus(
+                channel.name,
+                [self._interfaces[n] for n in channel.master_names],
+                channel.arbiter_factory(len(channel.master_names)),
+                slaves=slaves,
+                max_burst=channel.max_burst,
+            )
+            self.system.add_bus(channel.bus)
+
+        for from_channel, _, bridge_name in self._bridges:
+            bridge_objects[bridge_name].attach(self._channels[from_channel].bus)
+            self.system.add_generator(bridge_objects[bridge_name])
+
+        self._built = True
+        return self.system
+
+    def bus(self, channel):
+        """The SharedBus of a channel (after build)."""
+        self._check_channel(channel)
+        if not self._built:
+            raise NetworkError("network not built yet")
+        return self._channels[channel].bus
+
+    def interface(self, master_name):
+        """A master's bus interface (after build)."""
+        if master_name not in self._interfaces:
+            raise NetworkError("unknown master {!r}".format(master_name))
+        return self._interfaces[master_name]
+
+    def submit(self, master_name, slave_name, words, cycle, tag=None):
+        """Issue a transaction, routing across bridges if needed."""
+        if not self._built:
+            raise NetworkError("network not built yet")
+        if master_name not in self._masters:
+            raise NetworkError("unknown master {!r}".format(master_name))
+        if slave_name not in self._slaves or "_bridge" in self._slaves[slave_name][1]:
+            raise NetworkError("unknown slave {!r}".format(slave_name))
+        source = self._masters[master_name]
+        target = self._slaves[slave_name][0]
+        hops = self.route(source, target)
+        final_slave_id = self._slave_ids[slave_name]
+        if not hops:
+            return self._interfaces[master_name].submit(
+                words, cycle, slave=final_slave_id, tag=tag
+            )
+        # Build the tag chain inside-out: the last hop delivers to the
+        # final slave; earlier hops deliver to the next bridge.
+        chained = tag
+        remote = final_slave_id
+        for bridge_name in reversed(hops[1:]):
+            chained = BridgeTag(remote, payload=chained)
+            remote = self._slave_ids[bridge_name]
+        return self._interfaces[master_name].submit(
+            words,
+            cycle,
+            slave=self._slave_ids[hops[0]],
+            tag=BridgeTag(remote, payload=chained),
+        )

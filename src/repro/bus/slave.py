@@ -1,0 +1,40 @@
+"""Slave-side bus models."""
+
+from repro.sim.component import Component
+
+
+class Slave(Component):
+    """A bus slave (e.g. an on-chip memory).
+
+    Slaves never initiate transactions; their only performance-visible
+    behaviour is access timing:
+
+    :param setup_wait_states: bus cycles the slave holds the bus before
+        the first word of a burst moves (e.g. memory row activation).
+    :param per_word_wait_states: extra cycles between consecutive words
+        of a burst (0 means one word per cycle, the paper's model).
+    """
+
+    def __init__(self, name, slave_id, setup_wait_states=0, per_word_wait_states=0):
+        super().__init__(name)
+        if setup_wait_states < 0 or per_word_wait_states < 0:
+            raise ValueError("wait states must be non-negative")
+        self.slave_id = slave_id
+        self.setup_wait_states = setup_wait_states
+        self.per_word_wait_states = per_word_wait_states
+        self.words_served = 0
+        self.bursts_served = 0
+
+    def reset(self):
+        self.words_served = 0
+        self.bursts_served = 0
+
+    def begin_burst(self):
+        """Called by the bus when a burst to this slave starts."""
+        self.bursts_served += 1
+        return self.setup_wait_states
+
+    def serve_word(self):
+        """Called by the bus per word moved; returns trailing wait states."""
+        self.words_served += 1
+        return self.per_word_wait_states

@@ -1,0 +1,112 @@
+"""Helpers for assembling bus systems.
+
+A :class:`BusSystem` bundles a simulator with the buses, masters, slaves
+and generators it drives, registering everything in dataflow order
+(generators, then application components, then buses) so a single
+``run(cycles)`` advances the whole SoC.
+"""
+
+from repro.bus.bus import SharedBus
+from repro.bus.master import MasterInterface
+from repro.bus.slave import Slave
+from repro.sim.kernel import Simulator
+
+
+class BusSystem:
+    """A simulator plus the communication fabric it drives."""
+
+    def __init__(self):
+        self.simulator = Simulator()
+        self.buses = []
+        self.generators = []
+        self.monitors = []
+        self._finalized = False
+
+    def add_generator(self, generator):
+        """Register a traffic source; ticked before any bus."""
+        if self._finalized:
+            raise RuntimeError("cannot add components after first run")
+        self.generators.append(generator)
+        return generator
+
+    def add_bus(self, bus):
+        """Register a bus; buses tick after all generators."""
+        if self._finalized:
+            raise RuntimeError("cannot add components after first run")
+        self.buses.append(bus)
+        return bus
+
+    def add_monitor(self, monitor):
+        """Register an observer (probe, checker); ticked after all buses."""
+        if self._finalized:
+            raise RuntimeError("cannot add components after first run")
+        self.monitors.append(monitor)
+        return monitor
+
+    def _finalize(self):
+        if self._finalized:
+            return
+        for generator in self.generators:
+            self.simulator.add(generator)
+        for bus in self.buses:
+            self.simulator.add(bus)
+        for monitor in self.monitors:
+            self.simulator.add(monitor)
+        self._finalized = True
+
+    def run(self, cycles):
+        """Advance the whole system by ``cycles`` bus cycles."""
+        self._finalize()
+        return self.simulator.run(cycles)
+
+    def reset(self):
+        self._finalize()
+        self.simulator.reset()
+
+    @property
+    def metrics(self):
+        """Metrics of the first (usually only) bus."""
+        return self.buses[0].metrics
+
+
+def build_single_bus_system(
+    num_masters,
+    arbiter,
+    generator_factory=None,
+    max_burst=16,
+    arbitration_cycles=0,
+    num_slaves=1,
+    name="bus",
+):
+    """Build the canonical single-shared-bus system (Figure 3 / Figure 11).
+
+    :param num_masters: number of bus masters.
+    :param arbiter: the arbiter instance to install.
+    :param generator_factory: optional callable
+        ``(master_id, master_interface) -> Component`` creating a traffic
+        source per master; sources are ticked before the bus.
+    :param max_burst: maximum burst transfer size in words.
+    :param arbitration_cycles: non-pipelined arbitration penalty.
+    :param num_slaves: number of slaves (default a single shared memory).
+    :returns: (BusSystem, SharedBus).
+    """
+    if num_masters < 1:
+        raise ValueError("need at least one master")
+    system = BusSystem()
+    masters = [
+        MasterInterface("{}.m{}".format(name, i), i) for i in range(num_masters)
+    ]
+    slaves = [Slave("{}.s{}".format(name, j), j) for j in range(num_slaves)]
+    bus = SharedBus(
+        name,
+        masters,
+        arbiter,
+        slaves=slaves,
+        max_burst=max_burst,
+        arbitration_cycles=arbitration_cycles,
+    )
+    if generator_factory is not None:
+        for index, master in enumerate(masters):
+            system.add_generator(generator_factory(index, master))
+    system.add_bus(bus)
+    return system, bus

@@ -1,0 +1,159 @@
+"""Bus transaction records.
+
+A :class:`Request` is one communication transaction: a master asking to
+move ``words`` bus words to/from a slave.  A :class:`Grant` is the
+arbiter's decision for one arbitration round.
+"""
+
+
+class Request:
+    """A pending (or completed) bus transaction.
+
+    :param master: index of the issuing master on its bus.
+    :param words: total words to transfer (must be >= 1).
+    :param arrival_cycle: cycle at which the request became visible to
+        the arbiter.
+    :param slave: index of the target slave on the bus (default 0).
+    :param tag: opaque caller data (e.g. an ATM cell), carried through to
+        completion callbacks.
+    :param flow: optional data-flow label; flow-aware arbiters allocate
+        bandwidth per flow rather than per master (see
+        :mod:`repro.core.flows`).
+    """
+
+    __slots__ = (
+        "master",
+        "words",
+        "arrival_cycle",
+        "slave",
+        "tag",
+        "flow",
+        "parked_until",
+        "setup_done",
+        "remaining",
+        "first_grant_cycle",
+        "completion_cycle",
+        "last_word_cycle",
+        "word_latency_total",
+    )
+
+    def __init__(self, master, words, arrival_cycle, slave=0, tag=None,
+                 flow=None):
+        if words < 1:
+            raise ValueError("a request must carry at least one word")
+        if master < 0:
+            raise ValueError("master index must be non-negative")
+        if arrival_cycle < 0:
+            raise ValueError("arrival cycle must be non-negative")
+        self.master = master
+        self.words = words
+        self.arrival_cycle = arrival_cycle
+        self.slave = slave
+        self.tag = tag
+        self.flow = flow
+        self.remaining = words
+        self.first_grant_cycle = None
+        self.completion_cycle = None
+        self.last_word_cycle = None
+        self.word_latency_total = 0
+        # Split-transaction state: while parked the request is invisible
+        # to arbitration (the slave is performing its setup off-bus).
+        self.parked_until = None
+        self.setup_done = False
+
+    def account_word(self, cycle):
+        """Record one word moving at ``cycle`` (called by the bus).
+
+        Accumulates the *word-stretch* latency: each word is charged the
+        cycles since it became ready (the message's arrival for the
+        first word, the cycle after the previous word for the rest).
+        Back-to-back service from arrival scores exactly 1.0 per word;
+        slot-interleaved service charges every inter-word gap.
+        """
+        if self.last_word_cycle is None:
+            ready = self.arrival_cycle
+        else:
+            ready = self.last_word_cycle + 1
+        self.word_latency_total += cycle - ready + 1
+        self.last_word_cycle = cycle
+
+    @property
+    def complete(self):
+        """True once every word has been transferred."""
+        return self.remaining == 0
+
+    @property
+    def latency_cycles(self):
+        """Total cycles from arrival to last word, inclusive.
+
+        Only meaningful once the request is complete; a request whose
+        first word moves on its arrival cycle and which carries ``w``
+        words back-to-back has latency exactly ``w``.
+        """
+        if self.completion_cycle is None:
+            raise ValueError("request has not completed")
+        return self.completion_cycle - self.arrival_cycle + 1
+
+    @property
+    def latency_per_word(self):
+        """Message-normalized cycles per word: in-flight cycles / words."""
+        return self.latency_cycles / self.words
+
+    @property
+    def word_latency_per_word(self):
+        """Word-stretch cycles per word (see :meth:`account_word`).
+
+        This is the reproduction's reading of the paper's "average number
+        of bus cycles spent in transferring a bus word including both
+        waiting time and data transfer time": every word is charged its
+        own wait, so slot-interleaved (TDMA) service is visibly more
+        expensive than burst (lottery) service.
+        """
+        return self.word_latency_total / self.words
+
+    @property
+    def wait_cycles(self):
+        """Cycles spent waiting before the first word moved."""
+        if self.first_grant_cycle is None:
+            raise ValueError("request has not been granted")
+        return self.first_grant_cycle - self.arrival_cycle
+
+    def __repr__(self):
+        return (
+            "Request(master={}, words={}, arrival={}, remaining={})".format(
+                self.master, self.words, self.arrival_cycle, self.remaining
+            )
+        )
+
+
+class Grant:
+    """An arbitration decision.
+
+    :param master: index of the winning master.
+    :param max_words: optional cap on the number of words this grant may
+        move before re-arbitration (the TDMA arbiter grants single-word
+        slots); ``None`` defers to the bus's maximum burst size.
+    """
+
+    __slots__ = ("master", "max_words")
+
+    def __init__(self, master, max_words=None):
+        if master < 0:
+            raise ValueError("master index must be non-negative")
+        if max_words is not None and max_words < 1:
+            raise ValueError("max_words must be >= 1 when given")
+        self.master = master
+        self.max_words = max_words
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Grant)
+            and self.master == other.master
+            and self.max_words == other.max_words
+        )
+
+    def __hash__(self):
+        return hash((self.master, self.max_words))
+
+    def __repr__(self):
+        return "Grant(master={}, max_words={})".format(self.master, self.max_words)

@@ -1,0 +1,72 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Examples::
+
+    lotterybus list
+    lotterybus table1
+    lotterybus figure12a --scale 0.25 --seed 7
+    lotterybus all --scale 0.1
+    python -m repro figure5
+"""
+
+import argparse
+import sys
+
+from repro.experiments.runner import (
+    experiment_names,
+    format_full_report,
+    run_all,
+    run_experiment,
+)
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="lotterybus",
+        description="LOTTERYBUS (DAC 2001) reproduction experiment runner",
+    )
+    parser.add_argument(
+        "experiment",
+        help='an experiment id, "all", or "list"',
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="scale simulation cycle counts (default 1.0 = paper-length runs)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="root RNG seed (default 1)"
+    )
+    parser.add_argument(
+        "--output",
+        help="also write the report to this file",
+    )
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        report = "\n".join(experiment_names())
+    elif args.experiment == "all":
+        results = run_all(scale=args.scale, seed=args.seed)
+        report = format_full_report(results)
+    else:
+        try:
+            result = run_experiment(
+                args.experiment, scale=args.scale, seed=args.seed
+            )
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        report = result.format_report()
+    print(report)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

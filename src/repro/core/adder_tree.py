@@ -1,0 +1,84 @@
+"""The dynamic lottery manager's partial-sum datapath (Section 4.4).
+
+With dynamically assigned tickets the ranges cannot be precomputed, so
+each lottery computes, for every master ``i``, the prefix sum
+``sum_{j<=i} r_j * t_j``.  In hardware this is a bitwise AND of each
+ticket word with its request line feeding a tree of adders; this module
+computes the same values and also reports the tree's gate-level shape so
+the hardware model can cost it.
+"""
+
+
+def masked_tickets(request_map, tickets):
+    """The bitwise-AND stage: ``r_i * t_i`` per master."""
+    if len(request_map) != len(tickets):
+        raise ValueError("request map and tickets must have equal length")
+    return [t if r else 0 for r, t in zip(request_map, tickets)]
+
+
+def prefix_sums(values):
+    """All prefix sums of ``values`` (the comparator thresholds)."""
+    sums = []
+    running = 0
+    for value in values:
+        running += value
+        sums.append(running)
+    return sums
+
+
+class AdderTree:
+    """A prefix-sum adder network over ``n`` masked ticket inputs.
+
+    Models a Sklansky parallel-prefix adder network, which computes all
+    ``n`` prefix sums in ``ceil(log2 n)`` adder levels — the paper's
+    "tree of adders".
+
+    :param num_inputs: number of masters.
+    :param word_bits: width of each ticket word in bits.
+    """
+
+    def __init__(self, num_inputs, word_bits):
+        if num_inputs < 1:
+            raise ValueError("need at least one input")
+        if word_bits < 1:
+            raise ValueError("word width must be positive")
+        self.num_inputs = num_inputs
+        self.word_bits = word_bits
+
+    def compute(self, request_map, tickets):
+        """Masked prefix sums — the values the real tree would produce."""
+        return prefix_sums(masked_tickets(request_map, tickets))
+
+    @property
+    def depth(self):
+        """Adder levels on the critical path: ``ceil(log2 n)``."""
+        levels = 0
+        span = 1
+        while span < self.num_inputs:
+            span <<= 1
+            levels += 1
+        return levels
+
+    @property
+    def adder_count(self):
+        """Adders in a Sklansky prefix network of this width."""
+        count = 0
+        n = self.num_inputs
+        span = 1
+        while span < n:
+            # At each level, inputs whose index has the current span bit
+            # set receive one adder.
+            count += sum(1 for i in range(n) if i & span)
+            span <<= 1
+        return count
+
+    @property
+    def result_bits(self):
+        """Width of the final total: word bits plus carry growth."""
+        growth = max(1, (self.num_inputs).bit_length() - 1)
+        return self.word_bits + growth
+
+    def __repr__(self):
+        return "AdderTree(inputs={}, word_bits={}, depth={})".format(
+            self.num_inputs, self.word_bits, self.depth
+        )

@@ -1,0 +1,108 @@
+"""Communication energy estimation (extension).
+
+The paper's introduction motivates communication architecture design
+partly by power: "the delay and power in global interconnect is known
+to be an increasing bottleneck".  The evaluation itself reports no
+energy numbers, so this module is an extension: a first-order energy
+model over the same gate-level inventory as
+:mod:`repro.core.hardware_model`, letting the benchmarks compare the
+*arbitration energy overhead* of the candidate architectures.
+
+Model (standard CV^2-style accounting at a 0.35 um operating point):
+
+* every bus word moved costs ``wire_pj_per_word`` (driving the shared
+  wires dominates);
+* every arbitration round costs the arbiter
+  ``activity x gates x gate_pj`` (switching in the manager datapath);
+* every cycle costs the arbiter ``gates x leak_pj`` of static/clock
+  power.
+
+All constants are exposed so users can re-derive them for their own
+process.
+"""
+
+
+class EnergyTechnology:
+    """Energy constants for the estimate (0.35 um-flavoured defaults)."""
+
+    def __init__(
+        self,
+        wire_pj_per_word=12.0,
+        gate_pj_per_switch=0.012,
+        leak_pj_per_gate_cycle=0.0004,
+        activity=0.25,
+        name="nec-0.35um-energy",
+    ):
+        for value in (wire_pj_per_word, gate_pj_per_switch,
+                      leak_pj_per_gate_cycle, activity):
+            if value <= 0:
+                raise ValueError("energy constants must be positive")
+        self.wire_pj_per_word = wire_pj_per_word
+        self.gate_pj_per_switch = gate_pj_per_switch
+        self.leak_pj_per_gate_cycle = leak_pj_per_gate_cycle
+        self.activity = activity
+        self.name = name
+
+
+class EnergyBreakdown:
+    """Energy of one simulated run, split by source (picojoules)."""
+
+    def __init__(self, transfer_pj, arbitration_pj, static_pj, words, cycles):
+        self.transfer_pj = transfer_pj
+        self.arbitration_pj = arbitration_pj
+        self.static_pj = static_pj
+        self.words = words
+        self.cycles = cycles
+
+    @property
+    def total_pj(self):
+        return self.transfer_pj + self.arbitration_pj + self.static_pj
+
+    @property
+    def pj_per_word(self):
+        if self.words == 0:
+            return 0.0
+        return self.total_pj / self.words
+
+    @property
+    def arbitration_overhead(self):
+        """Fraction of total energy spent arbitrating (not moving data)."""
+        if self.total_pj == 0:
+            return 0.0
+        return (self.arbitration_pj + self.static_pj) / self.total_pj
+
+    def __repr__(self):
+        return (
+            "EnergyBreakdown(total={:.0f}pJ, per_word={:.2f}pJ, "
+            "arb_overhead={:.1%})".format(
+                self.total_pj, self.pj_per_word, self.arbitration_overhead
+            )
+        )
+
+
+def estimate_run_energy(metrics, hardware_estimate, technology=None,
+                        arbitrations=None):
+    """Energy of a completed run.
+
+    :param metrics: the bus's :class:`~repro.metrics.collector.MetricsCollector`.
+    :param hardware_estimate: the arbiter's
+        :class:`~repro.core.hardware_model.HardwareEstimate` (its gate
+        count drives arbitration and leakage energy).
+    :param technology: optional :class:`EnergyTechnology`.
+    :param arbitrations: arbitration rounds held; defaults to the total
+        grant count (correct for burst-granting arbiters; TDMA grants
+        per word, which the default also captures).
+    """
+    if technology is None:
+        technology = EnergyTechnology()
+    words = metrics.total_words
+    cycles = metrics.cycles
+    if arbitrations is None:
+        arbitrations = sum(stats.grants for stats in metrics.masters)
+    gates = hardware_estimate.gate_equivalents
+    transfer = words * technology.wire_pj_per_word
+    arbitration = (
+        arbitrations * technology.activity * gates * technology.gate_pj_per_switch
+    )
+    static = cycles * gates * technology.leak_pj_per_gate_cycle
+    return EnergyBreakdown(transfer, arbitration, static, words, cycles)

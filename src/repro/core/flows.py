@@ -1,0 +1,121 @@
+"""Per-data-flow lottery allocation.
+
+The paper's abstract promises control over "the fraction of
+communication bandwidth that each system component **or data flow**
+receives".  The component case is the ticket-per-master lottery; this
+module supplies the data-flow case: tickets are assigned to named
+flows, requests carry a flow label, and each lottery weighs the
+contending masters by the tickets of the flow at the head of their
+queue.  A master carrying different flows at different times receives
+bandwidth according to what it currently carries — e.g. a DMA engine
+whose real-time stream outranks its own bulk transfers.
+"""
+
+from repro.core.adder_tree import prefix_sums
+from repro.core.lfsr import LFSR
+from repro.core.lottery_manager import select_winner
+
+
+class FlowTicketTable:
+    """Named flows and their ticket holdings.
+
+    :param flows: mapping of flow name -> positive ticket count.
+    :param default_tickets: holding used for requests with an unknown or
+        absent flow label.
+    """
+
+    def __init__(self, flows, default_tickets=1):
+        if default_tickets < 1:
+            raise ValueError("default_tickets must be >= 1")
+        self._tickets = {}
+        for name, tickets in dict(flows).items():
+            if int(tickets) < 1:
+                raise ValueError(
+                    "flow {!r} must hold at least one ticket".format(name)
+                )
+            self._tickets[name] = int(tickets)
+        self.default_tickets = int(default_tickets)
+
+    def tickets_for(self, flow):
+        """Ticket holding of ``flow`` (the default for unknown flows)."""
+        return self._tickets.get(flow, self.default_tickets)
+
+    def flows(self):
+        return sorted(self._tickets)
+
+    def __contains__(self, flow):
+        return flow in self._tickets
+
+    def __repr__(self):
+        return "FlowTicketTable({})".format(self._tickets)
+
+
+class FlowLotteryManager:
+    """Holds lotteries weighted by head-of-queue flow tickets.
+
+    Unlike the per-master managers, the ticket vector is recomputed
+    every drawing from the flow labels the caller supplies.
+    """
+
+    def __init__(self, table, random_source=None, lfsr_seed=1):
+        self.table = table
+        if random_source is None:
+            random_source = LFSR(16, seed=lfsr_seed)
+        self.random_source = random_source
+        self.lotteries_held = 0
+
+    def reset(self):
+        if hasattr(self.random_source, "reset"):
+            self.random_source.reset()
+        self.lotteries_held = 0
+
+    def draw(self, flows):
+        """One lottery over per-master head flows.
+
+        :param flows: one entry per master — the head request's flow
+            label, or ``None`` when the master has no pending request.
+            (A pending request whose flow is unlabeled should be passed
+            as the empty string so it is distinguishable from idle.)
+        :returns: winning master index, or ``None`` with no requests.
+        """
+        masked = [
+            0 if flow is None else self.table.tickets_for(flow or None)
+            for flow in flows
+        ]
+        sums = prefix_sums(masked)
+        total = sums[-1] if sums else 0
+        if total == 0:
+            return None
+        self.lotteries_held += 1
+        value = self.random_source.draw_below(total)
+        return select_winner(value, sums)
+
+
+class FlowUsage:
+    """Per-flow word accounting over a bus's completion stream.
+
+    Attach with ``bus.add_completion_hook(usage.on_completion)`` (or let
+    :class:`~repro.arbiters.flow_lottery.FlowLotteryArbiter` do it) and
+    read back each flow's carried words and share.
+    """
+
+    def __init__(self):
+        self.words = {}
+        self.messages = {}
+
+    def on_completion(self, request, cycle):
+        flow = request.flow
+        self.words[flow] = self.words.get(flow, 0) + request.words
+        self.messages[flow] = self.messages.get(flow, 0) + 1
+
+    def total_words(self):
+        return sum(self.words.values())
+
+    def share(self, flow):
+        total = self.total_words()
+        if total == 0:
+            return 0.0
+        return self.words.get(flow, 0) / total
+
+    def shares(self):
+        return {flow: self.share(flow) for flow in self.words}

@@ -1,0 +1,71 @@
+"""The static lottery manager's precomputed range tables (Section 4.3).
+
+With statically assigned tickets, the cumulative ticket ranges for every
+possible subset of requesters can be precomputed: an ``n``-master bus has
+``2**n`` request maps, and for each map the table stores the ``n``
+partial sums ``sum_{k<=i} r_k * t_k``.  At run time the manager indexes
+the table with the request map and compares the random draw against the
+stored sums in parallel.
+"""
+
+from repro.core.tickets import TicketAssignment
+
+
+def request_map_to_index(request_map):
+    """Pack a request map into a table index, master 0 at bit 0."""
+    index = 0
+    for bit, pending in enumerate(request_map):
+        if pending:
+            index |= 1 << bit
+    return index
+
+
+def index_to_request_map(index, num_masters):
+    """Unpack a table index back into a list of booleans."""
+    return [(index >> bit) & 1 == 1 for bit in range(num_masters)]
+
+
+class LotteryLookupTable:
+    """Precomputed partial-sum table for one ticket assignment.
+
+    :param tickets: a :class:`TicketAssignment` (or plain sequence) of
+        the *scaled* holdings the hardware will use.
+    """
+
+    def __init__(self, tickets):
+        if not isinstance(tickets, TicketAssignment):
+            tickets = TicketAssignment(tickets)
+        self.tickets = tickets
+        n = tickets.num_masters
+        self.num_masters = n
+        self._rows = []
+        for index in range(1 << n):
+            request_map = index_to_request_map(index, n)
+            self._rows.append(tuple(tickets.partial_sums(request_map)))
+
+    def partial_sums(self, request_map):
+        """The stored partial sums for this request map."""
+        return self._rows[request_map_to_index(request_map)]
+
+    def total_for(self, request_map):
+        """Total contending tickets for this request map."""
+        return self._rows[request_map_to_index(request_map)][-1]
+
+    def rows(self):
+        """All (index, partial_sums) rows — useful for hardware dumps."""
+        return list(enumerate(self._rows))
+
+    @property
+    def entry_bits(self):
+        """Bits per stored partial sum (enough for the ticket total)."""
+        return max(1, (self.tickets.total).bit_length())
+
+    @property
+    def storage_bits(self):
+        """Total register-file bits the table occupies in hardware."""
+        return (1 << self.num_masters) * self.num_masters * self.entry_bits
+
+    def __repr__(self):
+        return "LotteryLookupTable(masters={}, total={})".format(
+            self.num_masters, self.tickets.total
+        )

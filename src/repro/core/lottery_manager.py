@@ -1,0 +1,249 @@
+"""The centralized lottery managers (Sections 4.2-4.4).
+
+Both managers resolve an arbitration round the same way:
+
+1. compute the contending-ticket partial sums for the current request map
+   (from a precomputed table in the static manager, from the AND/adder
+   tree in the dynamic one);
+2. draw a random number uniform over ``[0, T)`` where ``T`` is the
+   contending total;
+3. compare the draw against all partial sums in parallel and let a
+   priority selector pick the first master whose cumulative range
+   contains the draw.
+
+The random source is pluggable: an :class:`~repro.core.lfsr.LFSR` models
+the paper's hardware; a :class:`SoftwareRandomSource` gives ideal
+uniformity for the RNG ablation benchmark.
+
+A note on non-power-of-two contending totals: the paper scales the *full*
+ticket total to a power of two so the LFSR draw is directly usable, but
+when only a subset of masters contend, the subset total is arbitrary.
+The hardware has two realizable behaviours, both modelled here:
+
+* ``draw_policy="reduce"`` (default) — reduce the raw draw into
+  ``[0, T)`` (mask when T is a power of two, else modulo; the dynamic
+  manager's modulo hardware, always grants);
+* ``draw_policy="rejection"`` — use the raw draw as-is; if it falls
+  beyond every contending range, no comparator fires and the round
+  produces no grant (one idle cycle, retried next round).  This is what
+  bare comparator hardware without modulo does.
+"""
+
+from repro.core.adder_tree import AdderTree
+from repro.core.lfsr import LFSR
+from repro.core.lookup_table import LotteryLookupTable
+from repro.core.scaling import is_power_of_two, next_power_of_two, scale_to_power_of_two
+from repro.core.tickets import TicketAssignment
+
+_DRAW_POLICIES = ("reduce", "rejection")
+
+
+class SoftwareRandomSource:
+    """Ideal uniform source backed by a seeded software RNG."""
+
+    def __init__(self, stream):
+        self._stream = stream
+
+    def draw_below(self, bound):
+        return self._stream.randrange(bound)
+
+    def reset(self):
+        self._stream.reset()
+
+
+class LotteryOutcome:
+    """The result of one lottery drawing."""
+
+    __slots__ = ("winner", "draw", "total", "partial_sums")
+
+    def __init__(self, winner, draw, total, partial_sums):
+        self.winner = winner
+        self.draw = draw
+        self.total = total
+        self.partial_sums = tuple(partial_sums)
+
+    @property
+    def granted(self):
+        return self.winner is not None
+
+    def __repr__(self):
+        return "LotteryOutcome(winner={}, draw={}, total={})".format(
+            self.winner, self.draw, self.total
+        )
+
+
+def select_winner(draw, partial_sums):
+    """The comparator bank + priority selector.
+
+    Every comparator outputs 1 when ``draw < partial_sum``; the priority
+    selector grants the first asserted output.  Returns ``None`` when no
+    comparator fires (draw beyond the contending range).
+    """
+    for master, boundary in enumerate(partial_sums):
+        if draw < boundary:
+            return master
+    return None
+
+
+class StaticLotteryManager:
+    """Lottery manager with statically assigned tickets (Section 4.3).
+
+    :param tickets: requested holdings, one per master.
+    :param random_source: object with ``draw_below(bound)``; default is a
+        maximal LFSR sized to the scaled ticket total.
+    :param scale: scale holdings to a power-of-two total (paper default).
+    :param minimum_total: optional floor on the scaled total (power of
+        two) for finer ratio resolution.
+    :param draw_policy: ``"reduce"`` or ``"rejection"`` (see module doc).
+    :param lfsr_seed: seed for the default LFSR source.
+    """
+
+    def __init__(
+        self,
+        tickets,
+        random_source=None,
+        scale=True,
+        minimum_total=None,
+        draw_policy="reduce",
+        lfsr_seed=1,
+    ):
+        if draw_policy not in _DRAW_POLICIES:
+            raise ValueError("unknown draw policy {!r}".format(draw_policy))
+        requested = TicketAssignment(tickets)
+        self.requested_tickets = requested
+        if scale and not (
+            is_power_of_two(requested.total) and minimum_total is None
+        ):
+            scaled = scale_to_power_of_two(
+                requested.tickets, minimum_total=minimum_total
+            )
+        else:
+            scaled = list(requested.tickets)
+        self.tickets = TicketAssignment(scaled)
+        self.table = LotteryLookupTable(self.tickets)
+        self.draw_policy = draw_policy
+        if random_source is None:
+            # The register is 8 bits wider than the ticket index so the
+            # masked low bits are near-uniform: a maximal LFSR never
+            # emits the all-zero state, so a register exactly as wide as
+            # the ticket total would never draw 0 and master 0 would be
+            # visibly shortchanged.
+            width = min(32, (self.tickets.total - 1).bit_length() + 8)
+            random_source = LFSR(width, seed=lfsr_seed)
+        self.random_source = random_source
+        self.lotteries_held = 0
+        self.rejected_draws = 0
+
+    @property
+    def num_masters(self):
+        return self.tickets.num_masters
+
+    def reset(self):
+        if hasattr(self.random_source, "reset"):
+            self.random_source.reset()
+        self.lotteries_held = 0
+        self.rejected_draws = 0
+
+    def draw(self, request_map):
+        """Hold one lottery; returns a LotteryOutcome or None if no requests."""
+        partial_sums = self.table.partial_sums(request_map)
+        total = partial_sums[-1]
+        if total == 0:
+            return None
+        self.lotteries_held += 1
+        if self.draw_policy == "reduce":
+            value = self.random_source.draw_below(total)
+        else:
+            # Raw draw over the smallest power-of-two window covering the
+            # contending total; may miss every range.
+            window = next_power_of_two(total)
+            value = self.random_source.draw_below(window)
+        winner = select_winner(value, partial_sums)
+        if winner is None:
+            self.rejected_draws += 1
+        return LotteryOutcome(winner, value, total, partial_sums)
+
+
+class DynamicLotteryManager:
+    """Lottery manager with run-time ticket holdings (Section 4.4).
+
+    Masters update their holdings through :meth:`set_tickets`; each
+    lottery recomputes partial sums through the AND/adder-tree datapath
+    and reduces a fixed-width raw draw into the contending range with
+    modulo hardware.
+
+    :param initial_tickets: starting holdings, one per master.
+    :param random_source: object with ``draw_below(bound)``; default a
+        16-bit maximal LFSR (wide enough that modulo bias is < T/65535).
+    :param ticket_bits: width of each ticket input word; holdings are
+        clamped into ``[1, 2**ticket_bits - 1]``.
+    :param lfsr_seed: seed for the default LFSR source.
+    """
+
+    def __init__(
+        self,
+        initial_tickets,
+        random_source=None,
+        ticket_bits=8,
+        lfsr_seed=1,
+    ):
+        if ticket_bits < 1:
+            raise ValueError("ticket_bits must be positive")
+        initial = TicketAssignment(initial_tickets)
+        self.ticket_bits = ticket_bits
+        self.max_ticket = (1 << ticket_bits) - 1
+        self._tickets = [self._clamp(t) for t in initial.tickets]
+        self.adder_tree = AdderTree(len(self._tickets), ticket_bits)
+        if random_source is None:
+            random_source = LFSR(16, seed=lfsr_seed)
+        self.random_source = random_source
+        self.lotteries_held = 0
+        self.ticket_updates = 0
+        self._initial = list(self._tickets)
+
+    def _clamp(self, value):
+        value = int(value)
+        if value < 1:
+            raise ValueError("tickets must be positive")
+        return min(value, self.max_ticket)
+
+    @property
+    def num_masters(self):
+        return len(self._tickets)
+
+    @property
+    def tickets(self):
+        """Current holdings (read-only copy)."""
+        return tuple(self._tickets)
+
+    def set_tickets(self, master, count):
+        """A master communicates a new holding to the manager."""
+        self._tickets[master] = self._clamp(count)
+        self.ticket_updates += 1
+
+    def set_all_tickets(self, tickets):
+        """Replace every holding at once."""
+        if len(tickets) != len(self._tickets):
+            raise ValueError("wrong number of masters")
+        for master, count in enumerate(tickets):
+            self.set_tickets(master, count)
+
+    def reset(self):
+        self._tickets = list(self._initial)
+        if hasattr(self.random_source, "reset"):
+            self.random_source.reset()
+        self.lotteries_held = 0
+        self.ticket_updates = 0
+
+    def draw(self, request_map):
+        """Hold one lottery; returns a LotteryOutcome or None if no requests."""
+        if len(request_map) != len(self._tickets):
+            raise ValueError("request map size mismatch")
+        partial_sums = self.adder_tree.compute(request_map, self._tickets)
+        total = partial_sums[-1]
+        if total == 0:
+            return None
+        self.lotteries_held += 1
+        value = self.random_source.draw_below(total)
+        winner = select_winner(value, partial_sums)
+        return LotteryOutcome(winner, value, total, partial_sums)

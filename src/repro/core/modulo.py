@@ -1,0 +1,54 @@
+"""Range reduction of a raw random draw (Section 4.4's "modulo hardware").
+
+The dynamic manager must turn a raw ``k``-bit LFSR word into a value
+uniform over ``[0, T)`` where ``T`` is the run-time contending-ticket
+total.  Two reductions are modelled:
+
+* :func:`reduce_modulo` — the paper's modulo hardware: ``R mod T``.
+  Exactly the hardware behaviour, but biased toward small residues when
+  ``T`` does not divide the draw range; the bias is bounded by
+  ``T / 2**k`` and is negligible for a wide LFSR.
+* :func:`reduce_scale` — an alternative multiplicative reduction
+  ``(R * T) >> k`` (one multiplier, no divider), with the same bias
+  bound; provided for the ablation benchmark.
+"""
+
+
+def reduce_modulo(draw, total):
+    """``draw mod total`` — the paper's modulo hardware."""
+    if total < 1:
+        raise ValueError("total must be positive")
+    if draw < 0:
+        raise ValueError("draw must be non-negative")
+    return draw % total
+
+
+def reduce_scale(draw, total, draw_bits):
+    """Multiplicative range reduction: ``(draw * total) >> draw_bits``."""
+    if total < 1:
+        raise ValueError("total must be positive")
+    if draw < 0 or draw >= (1 << draw_bits):
+        raise ValueError("draw out of range for {} bits".format(draw_bits))
+    return (draw * total) >> draw_bits
+
+
+def modulo_bias(total, draw_bits):
+    """Worst-case probability excess of any residue under ``mod total``.
+
+    A uniform draw over ``[0, 2**k)`` reduced mod ``T`` gives residues
+    below ``2**k mod T`` one extra preimage; this returns the largest
+    absolute deviation of any residue's probability from ``1/T``.
+    """
+    if total < 1:
+        raise ValueError("total must be positive")
+    space = 1 << draw_bits
+    if total > space:
+        raise ValueError("total exceeds the draw space")
+    base = space // total
+    extra = space % total
+    if extra == 0:
+        return 0.0
+    prob_high = (base + 1) / space
+    prob_low = base / space
+    target = 1.0 / total
+    return max(prob_high - target, target - prob_low)

@@ -1,0 +1,96 @@
+"""Power-of-two ticket scaling (Section 4.3).
+
+The static lottery manager draws its random number from a maximal-length
+LFSR, which produces values uniform over ``[0, 2**k)``.  To use such a
+draw directly, the masters' ticket holdings are rescaled so their sum is
+a power of two, "taking care that the ratios of tickets held by the
+components are not significantly altered".
+
+The paper's example: holdings in ratio 1:2:4 (T = 7) scale to 5:9:18
+(T = 32).  That is exactly largest-remainder apportionment onto 32
+seats, which is what :func:`scale_to_power_of_two` implements.
+"""
+
+
+def next_power_of_two(value):
+    """Smallest power of two >= ``value`` (value must be positive)."""
+    if value < 1:
+        raise ValueError("value must be positive")
+    power = 1
+    while power < value:
+        power <<= 1
+    return power
+
+
+def is_power_of_two(value):
+    """True for 1, 2, 4, 8, ..."""
+    return value >= 1 and (value & (value - 1)) == 0
+
+
+def scale_to_power_of_two(tickets, minimum_total=None):
+    """Rescale ``tickets`` so the total is a power of two.
+
+    Uses largest-remainder (Hamilton) apportionment, then guarantees
+    every master keeps at least one ticket.
+
+    :param tickets: positive integer holdings, one per master.
+    :param minimum_total: optionally force the scaled total to be at
+        least this (must itself be a power of two); more total tickets
+        give finer ratio resolution at the cost of a wider LFSR.
+    :returns: list of scaled holdings whose sum is a power of two.
+    """
+    tickets = [int(t) for t in tickets]
+    if not tickets:
+        raise ValueError("need at least one master")
+    if any(t < 1 for t in tickets):
+        raise ValueError("tickets must be positive")
+    total = sum(tickets)
+    target = next_power_of_two(max(total, len(tickets)))
+    if minimum_total is not None:
+        if not is_power_of_two(minimum_total):
+            raise ValueError("minimum_total must be a power of two")
+        target = max(target, minimum_total)
+
+    floors = []
+    remainders = []
+    for t in tickets:
+        exact = t * target / total
+        floor = (t * target) // total
+        floors.append(int(floor))
+        remainders.append(exact - floor)
+
+    leftover = target - sum(floors)
+    # Hand out leftover seats to the largest fractional parts; ties break
+    # toward the earlier master, matching a fixed hardware priority.
+    order = sorted(range(len(tickets)), key=lambda i: (-remainders[i], i))
+    for i in order[:leftover]:
+        floors[i] += 1
+
+    # No master may end with zero tickets (it could never win a lottery);
+    # steal from the largest holder, which distorts ratios the least.
+    for i, value in enumerate(floors):
+        if value == 0:
+            donor = max(range(len(floors)), key=lambda j: floors[j])
+            if floors[donor] <= 1:
+                raise ValueError(
+                    "cannot scale {} masters into {} tickets".format(
+                        len(tickets), target
+                    )
+                )
+            floors[donor] -= 1
+            floors[i] = 1
+    return floors
+
+
+def scaling_error(tickets, scaled):
+    """Largest relative share distortion introduced by scaling."""
+    if len(tickets) != len(scaled):
+        raise ValueError("length mismatch")
+    total = sum(tickets)
+    scaled_total = sum(scaled)
+    worst = 0.0
+    for t, s in zip(tickets, scaled):
+        target = t / total
+        actual = s / scaled_total
+        worst = max(worst, abs(actual - target) / target)
+    return worst

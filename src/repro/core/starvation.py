@@ -1,0 +1,76 @@
+"""Analytic starvation and bandwidth model (Section 4.2).
+
+The paper's starvation argument: a component holding ``t`` of ``T``
+contending tickets wins any one lottery with probability ``t / T``, so
+the probability that it gains access within ``n`` drawings is
+``p = 1 - (1 - t/T)**n``, which converges to one geometrically — no
+component starves.
+"""
+
+import math
+
+
+def access_probability(tickets, total, drawings):
+    """``1 - (1 - t/T)**n``: probability of access within ``n`` drawings."""
+    _validate(tickets, total)
+    if drawings < 0:
+        raise ValueError("drawings must be non-negative")
+    return 1.0 - (1.0 - tickets / total) ** drawings
+
+
+def expected_drawings_to_access(tickets, total):
+    """Mean drawings until first win: ``T / t`` (geometric distribution)."""
+    _validate(tickets, total)
+    return total / tickets
+
+
+def drawings_for_confidence(tickets, total, confidence):
+    """Smallest ``n`` with ``access_probability >= confidence``."""
+    _validate(tickets, total)
+    if not 0.0 <= confidence < 1.0:
+        raise ValueError("confidence must lie in [0, 1)")
+    if confidence == 0.0:
+        return 0
+    ratio = tickets / total
+    if ratio >= 1.0:
+        return 1
+    return math.ceil(math.log(1.0 - confidence) / math.log(1.0 - ratio))
+
+
+def expected_bandwidth_shares(tickets):
+    """Expected long-run bandwidth division under saturation.
+
+    When every master always has pending requests, each lottery is drawn
+    over the full ticket total, so shares converge to ``t_i / T``.
+    """
+    total = sum(tickets)
+    if total <= 0 or any(t < 0 for t in tickets):
+        raise ValueError("tickets must be non-negative with positive sum")
+    return [t / total for t in tickets]
+
+
+def expected_wait_drawings(tickets, total):
+    """Mean drawings *before* the first win: ``T/t - 1``."""
+    return expected_drawings_to_access(tickets, total) - 1.0
+
+
+def expected_saturated_latency(tickets):
+    """Per-master cycles/word under closed-loop saturation: ``T / t_i``.
+
+    With every master permanently backlogged, any proportional-share
+    arbiter serves master ``i`` at rate ``t_i / T`` words per cycle, so
+    the long-run average latency per word is the reciprocal.  Holds for
+    the lottery (in expectation) and exactly for TDMA with slot counts
+    ``t_i``; validated against simulation in the test suite.
+    """
+    total = sum(tickets)
+    if total <= 0 or any(t <= 0 for t in tickets):
+        raise ValueError("tickets must be positive")
+    return [total / t for t in tickets]
+
+
+def _validate(tickets, total):
+    if total <= 0:
+        raise ValueError("total tickets must be positive")
+    if not 0 < tickets <= total:
+        raise ValueError("tickets must lie in (0, total]")

@@ -1,0 +1,63 @@
+"""Closed-form latency model for pure TDMA under locked alignment.
+
+The Figure 5 system is exactly solvable: ``n`` masters, a wheel of
+``n`` contiguous ``block``-slot reservations, every master issuing a
+``block``-word message once per revolution, each arriving ``phase``
+cycles after the start of its own block (the pattern period equals the
+wheel, so the alignment is locked).
+
+With no reclaim, master ``i`` is only served inside its own block, so:
+
+* ``0 < phase < block`` — the message catches the tail of its block:
+  ``block - phase`` words move immediately, the remaining ``phase``
+  words wait out the foreign stretch of ``period - block`` cycles, so
+  the message spans exactly one period: per-word latency
+  ``period / block`` (first-word wait 0).  ``phase == 0`` is the
+  aligned Trace 1: latency exactly 1 cycle/word.
+* ``block <= phase < period`` — the whole message waits
+  ``period - phase`` cycles for the block to come around, then moves
+  back-to-back: per-word latency ``(period - phase + block) / block``.
+
+These expressions are validated against simulation by the test suite
+(and visually by ``render_figure5_traces``).
+"""
+
+
+def _check(block, num_masters, phase):
+    if block < 1 or num_masters < 1:
+        raise ValueError("block and num_masters must be >= 1")
+    period = block * num_masters
+    if not 0 <= phase < period:
+        raise ValueError("phase must lie in [0, period)")
+    return period
+
+
+def pure_tdma_wait(phase, block, num_masters):
+    """First-word wait (cycles) for the locked Figure 5 pattern."""
+    period = _check(block, num_masters, phase)
+    if phase < block:
+        return 0
+    return period - phase
+
+
+def pure_tdma_latency_per_word(phase, block, num_masters):
+    """Per-word latency (cycles/word) for the locked Figure 5 pattern."""
+    period = _check(block, num_masters, phase)
+    if phase == 0:
+        return 1.0
+    if phase < block:
+        # (block - phase) words move immediately, then a
+        # (period - block) stall, then the last `phase` words: the
+        # message spans exactly one period.
+        return period / block
+    return (period - phase + block) / block
+
+
+def worst_case_phase(block, num_masters):
+    """The phase maximizing first-word wait: just after the block."""
+    return block
+
+
+def aligned_phase():
+    """The phase minimizing latency (Trace 1): block-aligned arrivals."""
+    return 0

@@ -1,0 +1,92 @@
+"""Lottery ticket assignments."""
+
+
+class TicketAssignment:
+    """An immutable assignment of lottery tickets to masters.
+
+    Tickets encode the designer's intent: a master holding ``t_i`` of
+    ``T`` total tickets should receive a ``t_i / T`` share of contended
+    bandwidth (Section 4.2).
+
+    :param tickets: one positive integer per master.
+    """
+
+    def __init__(self, tickets):
+        tickets = tuple(int(t) for t in tickets)
+        if not tickets:
+            raise ValueError("need at least one master")
+        if any(t < 1 for t in tickets):
+            raise ValueError("every master must hold at least one ticket")
+        self._tickets = tickets
+
+    @property
+    def tickets(self):
+        return self._tickets
+
+    @property
+    def num_masters(self):
+        return len(self._tickets)
+
+    @property
+    def total(self):
+        return sum(self._tickets)
+
+    def share(self, master):
+        """The bandwidth share this master is entitled to under contention."""
+        return self._tickets[master] / self.total
+
+    def shares(self):
+        total = self.total
+        return [t / total for t in self._tickets]
+
+    def contending_total(self, request_map):
+        """Total tickets held by masters whose request bit is set.
+
+        ``request_map`` is a sequence of truthy values, one per master —
+        the paper's ``sum_j r_j * t_j``.
+        """
+        self._check_map(request_map)
+        return sum(t for t, r in zip(self._tickets, request_map) if r)
+
+    def partial_sums(self, request_map):
+        """Cumulative contending-ticket boundaries, one per master.
+
+        Entry ``i`` is ``sum_{k<=i} r_k * t_k``; a draw strictly below
+        entry ``i`` (and not below entry ``i-1``) selects master ``i``.
+        """
+        self._check_map(request_map)
+        sums = []
+        running = 0
+        for t, r in zip(self._tickets, request_map):
+            if r:
+                running += t
+            sums.append(running)
+        return sums
+
+    def _check_map(self, request_map):
+        if len(request_map) != len(self._tickets):
+            raise ValueError(
+                "request map has {} entries for {} masters".format(
+                    len(request_map), len(self._tickets)
+                )
+            )
+
+    def __getitem__(self, master):
+        return self._tickets[master]
+
+    def __len__(self):
+        return len(self._tickets)
+
+    def __iter__(self):
+        return iter(self._tickets)
+
+    def __eq__(self, other):
+        if isinstance(other, TicketAssignment):
+            return self._tickets == other._tickets
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(self._tickets)
+
+    def __repr__(self):
+        return "TicketAssignment({})".format(list(self._tickets))

@@ -1,0 +1,16 @@
+"""Small analysis helpers for the Figure 12(a) benchmark."""
+
+from repro.traffic.classes import TRAFFIC_CLASSES
+
+
+def saturating_ratio_spread(result):
+    """Observed share ratios (min ticket = 1) per saturating class.
+
+    Returns {class_name: [r1, r2, r3, r4]} — the paper reports the mean
+    across classes as ~1.05 : 1.9 : 2.96 : 3.83 for tickets 1:2:3:4.
+    """
+    ratios = {}
+    for index, name in enumerate(result.class_names):
+        if TRAFFIC_CLASSES[name].saturating:
+            ratios[name] = [round(r, 2) for r in result.share_ratios(index)]
+    return ratios

@@ -1,0 +1,85 @@
+"""Figure 4: bandwidth sharing under the static priority architecture.
+
+Example 1 of the paper: four masters saturate the bus; for every one of
+the 24 possible priority assignments, measure the fraction of bus
+bandwidth each master receives.  The paper observes (i) a master's
+share is extremely sensitive to its priority (C1 ranges from under 1%
+to nearly the whole bus), and (ii) low-priority masters starve.
+"""
+
+from repro.arbiters.registry import make_arbiter
+from repro.bus.topology import build_single_bus_system
+from repro.experiments.system import permutation_label, weight_permutations
+from repro.metrics.report import format_table
+from repro.traffic.generator import PoissonGenerator
+from repro.traffic.message import UniformWords
+
+
+def _saturating_open_loop_factory(seed, rate=0.25, low=2, high=6):
+    """Each master individually offers ~1x the bus capacity.
+
+    Open-loop (rate-based) saturation rather than closed-loop, so the
+    top-priority master's share reflects its own request gaps and the
+    losers pick up fractions of a percent — the texture of Figure 4.
+    """
+    def make(master_id, interface):
+        return PoissonGenerator(
+            "fig4.gen{}".format(master_id),
+            interface,
+            UniformWords(low, high),
+            rate,
+            seed=seed + master_id,
+        )
+
+    return make
+
+
+class Figure4Result:
+    """Bandwidth fractions for each of the 24 priority assignments."""
+
+    def __init__(self, labels, fractions, utilizations):
+        self.labels = labels
+        self.fractions = fractions  # one row per permutation, one col per master
+        self.utilizations = utilizations
+
+    def master_range(self, master):
+        """(min, max) bandwidth fraction master receives across assignments."""
+        values = [row[master] for row in self.fractions]
+        return min(values), max(values)
+
+    def average_when_lowest(self, master=3):
+        """Mean share of ``master`` over assignments where it has priority 1."""
+        rows = [
+            row[master]
+            for label, row in zip(self.labels, self.fractions)
+            if label[master] == "1"
+        ]
+        return sum(rows) / len(rows)
+
+    def format_report(self):
+        rows = [
+            [label] + ["{:.1%}".format(v) for v in row] + ["{:.1%}".format(u)]
+            for label, row, u in zip(self.labels, self.fractions, self.utilizations)
+        ]
+        return format_table(
+            ["priorities C1-C4"] + ["C{}".format(i + 1) for i in range(4)] + ["util"],
+            rows,
+            title="Figure 4: bandwidth sharing under static priority arbitration",
+        )
+
+
+def run_figure4(cycles=100_000, seed=1, values=(1, 2, 3, 4)):
+    """Run all priority permutations; returns a :class:`Figure4Result`."""
+    labels = []
+    fractions = []
+    utilizations = []
+    for perm in weight_permutations(values):
+        arbiter = make_arbiter("static-priority", len(perm), perm)
+        system, bus = build_single_bus_system(
+            len(perm), arbiter, _saturating_open_loop_factory(seed), max_burst=16
+        )
+        system.run(cycles)
+        labels.append(permutation_label(perm))
+        fractions.append(bus.metrics.bandwidth_fractions())
+        utilizations.append(bus.metrics.utilization())
+    return Figure4Result(labels, fractions, utilizations)

@@ -1,0 +1,131 @@
+"""Figure 6: the LOTTERYBUS advantages on the 4-master system.
+
+(a) Example 3 — bandwidth sharing: the experiments of Figure 4 repeated
+with the lottery arbiter; the fraction of bandwidth a master receives is
+proportional to its tickets, for every one of the 24 assignments.
+
+(b) Example 4 — latency: per-master average communication latency under
+TDMA and LOTTERYBUS for an illustrative bursty traffic class (the
+paper's 8.55 vs 1.17 cycles/word comparison).  Both TDMA reclaim
+variants are reported (see DESIGN.md).
+"""
+
+from repro.arbiters.registry import make_arbiter
+from repro.bus.topology import build_single_bus_system
+from repro.experiments.figure4 import _saturating_open_loop_factory
+from repro.experiments.system import (
+    permutation_label,
+    run_testbed,
+    weight_permutations,
+)
+from repro.metrics.report import format_table
+
+
+class Figure6aResult:
+    """Bandwidth fractions per ticket assignment under LOTTERYBUS."""
+
+    def __init__(self, labels, fractions, utilizations):
+        self.labels = labels
+        self.fractions = fractions
+        self.utilizations = utilizations
+
+    def worst_share_error(self):
+        """Largest |observed - tickets/total| across all assignments."""
+        worst = 0.0
+        for label, row in zip(self.labels, self.fractions):
+            tickets = [int(c) for c in label]
+            total = sum(tickets)
+            busy = sum(row)
+            for t, share in zip(tickets, row):
+                if busy > 0:
+                    worst = max(worst, abs(share / busy - t / total))
+        return worst
+
+    def format_report(self):
+        rows = [
+            [label] + ["{:.1%}".format(v) for v in row]
+            for label, row in zip(self.labels, self.fractions)
+        ]
+        return format_table(
+            ["tickets C1-C4"] + ["C{}".format(i + 1) for i in range(4)],
+            rows,
+            title="Figure 6(a): bandwidth sharing under LOTTERYBUS",
+        )
+
+
+def run_figure6a(cycles=100_000, seed=1, values=(1, 2, 3, 4)):
+    """All 24 ticket assignments under saturating traffic."""
+    labels = []
+    fractions = []
+    utilizations = []
+    for perm in weight_permutations(values):
+        arbiter = make_arbiter("lottery-static", len(perm), perm, lfsr_seed=seed)
+        system, bus = build_single_bus_system(
+            len(perm), arbiter, _saturating_open_loop_factory(seed), max_burst=16
+        )
+        system.run(cycles)
+        labels.append(permutation_label(perm))
+        fractions.append(bus.metrics.bandwidth_fractions())
+        utilizations.append(bus.metrics.utilization())
+    return Figure6aResult(labels, fractions, utilizations)
+
+
+class Figure6bResult:
+    """Per-master latency, TDMA (both reclaim variants) vs LOTTERYBUS."""
+
+    def __init__(self, traffic_class, weights, tdma_scan, tdma_single, lottery):
+        self.traffic_class = traffic_class
+        self.weights = weights
+        self.tdma_scan = tdma_scan
+        self.tdma_single = tdma_single
+        self.lottery = lottery
+
+    def improvement(self, master=-1, tdma="single"):
+        """TDMA / LOTTERYBUS latency ratio for one master."""
+        baseline = self.tdma_single if tdma == "single" else self.tdma_scan
+        if self.lottery[master] == 0:
+            return float("inf")
+        return baseline[master] / self.lottery[master]
+
+    def format_report(self):
+        rows = []
+        for i, weight in enumerate(self.weights):
+            rows.append(
+                [
+                    "C{} ({} tickets/slots)".format(i + 1, weight),
+                    "{:.2f}".format(self.tdma_scan[i]),
+                    "{:.2f}".format(self.tdma_single[i]),
+                    "{:.2f}".format(self.lottery[i]),
+                ]
+            )
+        return format_table(
+            ["component", "TDMA(scan)", "TDMA(single)", "LOTTERYBUS"],
+            rows,
+            title=(
+                "Figure 6(b): average latency (cycles/word), traffic class "
+                + self.traffic_class
+            ),
+        )
+
+
+def run_figure6b(
+    cycles=400_000, seed=1, weights=(1, 2, 3, 4), traffic_class="T6"
+):
+    """Latency comparison on the bursty class; returns Figure6bResult."""
+    weights = list(weights)
+    scan = run_testbed(
+        "tdma", traffic_class, weights, cycles=cycles, seed=seed, reclaim="scan"
+    )
+    single = run_testbed(
+        "tdma", traffic_class, weights, cycles=cycles, seed=seed, reclaim="single"
+    )
+    lottery = run_testbed(
+        "lottery-static", traffic_class, weights, cycles=cycles, seed=seed
+    )
+    return Figure6bResult(
+        traffic_class,
+        weights,
+        scan.latencies_per_word,
+        single.latencies_per_word,
+        lottery.latencies_per_word,
+    )

@@ -1,0 +1,68 @@
+"""Replicated experiment runs with confidence intervals.
+
+The paper reports point estimates "over a long simulation trace"; this
+harness adds the error bars: any test-bed configuration is replicated
+across independent seeds and each metric is reported as mean ± 95% CI.
+"""
+
+from repro.experiments.system import run_testbed
+from repro.metrics.report import format_table
+from repro.metrics.stats import Replication
+
+
+class ReplicatedResult:
+    def __init__(self, arbiter_name, traffic_class, weights, replication):
+        self.arbiter_name = arbiter_name
+        self.traffic_class = traffic_class
+        self.weights = list(weights)
+        self.replication = replication
+
+    def interval(self, metric):
+        return self.replication.interval(metric)
+
+    def format_report(self):
+        rows = []
+        for metric, n, mu, halfwidth in self.replication.summary_rows():
+            rows.append(
+                [metric, n, "{:.4f}".format(mu), "±{:.4f}".format(halfwidth)]
+            )
+        return format_table(
+            ["metric", "replications", "mean", "95% CI"],
+            rows,
+            title="{} on {} (weights {}), replicated".format(
+                self.arbiter_name, self.traffic_class, self.weights
+            ),
+        )
+
+
+def run_replicated_testbed(
+    arbiter_name,
+    traffic_class,
+    weights,
+    seeds=range(1, 9),
+    cycles=50_000,
+    warmup=2_000,
+    **arbiter_kwargs
+):
+    """Replicate one test-bed point; returns a :class:`ReplicatedResult`.
+
+    Collected metrics per replication: ``utilization``, per-master
+    ``share{i}`` (bandwidth shares) and ``latency{i}`` (cycles/word).
+    """
+    replication = Replication()
+    for seed in seeds:
+        result = run_testbed(
+            arbiter_name,
+            traffic_class,
+            list(weights),
+            cycles=cycles,
+            seed=seed,
+            warmup=warmup,
+            **arbiter_kwargs
+        )
+        replication.record("utilization", result.utilization)
+        for master, share in enumerate(result.bandwidth_shares):
+            replication.record("share{}".format(master), share)
+        for master, latency in enumerate(result.latencies_per_word):
+            replication.record("latency{}".format(master), latency)
+    return ReplicatedResult(arbiter_name, traffic_class, weights, replication)

@@ -1,0 +1,88 @@
+"""Run every experiment and emit a combined report.
+
+``python -m repro all`` (or ``lotterybus all``) regenerates every table
+and figure of the paper in one pass; individual experiments are exposed
+through the same registry for the CLI and the benchmarks.
+"""
+
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6a, run_figure6b
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.figure12 import run_figure12a, run_figure12_latency
+from repro.experiments.hardware import (
+    run_hardware_comparison,
+    run_hardware_scaling,
+)
+from repro.experiments.starvation import run_starvation
+from repro.experiments.table1 import run_table1
+
+# Cycle counts are scaled by ``scale`` (1.0 = the EXPERIMENTS.md values).
+_EXPERIMENTS = {
+    "figure4": lambda scale, seed: run_figure4(
+        cycles=int(100_000 * scale), seed=seed
+    ),
+    "figure5": lambda scale, seed: run_figure5(
+        cycles=int(40_000 * scale), seed=seed
+    ),
+    "figure6a": lambda scale, seed: run_figure6a(
+        cycles=int(100_000 * scale), seed=seed
+    ),
+    "figure6b": lambda scale, seed: run_figure6b(
+        cycles=int(400_000 * scale), seed=seed
+    ),
+    "figure8": lambda scale, seed: run_figure8(),
+    "figure12a": lambda scale, seed: run_figure12a(
+        cycles=int(200_000 * scale), seed=seed
+    ),
+    "figure12b": lambda scale, seed: run_figure12_latency(
+        "tdma", cycles=int(400_000 * scale), seed=seed, reclaim="single"
+    ),
+    "figure12c": lambda scale, seed: run_figure12_latency(
+        "lottery-static", cycles=int(400_000 * scale), seed=seed
+    ),
+    "table1": lambda scale, seed: run_table1(
+        cycles=int(500_000 * scale), seed=seed
+    ),
+    "hardware": lambda scale, seed: run_hardware_comparison(),
+    "hwscale": lambda scale, seed: run_hardware_scaling(),
+    "starvation": lambda scale, seed: run_starvation(
+        drawings=int(200_000 * scale), seed=seed
+    ),
+}
+
+
+def experiment_names():
+    """All runnable experiment ids, in paper order."""
+    return list(_EXPERIMENTS)
+
+
+def run_experiment(name, scale=1.0, seed=1):
+    """Run one experiment by id; returns its result object."""
+    try:
+        runner = _EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown experiment {!r}; choose from {}".format(
+                name, experiment_names()
+            )
+        )
+    return runner(scale, seed)
+
+
+def run_all(scale=1.0, seed=1, names=None):
+    """Run experiments and return {name: result}."""
+    if names is None:
+        names = experiment_names()
+    return {name: run_experiment(name, scale=scale, seed=seed) for name in names}
+
+
+def format_full_report(results):
+    """Concatenate every result's report with separators."""
+    sections = []
+    for name, result in results.items():
+        sections.append("=" * 72)
+        sections.append("[{}]".format(name))
+        sections.append(result.format_report())
+        sections.append("")
+    return "\n".join(sections)

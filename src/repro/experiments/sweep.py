@@ -1,0 +1,131 @@
+"""Generic experiment sweeps over the test-bed with CSV export.
+
+A downstream user's workhorse: cross a set of arbiters with traffic
+classes (and optionally weight vectors), run every combination, and get
+the results as rows ready for a spreadsheet or pandas — the expanded
+version of Section 5.1's study.
+"""
+
+import csv
+
+from repro.experiments.system import run_testbed
+from repro.metrics.report import format_table
+
+
+class SweepResult:
+    """Rows of (arbiter, traffic, weights, metrics...)."""
+
+    COLUMNS = (
+        "arbiter",
+        "traffic",
+        "weights",
+        "utilization",
+        "share0",
+        "share1",
+        "share2",
+        "share3",
+        "latency0",
+        "latency1",
+        "latency2",
+        "latency3",
+    )
+
+    def __init__(self, rows):
+        self.rows = rows
+
+    def filter(self, arbiter=None, traffic=None):
+        """Rows matching the given arbiter and/or traffic class."""
+        out = []
+        for row in self.rows:
+            if arbiter is not None and row["arbiter"] != arbiter:
+                continue
+            if traffic is not None and row["traffic"] != traffic:
+                continue
+            out.append(row)
+        return out
+
+    def value(self, arbiter, traffic, column):
+        rows = self.filter(arbiter=arbiter, traffic=traffic)
+        if len(rows) != 1:
+            raise KeyError(
+                "expected one row for ({}, {}), found {}".format(
+                    arbiter, traffic, len(rows)
+                )
+            )
+        return rows[0][column]
+
+    def save_csv(self, path):
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=self.COLUMNS)
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow(row)
+
+    def format_report(self):
+        table_rows = []
+        for row in self.rows:
+            table_rows.append(
+                [
+                    row["arbiter"],
+                    row["traffic"],
+                    row["weights"],
+                    "{:.2f}".format(row["utilization"]),
+                    "/".join(
+                        "{:.2f}".format(row["share{}".format(i)])
+                        for i in range(4)
+                    ),
+                    "/".join(
+                        "{:.1f}".format(row["latency{}".format(i)])
+                        for i in range(4)
+                    ),
+                ]
+            )
+        return format_table(
+            ["arbiter", "traffic", "weights", "util", "shares", "lat/word"],
+            table_rows,
+            title="Test-bed sweep",
+        )
+
+
+def run_sweep(
+    arbiters,
+    traffic_classes,
+    weights=(1, 2, 3, 4),
+    cycles=50_000,
+    seed=1,
+    warmup=0,
+    arbiter_kwargs=None,
+):
+    """Run the full cross product; returns a :class:`SweepResult`.
+
+    :param arbiters: iterable of registry names.
+    :param traffic_classes: iterable of class names (``"T1"``..``"T9"``).
+    :param weights: one weight vector applied to every combination.
+    :param arbiter_kwargs: optional per-arbiter extras,
+        ``{arbiter_name: {kwarg: value}}``.
+    """
+    arbiter_kwargs = arbiter_kwargs or {}
+    rows = []
+    for arbiter_name in arbiters:
+        for traffic_name in traffic_classes:
+            result = run_testbed(
+                arbiter_name,
+                traffic_name,
+                list(weights),
+                cycles=cycles,
+                seed=seed,
+                warmup=warmup,
+                **arbiter_kwargs.get(arbiter_name, {})
+            )
+            row = {
+                "arbiter": arbiter_name,
+                "traffic": traffic_name,
+                "weights": ":".join(str(w) for w in weights),
+                "utilization": result.utilization,
+            }
+            for master, share in enumerate(result.bandwidth_shares):
+                row["share{}".format(master)] = share
+            for master, latency in enumerate(result.latencies_per_word):
+                row["latency{}".format(master)] = latency
+            rows.append(row)
+    return SweepResult(rows)

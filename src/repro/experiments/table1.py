@@ -1,0 +1,107 @@
+"""Table 1: the output-queued ATM switch under three architectures.
+
+Scenario (digits reconstructed from the corrupted source text; see
+EXPERIMENTS.md): a 4-port switch whose quality-of-service requirements
+are (i) port 1's traffic must cross the switch with minimum latency and
+(ii) ports 2-4 share the remaining bandwidth in the ratio 2:6:1.
+Lottery tickets, TDMA slots and priorities are all assigned in the
+ratio 12:2:6:1 for ports 1-4.
+
+Workload: ports 2-4 receive sustained cell arrivals that keep their
+queues backlogged; port 1 receives line-rate cell bursts whose
+inter-arrival time resonates with the TDMA wheel length (the
+time-alignment pathology of Section 3).
+"""
+
+from repro.arbiters.registry import make_arbiter
+from repro.atm.cell import CELL_WORDS
+from repro.atm.switch import OutputQueuedSwitch
+from repro.atm.workload import BernoulliArrivals, PeriodicBurstArrivals, PortWorkload
+from repro.metrics.report import format_table
+
+TABLE1_WEIGHTS = (12, 2, 6, 1)
+ARCHITECTURES = (
+    ("static priority", "static-priority", {}),
+    ("TDMA (scan reclaim)", "tdma", {"reclaim": "scan"}),
+    ("TDMA (single reclaim)", "tdma", {"reclaim": "single"}),
+    ("LOTTERYBUS", "lottery-static", {}),
+)
+
+
+def table1_workload(
+    burst_interval=None, burst_on=400, burst_off=4000, backlog_rate=0.05
+):
+    """The Table 1 per-port arrival processes.
+
+    :param burst_interval: cell inter-arrival during port 1's bursts;
+        defaults to the TDMA wheel length (sum of weights) so the burst
+        phase locks against the wheel.
+    """
+    if burst_interval is None:
+        burst_interval = sum(TABLE1_WEIGHTS)
+    return PortWorkload(
+        [
+            PeriodicBurstArrivals(burst_interval, burst_on, burst_off),
+            BernoulliArrivals(backlog_rate),
+            BernoulliArrivals(backlog_rate),
+            BernoulliArrivals(backlog_rate),
+        ]
+    )
+
+
+class Table1Result:
+    """Per-architecture port bandwidth fractions and port-1 latency."""
+
+    def __init__(self, rows):
+        # rows: list of (label, bandwidth_fractions, port1_latency_per_word)
+        self.rows = rows
+
+    def bandwidth(self, label, port):
+        for row_label, fractions, _ in self.rows:
+            if row_label == label:
+                return fractions[port]
+        raise KeyError(label)
+
+    def port1_latency(self, label):
+        for row_label, _, latency in self.rows:
+            if row_label == label:
+                return latency
+        raise KeyError(label)
+
+    def format_report(self):
+        table_rows = []
+        for label, fractions, latency in self.rows:
+            table_rows.append(
+                [label, "{:.2f}".format(latency)]
+                + ["{:.1%}".format(v) for v in fractions]
+            )
+        return format_table(
+            ["architecture", "port1 lat (cyc/word)"]
+            + ["port{} bw".format(p + 1) for p in range(4)],
+            table_rows,
+            title="Table 1: ATM switch cell-forwarding performance",
+        )
+
+
+def run_table1(
+    cycles=500_000,
+    seed=5,
+    weights=TABLE1_WEIGHTS,
+    queue_capacity=64,
+    memory_cells=8192,
+):
+    """Run the switch under each architecture; returns Table1Result."""
+    rows = []
+    for label, name, kwargs in ARCHITECTURES:
+        arbiter = make_arbiter(name, len(weights), list(weights), **kwargs)
+        switch = OutputQueuedSwitch(
+            arbiter,
+            table1_workload(),
+            queue_capacity=queue_capacity,
+            memory_cells=memory_cells,
+            seed=seed,
+        )
+        report = switch.run(cycles)
+        port1_latency = report.switch_latencies[0] / CELL_WORDS
+        rows.append((label, report.bandwidth_fractions, port1_latency))
+    return Table1Result(rows)

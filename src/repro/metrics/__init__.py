@@ -1,0 +1,23 @@
+"""Instrumentation: bandwidth fractions, latencies, reports."""
+
+from repro.metrics.bandwidth import bandwidth_fractions, utilization
+from repro.metrics.collector import MasterStats, MetricsCollector
+from repro.metrics.latency import LatencyStats
+from repro.metrics.report import format_bar_chart, format_table
+from repro.metrics.stats import Replication, confidence_interval, replicate
+from repro.metrics.waveform import BusProbe, render_waveform
+
+__all__ = [
+    "bandwidth_fractions",
+    "utilization",
+    "MasterStats",
+    "MetricsCollector",
+    "LatencyStats",
+    "format_bar_chart",
+    "format_table",
+    "Replication",
+    "confidence_interval",
+    "replicate",
+    "BusProbe",
+    "render_waveform",
+]

@@ -1,0 +1,54 @@
+"""Convenience functions over a MetricsCollector."""
+
+
+def bandwidth_fractions(collector):
+    """Per-master fraction of total bus cycles carrying their words."""
+    return collector.bandwidth_fractions()
+
+
+def utilization(collector):
+    """Fraction of cycles in which any word moved."""
+    return collector.utilization()
+
+
+def jain_fairness_index(values):
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 means perfectly equal allocation; ``1/n`` means one party took
+    everything.  Useful for quantifying starvation in one number (e.g.
+    static priority under saturation scores near ``1/n``; round-robin
+    scores ~1.0).
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v < 0 for v in values):
+        raise ValueError("values must be non-negative")
+    square_of_sum = sum(values) ** 2
+    sum_of_squares = sum(v * v for v in values)
+    if sum_of_squares == 0:
+        return 1.0  # nobody got anything: vacuously fair
+    return square_of_sum / (len(values) * sum_of_squares)
+
+
+def share_ratio_error(shares, weights):
+    """Largest relative deviation of observed shares from target weights.
+
+    ``shares`` are observed bandwidth shares (summing to ~1 among busy
+    masters); ``weights`` are the intended proportions (e.g. lottery
+    tickets).  Returns ``max_i |share_i - w_i/sum(w)| / (w_i/sum(w))``,
+    the figure of merit for "allocation closely matches the ratio of
+    lottery tickets".
+    """
+    if len(shares) != len(weights):
+        raise ValueError("shares and weights must have equal length")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    worst = 0.0
+    for share, weight in zip(shares, weights):
+        target = weight / total
+        if target == 0:
+            continue
+        worst = max(worst, abs(share - target) / target)
+    return worst

@@ -1,0 +1,117 @@
+"""Per-bus metrics collection."""
+
+from repro.metrics.latency import LatencyStats
+
+
+class MasterStats:
+    """Everything observed about one master on one bus."""
+
+    def __init__(self, master_id):
+        self.master_id = master_id
+        self.words = 0
+        self.grants = 0
+        self.latency = LatencyStats()
+
+    def __repr__(self):
+        return "MasterStats(master={}, words={}, grants={})".format(
+            self.master_id, self.words, self.grants
+        )
+
+
+class MetricsCollector:
+    """Accumulates bus activity; one instance per bus per run.
+
+    The bus calls :meth:`observe_cycle` exactly once per simulated cycle
+    and the ``record_*`` methods as events occur, so fractions computed
+    here need no knowledge of the simulator.
+    """
+
+    def __init__(self, num_masters):
+        if num_masters < 1:
+            raise ValueError("a bus needs at least one master")
+        self.num_masters = num_masters
+        self.masters = [MasterStats(i) for i in range(num_masters)]
+        self.cycles = 0
+        self.busy_cycles = 0
+        self.idle_cycles = 0
+        self.stall_cycles = 0
+
+    def reset(self):
+        self.__init__(self.num_masters)
+
+    def observe_cycle(self):
+        self.cycles += 1
+
+    def record_idle(self):
+        self.idle_cycles += 1
+
+    def record_stall(self):
+        self.stall_cycles += 1
+
+    def record_grant(self, master):
+        self.masters[master].grants += 1
+
+    def record_word(self, master):
+        self.masters[master].words += 1
+        self.busy_cycles += 1
+
+    def record_completion(self, request):
+        self.masters[request.master].latency.record(request)
+
+    @property
+    def total_words(self):
+        return sum(stats.words for stats in self.masters)
+
+    def utilization(self):
+        """Fraction of observed cycles in which a word moved."""
+        if self.cycles == 0:
+            return 0.0
+        return self.busy_cycles / self.cycles
+
+    def bandwidth_fraction(self, master):
+        """Fraction of total bus cycles carrying this master's words."""
+        if self.cycles == 0:
+            return 0.0
+        return self.masters[master].words / self.cycles
+
+    def bandwidth_fractions(self):
+        """Per-master fractions of total cycles (sums to utilization)."""
+        return [self.bandwidth_fraction(i) for i in range(self.num_masters)]
+
+    def bandwidth_shares(self):
+        """Per-master fractions of *carried* words (sums to 1 when busy).
+
+        This is the quantity compared against ticket ratios: among the
+        bandwidth actually consumed, how was it divided?
+        """
+        total = self.total_words
+        if total == 0:
+            return [0.0] * self.num_masters
+        return [stats.words / total for stats in self.masters]
+
+    def latency_per_word(self, master):
+        """Message-normalized cycles/word (in-flight cycles / words)."""
+        return self.masters[master].latency.avg_latency_per_word
+
+    def latencies_per_word(self):
+        return [self.latency_per_word(i) for i in range(self.num_masters)]
+
+    def word_latency(self, master):
+        """Word-stretch cycles/word (the paper figures' metric)."""
+        return self.masters[master].latency.avg_word_latency
+
+    def word_latencies(self):
+        return [self.word_latency(i) for i in range(self.num_masters)]
+
+    def summary(self):
+        """A plain-dict summary convenient for reports and JSON dumps."""
+        return {
+            "cycles": self.cycles,
+            "utilization": self.utilization(),
+            "bandwidth_fractions": self.bandwidth_fractions(),
+            "bandwidth_shares": self.bandwidth_shares(),
+            "latencies_per_word": self.latencies_per_word(),
+            "word_latencies": self.word_latencies(),
+            "words": [stats.words for stats in self.masters],
+            "grants": [stats.grants for stats in self.masters],
+        }

@@ -1,0 +1,130 @@
+"""Bounded-memory latency histograms and percentiles.
+
+The paper reports mean latencies; QoS analysis also needs the tail
+(jitter): a deterministic scheme and a randomized one can share a mean
+while differing wildly at p99.  :class:`LogHistogram` accumulates
+values into geometrically spaced bins, so percentile queries run in
+O(bins) with fixed memory regardless of run length.
+"""
+
+import math
+
+
+class LogHistogram:
+    """Geometric-bin histogram for positive values.
+
+    :param low: lower edge of the first bin (values below clamp into it).
+    :param high: upper edge of the last bin (values above clamp into it).
+    :param bins_per_decade: resolution; 48 gives ~5% relative error.
+    """
+
+    def __init__(self, low=0.5, high=1e5, bins_per_decade=48):
+        if low <= 0 or high <= low:
+            raise ValueError("need 0 < low < high")
+        if bins_per_decade < 1:
+            raise ValueError("bins_per_decade must be >= 1")
+        self.low = low
+        self.high = high
+        self._log_low = math.log10(low)
+        span = math.log10(high) - self._log_low
+        self.num_bins = max(1, int(math.ceil(span * bins_per_decade)))
+        self._scale = self.num_bins / span
+        self.counts = [0] * self.num_bins
+        self.total = 0
+        self.min_value = None
+        self.max_value = None
+
+    def _bin_index(self, value):
+        if value <= self.low:
+            return 0
+        if value >= self.high:
+            return self.num_bins - 1
+        return min(
+            self.num_bins - 1,
+            int((math.log10(value) - self._log_low) * self._scale),
+        )
+
+    def _bin_upper_edge(self, index):
+        return 10 ** (self._log_low + (index + 1) / self._scale)
+
+    def record(self, value):
+        if value <= 0:
+            raise ValueError("histogram records positive values")
+        self.counts[self._bin_index(value)] += 1
+        self.total += 1
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+
+    def percentile(self, q):
+        """Value at quantile ``q`` in [0, 1] (upper bin edge, ~5% error)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must lie in [0, 1]")
+        if self.total == 0:
+            return 0.0
+        if q <= 0.0:
+            return self.min_value
+        target = q * self.total
+        running = 0
+        for index, count in enumerate(self.counts):
+            running += count
+            if running >= target:
+                return min(self._bin_upper_edge(index), self.max_value)
+        return self.max_value
+
+    def summary(self):
+        """(p50, p95, p99, max) — the jitter profile."""
+        return (
+            self.percentile(0.50),
+            self.percentile(0.95),
+            self.percentile(0.99),
+            self.max_value or 0.0,
+        )
+
+    def merge(self, other):
+        if other.num_bins != self.num_bins or other.low != self.low:
+            raise ValueError("histograms must share binning to merge")
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.total += other.total
+        if other.min_value is not None:
+            self.min_value = (
+                other.min_value
+                if self.min_value is None
+                else min(self.min_value, other.min_value)
+            )
+        if other.max_value is not None:
+            self.max_value = (
+                other.max_value
+                if self.max_value is None
+                else max(self.max_value, other.max_value)
+            )
+
+
+class LatencyDistribution:
+    """Per-master latency histograms over a bus's completion stream.
+
+    Attach with ``bus.add_completion_hook(dist.on_completion)`` (or via
+    ``BusSystem.add_monitor`` for a component-managed variant); each
+    completed message records its per-word latency.
+    """
+
+    def __init__(self, num_masters):
+        if num_masters < 1:
+            raise ValueError("need at least one master")
+        self.histograms = [LogHistogram() for _ in range(num_masters)]
+
+    def on_completion(self, request, cycle):
+        self.histograms[request.master].record(request.latency_per_word)
+
+    def percentile(self, master, q):
+        return self.histograms[master].percentile(q)
+
+    def summary_rows(self):
+        """One (master, messages, p50, p95, p99, max) row per master."""
+        rows = []
+        for master, histogram in enumerate(self.histograms):
+            p50, p95, p99, peak = histogram.summary()
+            rows.append((master, histogram.total, p50, p95, p99, peak))
+        return rows

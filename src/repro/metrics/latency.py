@@ -1,0 +1,86 @@
+"""Latency statistics for completed bus transactions."""
+
+
+class LatencyStats:
+    """Accumulates the paper's latency metric for one master.
+
+    The paper reports "the average number of bus cycles spent in
+    transferring a bus word including both waiting time and data transfer
+    time": a message of ``w`` words arriving at cycle ``a`` whose last
+    word completes at cycle ``c`` spent ``c - a + 1`` cycles in flight,
+    i.e. ``(c - a + 1) / w`` cycles per word.  Averaging is word-weighted
+    (total in-flight cycles over total words), so long messages count in
+    proportion to the bandwidth they consume.
+    """
+
+    def __init__(self):
+        self.messages = 0
+        self.words = 0
+        self.total_cycles = 0
+        self.total_wait_cycles = 0
+        self.total_word_latency = 0
+        self.max_latency_per_word = 0.0
+        self.max_wait_cycles = 0
+
+    def record(self, request):
+        """Fold one completed :class:`~repro.bus.transaction.Request` in."""
+        self.messages += 1
+        self.words += request.words
+        self.total_cycles += request.latency_cycles
+        self.total_wait_cycles += request.wait_cycles
+        self.total_word_latency += request.word_latency_total
+        self.max_latency_per_word = max(
+            self.max_latency_per_word, request.latency_per_word
+        )
+        self.max_wait_cycles = max(self.max_wait_cycles, request.wait_cycles)
+
+    @property
+    def avg_latency_per_word(self):
+        """Word-weighted mean cycles per word (0.0 when empty)."""
+        if self.words == 0:
+            return 0.0
+        return self.total_cycles / self.words
+
+    @property
+    def avg_word_latency(self):
+        """Word-stretch mean cycles per word (the figures' metric).
+
+        Charges every word its individual wait since it became ready, so
+        slot-interleaved service (TDMA) scores its inter-word gaps while
+        burst service (lottery, priority) amortizes a single wait over
+        the whole message.  Back-to-back service from arrival scores 1.0.
+        """
+        if self.words == 0:
+            return 0.0
+        return self.total_word_latency / self.words
+
+    @property
+    def avg_latency_per_message(self):
+        """Mean in-flight cycles per message (0.0 when empty)."""
+        if self.messages == 0:
+            return 0.0
+        return self.total_cycles / self.messages
+
+    @property
+    def avg_wait_cycles(self):
+        """Mean cycles a message waited before its first word moved."""
+        if self.messages == 0:
+            return 0.0
+        return self.total_wait_cycles / self.messages
+
+    def merge(self, other):
+        """Fold another LatencyStats into this one."""
+        self.messages += other.messages
+        self.words += other.words
+        self.total_cycles += other.total_cycles
+        self.total_wait_cycles += other.total_wait_cycles
+        self.total_word_latency += other.total_word_latency
+        self.max_latency_per_word = max(
+            self.max_latency_per_word, other.max_latency_per_word
+        )
+        self.max_wait_cycles = max(self.max_wait_cycles, other.max_wait_cycles)
+
+    def __repr__(self):
+        return "LatencyStats(messages={}, words={}, avg/word={:.3f})".format(
+            self.messages, self.words, self.avg_latency_per_word
+        )

@@ -1,0 +1,86 @@
+"""Plain-text tables and bar charts for experiment output.
+
+The paper's figures are bar charts and surfaces; benchmarks regenerate
+them as aligned ASCII so the series can be eyeballed in a terminal and
+diffed in CI.
+"""
+
+
+def format_table(headers, rows, title=None):
+    """Render a list of rows as an aligned monospace table.
+
+    Cells are stringified; floats are rendered with 3 decimals.
+    """
+    def render(cell):
+        if isinstance(cell, float):
+            return "{:.3f}".format(cell)
+        return str(cell)
+
+    str_rows = [[render(cell) for cell in row] for row in rows]
+    str_headers = [str(header) for header in headers]
+    widths = [len(header) for header in str_headers]
+    for row in str_rows:
+        if len(row) != len(str_headers):
+            raise ValueError("row width does not match header width")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells):
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(str_headers))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in str_rows:
+        lines.append(format_row(row))
+    return "\n".join(lines)
+
+
+def format_bar_chart(labels, values, width=50, title=None, unit=""):
+    """Render labelled values as a horizontal ASCII bar chart."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    peak = max(values) if values else 0.0
+    label_width = max((len(str(label)) for label in labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar_len = 0 if peak <= 0 else int(round(width * value / peak))
+        lines.append(
+            "{}  {} {:.3f}{}".format(
+                str(label).ljust(label_width), "#" * bar_len, value, unit
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_stacked_percentages(column_labels, series, width=40, title=None):
+    """Render per-column stacked percentage bars (Fig. 4 / 6(a) / 12(a)).
+
+    :param column_labels: one label per column (e.g. a ticket permutation).
+    :param series: mapping of series name -> list of fractions per column;
+        fractions in each column should sum to <= 1.
+    """
+    names = list(series)
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max((len(str(label)) for label in column_labels), default=0)
+    glyphs = "#=+*o%@&"
+    for column, label in enumerate(column_labels):
+        segments = []
+        text = []
+        for index, name in enumerate(names):
+            fraction = series[name][column]
+            segments.append(glyphs[index % len(glyphs)] * int(round(width * fraction)))
+            text.append("{}={:.1f}%".format(name, 100.0 * fraction))
+        lines.append(
+            "{}  |{}| {}".format(
+                str(label).ljust(label_width), "".join(segments).ljust(width),
+                " ".join(text),
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Replication statistics for simulation experiments.
+
+Single simulation runs carry stochastic error; the paper reports
+averages "over a long simulation trace".  This module adds the standard
+methodology: replicate an experiment across independent seeds and
+report mean, standard deviation and a Student-t confidence interval per
+metric.
+"""
+
+import math
+
+
+def mean(values):
+    values = list(values)
+    if not values:
+        raise ValueError("need at least one value")
+    return sum(values) / len(values)
+
+
+def stddev(values):
+    """Sample standard deviation (n-1 denominator)."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+# Two-sided Student-t critical values at 95% by degrees of freedom; the
+# dict covers small replication counts exactly, larger ones use the
+# normal limit.
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 15: 2.131, 20: 2.086,
+    30: 2.042,
+}
+
+
+def t_critical_95(dof):
+    """Two-sided 95% Student-t critical value."""
+    if dof < 1:
+        raise ValueError("degrees of freedom must be >= 1")
+    if dof in _T95:
+        return _T95[dof]
+    if dof >= 100:
+        return 1.960
+    # Between tabulated points, use the nearest smaller dof's (larger,
+    # conservative) critical value.
+    for threshold in sorted(_T95, reverse=True):
+        if dof >= threshold:
+            return _T95[threshold]
+    return _T95[1]
+
+
+def confidence_interval(values, level=0.95):
+    """(mean, halfwidth) of the two-sided CI; only level=0.95 supported."""
+    if level != 0.95:
+        raise ValueError("only the 95% level is tabulated")
+    values = list(values)
+    mu = mean(values)
+    if len(values) < 2:
+        return mu, float("inf")
+    halfwidth = t_critical_95(len(values) - 1) * stddev(values) / math.sqrt(
+        len(values)
+    )
+    return mu, halfwidth
+
+
+class Replication:
+    """Collects named metrics across replicated runs.
+
+    Usage::
+
+        rep = Replication()
+        for seed in range(10):
+            metrics = run_experiment(seed=seed)
+            rep.record("util", metrics.utilization())
+        mu, hw = rep.interval("util")
+    """
+
+    def __init__(self):
+        self._samples = {}
+
+    def record(self, metric, value):
+        self._samples.setdefault(metric, []).append(float(value))
+
+    def metrics(self):
+        return sorted(self._samples)
+
+    def samples(self, metric):
+        return list(self._samples[metric])
+
+    def mean(self, metric):
+        return mean(self._samples[metric])
+
+    def interval(self, metric, level=0.95):
+        return confidence_interval(self._samples[metric], level)
+
+    def summary_rows(self):
+        """Rows of (metric, n, mean, halfwidth) for report tables."""
+        rows = []
+        for metric in self.metrics():
+            mu, halfwidth = self.interval(metric)
+            rows.append((metric, len(self._samples[metric]), mu, halfwidth))
+        return rows
+
+
+def replicate(run, seeds):
+    """Run ``run(seed) -> {metric: value}`` per seed into a Replication."""
+    replication = Replication()
+    for seed in seeds:
+        for metric, value in run(seed).items():
+            replication.record(metric, value)
+    return replication

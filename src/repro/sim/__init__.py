@@ -1,0 +1,14 @@
+"""Cycle-based simulation kernel.
+
+The kernel is a deterministic synchronous simulator: every registered
+:class:`~repro.sim.component.Component` is ticked once per bus cycle, in
+registration order.  All stochastic behaviour draws from seeded
+:class:`~repro.sim.rng.RandomStream` instances, so a simulation is exactly
+reproducible from its seed.
+"""
+
+from repro.sim.component import Component
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.rng import RandomStream
+
+__all__ = ["Component", "SimulationError", "Simulator", "RandomStream"]

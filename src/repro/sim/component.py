@@ -1,0 +1,33 @@
+"""Base class for everything that participates in the cycle loop."""
+
+
+class Component:
+    """A synchronous hardware block driven by the simulator clock.
+
+    Subclasses override :meth:`tick`, which the simulator calls exactly
+    once per cycle in registration order.  Components that produce values
+    consumed by later components in the same cycle (e.g. traffic
+    generators feeding master interfaces feeding the bus) should simply be
+    registered in dataflow order; the kernel makes no attempt at
+    delta-cycle evaluation.
+    """
+
+    def __init__(self, name):
+        self.name = name
+
+    def tick(self, cycle):
+        """Advance the component by one clock cycle.
+
+        :param cycle: the current cycle number, starting at 0.
+        """
+
+    def reset(self):
+        """Return the component to its power-on state.
+
+        The default implementation does nothing; stateful components
+        override it so a :class:`~repro.sim.kernel.Simulator` can be
+        re-run from cycle 0.
+        """
+
+    def __repr__(self):
+        return "{}(name={!r})".format(type(self).__name__, self.name)

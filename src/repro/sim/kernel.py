@@ -1,0 +1,85 @@
+"""The synchronous simulation kernel."""
+
+from repro.sim.component import Component
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulator (bad registration, re-entry...)."""
+
+
+class Simulator:
+    """Drives a set of :class:`Component` objects through bus cycles.
+
+    Components are ticked once per cycle in registration order, which
+    callers arrange to be dataflow order (generators before interfaces
+    before the bus).  The kernel itself has no notion of buses or
+    arbiters; it only owns time.
+    """
+
+    def __init__(self):
+        self._components = []
+        self._names = set()
+        self.cycle = 0
+        self._running = False
+
+    def add(self, component):
+        """Register a component; returns it for chaining."""
+        if not isinstance(component, Component):
+            raise SimulationError(
+                "expected a Component, got {!r}".format(type(component).__name__)
+            )
+        if component.name in self._names:
+            raise SimulationError(
+                "duplicate component name {!r}".format(component.name)
+            )
+        self._names.add(component.name)
+        self._components.append(component)
+        return component
+
+    @property
+    def components(self):
+        """The registered components, in tick order (read-only view)."""
+        return tuple(self._components)
+
+    def reset(self):
+        """Reset time and every registered component."""
+        if self._running:
+            raise SimulationError("cannot reset while running")
+        self.cycle = 0
+        for component in self._components:
+            component.reset()
+
+    def run(self, cycles):
+        """Advance the simulation by ``cycles`` cycles."""
+        if cycles < 0:
+            raise SimulationError("cycle count must be non-negative")
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        try:
+            end = self.cycle + cycles
+            components = self._components
+            while self.cycle < end:
+                now = self.cycle
+                for component in components:
+                    component.tick(now)
+                self.cycle = now + 1
+        finally:
+            self._running = False
+        return self.cycle
+
+    def run_until(self, predicate, max_cycles=1_000_000):
+        """Run until ``predicate(cycle)`` is true or ``max_cycles`` elapse.
+
+        The predicate is evaluated after each cycle.  Returns the cycle
+        count at which it first held, or raises :class:`SimulationError`
+        if the bound is exhausted.
+        """
+        start = self.cycle
+        while self.cycle - start < max_cycles:
+            self.run(1)
+            if predicate(self.cycle):
+                return self.cycle
+        raise SimulationError(
+            "predicate not satisfied within {} cycles".format(max_cycles)
+        )

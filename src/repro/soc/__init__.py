@@ -1,0 +1,25 @@
+"""Declarative SoC construction from plain-data specifications."""
+
+from repro.soc.config import (
+    ConfigError,
+    build_system,
+    build_traffic_source,
+    build_words_distribution,
+    load_system,
+)
+from repro.soc.dma import DmaDescriptor, DmaEngine
+from repro.soc.network_config import build_network
+from repro.soc.presets import PRESETS, get_preset
+
+__all__ = [
+    "ConfigError",
+    "build_network",
+    "build_system",
+    "build_traffic_source",
+    "build_words_distribution",
+    "load_system",
+    "DmaDescriptor",
+    "DmaEngine",
+    "PRESETS",
+    "get_preset",
+]

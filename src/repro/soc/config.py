@@ -1,0 +1,250 @@
+"""Build a complete bus system from a plain-data specification.
+
+The specification is a JSON-compatible dict::
+
+    {
+      "seed": 1,
+      "bus": {
+        "arbiter": "lottery-static",       # any registry name
+        "weights": [1, 2, 3, 4],
+        "max_burst": 16,
+        "arbitration_cycles": 0,
+        "preemptive": false,
+        "arbiter_options": {"lfsr_seed": 7}
+      },
+      "slaves": [
+        {"name": "mem", "setup_wait_states": 0, "per_word_wait_states": 0}
+      ],
+      "masters": [
+        {"name": "cpu",
+         "traffic": {"kind": "closedloop",
+                     "words": {"kind": "uniform", "low": 2, "high": 6},
+                     "mean_think": 4}},
+        ...
+      ]
+    }
+
+:func:`build_system` returns ``(BusSystem, SharedBus)`` ready to run;
+:func:`load_system` reads the spec from a JSON file.  Unknown keys are
+rejected rather than ignored, so typos fail loudly.
+"""
+
+import json
+
+from repro.arbiters.registry import make_arbiter
+from repro.bus.bus import SharedBus
+from repro.bus.master import MasterInterface
+from repro.bus.slave import Slave
+from repro.bus.topology import BusSystem
+from repro.traffic.generator import (
+    ClosedLoopGenerator,
+    OnOffGenerator,
+    PeriodicGenerator,
+    PoissonGenerator,
+    SaturatingGenerator,
+)
+from repro.traffic.message import FixedWords, GeometricWords, UniformWords
+
+
+class ConfigError(ValueError):
+    """A malformed system specification."""
+
+
+def _take(spec, context, required=(), optional=None):
+    """Validate keys of a spec dict and return a shallow copy."""
+    if not isinstance(spec, dict):
+        raise ConfigError("{}: expected an object, got {!r}".format(context, spec))
+    optional = dict(optional or {})
+    result = {}
+    for key in required:
+        if key not in spec:
+            raise ConfigError("{}: missing required key {!r}".format(context, key))
+    unknown = set(spec) - set(required) - set(optional)
+    if unknown:
+        raise ConfigError(
+            "{}: unknown keys {}".format(context, sorted(unknown))
+        )
+    for key in required:
+        result[key] = spec[key]
+    for key, default in optional.items():
+        result[key] = spec.get(key, default)
+    return result
+
+
+_WORDS_KINDS = {
+    "fixed": (FixedWords, ("words",), {}),
+    "uniform": (UniformWords, ("low", "high"), {}),
+    "geometric": (GeometricWords, ("mean_words",), {"cap": 256}),
+}
+
+
+def build_words_distribution(spec, context="words"):
+    """Instantiate a message-size distribution from its spec."""
+    fields = _take(spec, context, required=("kind",),
+                   optional={k: None for k in ("words", "low", "high",
+                                               "mean_words", "cap")})
+    kind = fields["kind"]
+    if kind not in _WORDS_KINDS:
+        raise ConfigError(
+            "{}: unknown distribution {!r}; choose from {}".format(
+                context, kind, sorted(_WORDS_KINDS)
+            )
+        )
+    factory, required, defaults = _WORDS_KINDS[kind]
+    kwargs = {}
+    for name in required:
+        if fields.get(name) is None:
+            raise ConfigError(
+                "{}: {!r} distribution needs {!r}".format(context, kind, name)
+            )
+        kwargs[name] = fields[name]
+    for name, default in defaults.items():
+        kwargs[name] = fields[name] if fields.get(name) is not None else default
+    return factory(**kwargs)
+
+
+_TRAFFIC_KINDS = {
+    "closedloop": (
+        ClosedLoopGenerator, ("words",), {"mean_think": 0, "flow": None}
+    ),
+    "saturating": (
+        SaturatingGenerator, ("words",), {"depth": 2, "flow": None}
+    ),
+    "poisson": (PoissonGenerator, ("words", "rate"), {"flow": None}),
+    "periodic": (
+        PeriodicGenerator, ("words", "period"), {"phase": 0, "flow": None}
+    ),
+    "onoff": (
+        OnOffGenerator,
+        ("words", "on_rate", "mean_on", "mean_off"),
+        {"start_on": False, "flow": None},
+    ),
+}
+
+
+def build_traffic_source(spec, name, interface, seed, context="traffic"):
+    """Instantiate a traffic generator from its spec."""
+    all_fields = set()
+    for _, required, defaults in _TRAFFIC_KINDS.values():
+        all_fields.update(required)
+        all_fields.update(defaults)
+    fields = _take(
+        spec, context, required=("kind",),
+        optional={field: None for field in all_fields},
+    )
+    kind = fields["kind"]
+    if kind not in _TRAFFIC_KINDS:
+        raise ConfigError(
+            "{}: unknown traffic kind {!r}; choose from {}".format(
+                context, kind, sorted(_TRAFFIC_KINDS)
+            )
+        )
+    factory, required, defaults = _TRAFFIC_KINDS[kind]
+    kwargs = {}
+    for field in required:
+        if fields.get(field) is None:
+            raise ConfigError(
+                "{}: {!r} traffic needs {!r}".format(context, kind, field)
+            )
+        kwargs[field] = fields[field]
+    for field, default in defaults.items():
+        value = fields.get(field)
+        kwargs[field] = value if value is not None else default
+    if "words" in kwargs:
+        # Periodic sources accept a plain integer word count.
+        if isinstance(kwargs["words"], int):
+            if kind != "periodic":
+                kwargs["words"] = FixedWords(kwargs["words"])
+        else:
+            kwargs["words"] = build_words_distribution(
+                kwargs["words"], context + ".words"
+            )
+    return factory(name, interface, seed=seed, **kwargs)
+
+
+def build_system(spec):
+    """Build ``(BusSystem, SharedBus)`` from a specification dict."""
+    top = _take(
+        spec, "spec", required=("bus", "masters"),
+        optional={"slaves": [{"name": "mem"}], "seed": 0, "name": "soc"},
+    )
+    bus_spec = _take(
+        top["bus"], "bus", required=("arbiter",),
+        optional={
+            "weights": None,
+            "max_burst": 16,
+            "arbitration_cycles": 0,
+            "preemptive": False,
+            "arbiter_options": {},
+        },
+    )
+    masters_spec = top["masters"]
+    if not isinstance(masters_spec, list) or not masters_spec:
+        raise ConfigError("masters: expected a non-empty list")
+
+    num_masters = len(masters_spec)
+    arbiter = make_arbiter(
+        bus_spec["arbiter"],
+        num_masters,
+        bus_spec["weights"],
+        **bus_spec["arbiter_options"]
+    )
+
+    slaves = []
+    for index, slave_spec in enumerate(top["slaves"]):
+        fields = _take(
+            slave_spec, "slaves[{}]".format(index), required=("name",),
+            optional={"setup_wait_states": 0, "per_word_wait_states": 0},
+        )
+        slaves.append(
+            Slave(
+                fields["name"],
+                index,
+                setup_wait_states=fields["setup_wait_states"],
+                per_word_wait_states=fields["per_word_wait_states"],
+            )
+        )
+
+    system = BusSystem()
+    interfaces = []
+    generators = []
+    for index, master_spec in enumerate(masters_spec):
+        fields = _take(
+            master_spec, "masters[{}]".format(index), required=("name",),
+            optional={"traffic": None, "max_queue": None},
+        )
+        interface = MasterInterface(
+            fields["name"], index, max_queue=fields["max_queue"]
+        )
+        interfaces.append(interface)
+        if fields["traffic"] is not None:
+            generators.append(
+                build_traffic_source(
+                    fields["traffic"],
+                    fields["name"] + ".traffic",
+                    interface,
+                    seed=top["seed"] + index,
+                    context="masters[{}].traffic".format(index),
+                )
+            )
+
+    bus = SharedBus(
+        top["name"],
+        interfaces,
+        arbiter,
+        slaves=slaves,
+        max_burst=bus_spec["max_burst"],
+        arbitration_cycles=bus_spec["arbitration_cycles"],
+        preemptive=bus_spec["preemptive"],
+    )
+    for generator in generators:
+        system.add_generator(generator)
+    system.add_bus(bus)
+    return system, bus
+
+
+def load_system(path):
+    """Build a system from a JSON specification file."""
+    with open(path) as handle:
+        spec = json.load(handle)
+    return build_system(spec)

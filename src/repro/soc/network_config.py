@@ -1,0 +1,151 @@
+"""Declarative construction of multi-channel bus networks.
+
+Extends :mod:`repro.soc.config` to Section 4.1's "arbitrary network of
+shared channels".  The specification::
+
+    {
+      "seed": 0,
+      "channels": [
+        {"name": "sys", "arbiter": "lottery-static", "max_burst": 16},
+        {"name": "periph", "arbiter": "tdma"}
+      ],
+      "bridges": [
+        {"from": "sys", "to": "periph", "weight": 1}
+      ],
+      "masters": [
+        {"name": "cpu", "channel": "sys", "weight": 3,
+         "traffic": {...}, "target": "sram"}
+      ],
+      "slaves": [
+        {"name": "sram", "channel": "sys"},
+        {"name": "uart", "channel": "periph"}
+      ]
+    }
+
+Each channel's arbiter is built from the weights of the masters that
+ended up on it (bridges included), in registration order.  Traffic
+sources must target a slave on their master's own channel; cross-
+channel transactions are issued programmatically through the returned
+:class:`~repro.bus.network.BusNetwork`'s ``submit`` (which routes over
+bridges automatically).
+"""
+
+from repro.arbiters.registry import make_arbiter
+from repro.bus.network import BusNetwork
+from repro.soc.config import ConfigError, _take, build_traffic_source
+
+
+def build_network(spec):
+    """Build ``(BusNetwork, BusSystem)`` from a network specification."""
+    top = _take(
+        spec, "spec", required=("channels", "masters", "slaves"),
+        optional={"bridges": [], "seed": 0},
+    )
+
+    net = BusNetwork()
+    channel_specs = {}
+    channel_weights = {}
+
+    if not isinstance(top["channels"], list) or not top["channels"]:
+        raise ConfigError("channels: expected a non-empty list")
+    for index, channel_spec in enumerate(top["channels"]):
+        fields = _take(
+            channel_spec, "channels[{}]".format(index),
+            required=("name", "arbiter"),
+            optional={"max_burst": 16, "arbiter_options": {}},
+        )
+        name = fields["name"]
+        channel_specs[name] = fields
+        channel_weights[name] = []
+
+        def factory(num_masters, _name=name):
+            channel = channel_specs[_name]
+            weights = channel_weights[_name]
+            if len(weights) != num_masters:
+                raise ConfigError(
+                    "channel {!r}: weight bookkeeping mismatch".format(_name)
+                )
+            return make_arbiter(
+                channel["arbiter"],
+                num_masters,
+                list(weights),
+                **channel["arbiter_options"]
+            )
+
+        net.add_channel(name, factory, max_burst=fields["max_burst"])
+
+    slave_channel = {}
+    for index, slave_spec in enumerate(top["slaves"]):
+        fields = _take(
+            slave_spec, "slaves[{}]".format(index),
+            required=("name", "channel"),
+            optional={"setup_wait_states": 0, "per_word_wait_states": 0},
+        )
+        net.add_slave(
+            fields["name"],
+            fields["channel"],
+            setup_wait_states=fields["setup_wait_states"],
+            per_word_wait_states=fields["per_word_wait_states"],
+        )
+        slave_channel[fields["name"]] = fields["channel"]
+
+    master_fields = []
+    for index, master_spec in enumerate(top["masters"]):
+        fields = _take(
+            master_spec, "masters[{}]".format(index),
+            required=("name", "channel"),
+            optional={"weight": 1, "traffic": None, "target": None},
+        )
+        if fields["weight"] < 1:
+            raise ConfigError(
+                "masters[{}]: weight must be >= 1".format(index)
+            )
+        net.add_master(fields["name"], fields["channel"])
+        channel_weights[fields["channel"]].append(fields["weight"])
+        master_fields.append(fields)
+
+    for index, bridge_spec in enumerate(top["bridges"]):
+        fields = _take(
+            bridge_spec, "bridges[{}]".format(index),
+            required=("from", "to"),
+            optional={"weight": 1, "forwarding_delay": 1},
+        )
+        net.add_bridge(
+            fields["from"], fields["to"],
+            forwarding_delay=fields["forwarding_delay"],
+        )
+        channel_weights[fields["to"]].append(fields["weight"])
+
+    system = net.build()
+
+    # Traffic sources, now that interfaces exist.
+    for index, fields in enumerate(master_fields):
+        if fields["traffic"] is None:
+            continue
+        target = fields["target"]
+        if target is None:
+            raise ConfigError(
+                "masters[{}]: traffic needs a target slave".format(index)
+            )
+        if target not in slave_channel:
+            raise ConfigError(
+                "masters[{}]: unknown target {!r}".format(index, target)
+            )
+        if slave_channel[target] != fields["channel"]:
+            raise ConfigError(
+                "masters[{}]: generator targets must live on the master's "
+                "own channel; drive cross-channel traffic through "
+                "BusNetwork.submit".format(index)
+            )
+        interface = net.interface(fields["name"])
+        source = build_traffic_source(
+            fields["traffic"],
+            fields["name"] + ".traffic",
+            interface,
+            seed=top["seed"] + index,
+            context="masters[{}].traffic".format(index),
+        )
+        source.slave = net._slave_ids[target]
+        system.add_generator(source)
+
+    return net, system

@@ -1,0 +1,68 @@
+"""Ready-made system specifications.
+
+Each preset is a plain dict consumable by
+:func:`repro.soc.config.build_system` — a starting point for users who
+want to tweak the paper's systems without writing Python.
+"""
+
+import copy
+
+
+def _testbed(arbiter):
+    """The 4-master performance test-bed with saturating traffic."""
+    return {
+        "name": "testbed",
+        "seed": 1,
+        "bus": {
+            "arbiter": arbiter,
+            "weights": [1, 2, 3, 4],
+            "max_burst": 16,
+        },
+        "slaves": [{"name": "shared_mem"}],
+        "masters": [
+            {
+                "name": "m{}".format(i + 1),
+                "traffic": {
+                    "kind": "closedloop",
+                    "words": {"kind": "uniform", "low": 1, "high": 4},
+                },
+            }
+            for i in range(4)
+        ],
+    }
+
+
+PRESETS = {
+    "testbed-lottery": _testbed("lottery-static"),
+    "testbed-tdma": _testbed("tdma"),
+    "testbed-priority": _testbed("static-priority"),
+    "bursty-lottery": {
+        "name": "bursty",
+        "seed": 1,
+        "bus": {"arbiter": "lottery-static", "weights": [1, 2, 3, 4]},
+        "slaves": [{"name": "shared_mem"}],
+        "masters": [
+            {
+                "name": "m{}".format(i + 1),
+                "traffic": {
+                    "kind": "onoff",
+                    "words": {"kind": "fixed", "words": 4},
+                    "on_rate": 0.15,
+                    "mean_on": 80,
+                    "mean_off": 600,
+                },
+            }
+            for i in range(4)
+        ],
+    },
+}
+
+
+def get_preset(name):
+    """A deep copy of a named preset (safe to mutate)."""
+    try:
+        return copy.deepcopy(PRESETS[name])
+    except KeyError:
+        raise ValueError(
+            "unknown preset {!r}; available: {}".format(name, sorted(PRESETS))
+        )

@@ -1,0 +1,75 @@
+"""Message-size distributions for traffic generators."""
+
+
+class WordsDistribution:
+    """Base class: callable returning a message size in words (>= 1)."""
+
+    def sample(self, rng):
+        raise NotImplementedError
+
+    def mean(self):
+        """Expected words per message (used for offered-load math)."""
+        raise NotImplementedError
+
+
+class FixedWords(WordsDistribution):
+    """Every message carries exactly ``words`` words."""
+
+    def __init__(self, words):
+        if words < 1:
+            raise ValueError("words must be >= 1")
+        self.words = int(words)
+
+    def sample(self, rng):
+        return self.words
+
+    def mean(self):
+        return float(self.words)
+
+    def __repr__(self):
+        return "FixedWords({})".format(self.words)
+
+
+class UniformWords(WordsDistribution):
+    """Message size uniform over ``[low, high]`` inclusive."""
+
+    def __init__(self, low, high):
+        if low < 1 or high < low:
+            raise ValueError("need 1 <= low <= high")
+        self.low = int(low)
+        self.high = int(high)
+
+    def sample(self, rng):
+        return rng.randint(self.low, self.high)
+
+    def mean(self):
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self):
+        return "UniformWords({}, {})".format(self.low, self.high)
+
+
+class GeometricWords(WordsDistribution):
+    """Geometric message size with the given mean, capped at ``cap``.
+
+    Geometric sizes model the heavy-tailed bursts of DMA-style traffic.
+    """
+
+    def __init__(self, mean_words, cap=256):
+        if mean_words < 1:
+            raise ValueError("mean must be >= 1")
+        if cap < 1:
+            raise ValueError("cap must be >= 1")
+        self.mean_words = float(mean_words)
+        self.cap = int(cap)
+
+    def sample(self, rng):
+        return min(rng.geometric(1.0 / self.mean_words), self.cap)
+
+    def mean(self):
+        # The cap truncates the tail; for cap >> mean the error is tiny
+        # and offered-load planning does not need better.
+        return self.mean_words
+
+    def __repr__(self):
+        return "GeometricWords(mean={}, cap={})".format(self.mean_words, self.cap)

@@ -1,0 +1,55 @@
+"""Deterministic request patterns (Figure 5's symbolic traces).
+
+Figure 5 contrasts two periodic request traces on a three-master TDMA
+bus: Trace 1 arrives time-aligned with the timing-wheel reservations and
+waits ~1 slot per transaction; Trace 2 is the identical pattern phase-
+shifted, and waits ~3+ slots.  :class:`PatternGenerator` emits an
+explicit list of (cycle, words) events, optionally repeating with a
+period, so both traces can be written down literally.
+"""
+
+from repro.sim.component import Component
+
+
+class PatternGenerator(Component):
+    """Replays an explicit request schedule into a master interface.
+
+    :param events: iterable of ``(cycle, words)`` pairs, cycle >= 0.
+    :param repeat_period: when given, the schedule repeats every that
+        many cycles (events are offsets within the period).
+    """
+
+    def __init__(self, name, interface, events, repeat_period=None, slave=0):
+        super().__init__(name)
+        events = sorted((int(c), int(w)) for c, w in events)
+        if any(c < 0 or w < 1 for c, w in events):
+            raise ValueError("events need cycle >= 0 and words >= 1")
+        if repeat_period is not None:
+            if repeat_period < 1:
+                raise ValueError("repeat_period must be >= 1")
+            if events and events[-1][0] >= repeat_period:
+                raise ValueError("event offsets must lie within the period")
+        self.interface = interface
+        self.events = events
+        self.repeat_period = repeat_period
+        self.slave = slave
+        self.messages_emitted = 0
+
+    def reset(self):
+        self.messages_emitted = 0
+
+    def tick(self, cycle):
+        when = cycle if self.repeat_period is None else cycle % self.repeat_period
+        for event_cycle, words in self.events:
+            if event_cycle == when:
+                self.interface.submit(words, cycle, slave=self.slave)
+                self.messages_emitted += 1
+
+
+def phase_shifted(events, shift, period):
+    """Shift a periodic schedule by ``shift`` cycles within ``period``.
+
+    This is how Figure 5's Trace 2 relates to Trace 1: "identical ...
+    except for a phase shift".
+    """
+    return sorted(((cycle + shift) % period, words) for cycle, words in events)

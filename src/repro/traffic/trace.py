@@ -1,0 +1,157 @@
+"""Record and replay of communication request traces.
+
+A :class:`Trace` is a list of (cycle, master, words, slave) arrival
+events.  Traces let an experiment present *identical* offered traffic to
+different arbiters (record once with a :class:`TraceRecorder`, replay
+through :class:`TraceReplayGenerator` per architecture), and can be
+saved to / loaded from JSON for regression fixtures.
+"""
+
+import json
+
+from repro.sim.component import Component
+
+
+class TraceEvent:
+    __slots__ = ("cycle", "master", "words", "slave")
+
+    def __init__(self, cycle, master, words, slave=0):
+        if cycle < 0 or master < 0 or words < 1 or slave < 0:
+            raise ValueError("invalid trace event")
+        self.cycle = cycle
+        self.master = master
+        self.words = words
+        self.slave = slave
+
+    def to_list(self):
+        return [self.cycle, self.master, self.words, self.slave]
+
+    def __eq__(self, other):
+        return isinstance(other, TraceEvent) and self.to_list() == other.to_list()
+
+    def __repr__(self):
+        return "TraceEvent(cycle={}, master={}, words={})".format(
+            self.cycle, self.master, self.words
+        )
+
+
+class Trace:
+    """An ordered list of arrival events."""
+
+    def __init__(self, events=(), num_masters=None):
+        self.events = sorted(events, key=lambda e: (e.cycle, e.master))
+        if num_masters is None:
+            num_masters = 1 + max((e.master for e in self.events), default=-1)
+        self.num_masters = max(num_masters, 1)
+
+    def add(self, cycle, master, words, slave=0):
+        self.events.append(TraceEvent(cycle, master, words, slave))
+        self.num_masters = max(self.num_masters, master + 1)
+
+    def __len__(self):
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def total_words(self, master=None):
+        return sum(
+            e.words for e in self.events if master is None or e.master == master
+        )
+
+    def duration(self):
+        """Cycle of the last arrival (0 for an empty trace)."""
+        return self.events[-1].cycle if self.events else 0
+
+    def offered_load(self):
+        """Mean words per cycle over the trace's span."""
+        if not self.events:
+            return 0.0
+        return self.total_words() / (self.duration() + 1)
+
+    def save(self, path):
+        payload = {
+            "num_masters": self.num_masters,
+            "events": [e.to_list() for e in self.events],
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+
+    @classmethod
+    def load(cls, path):
+        with open(path) as handle:
+            payload = json.load(handle)
+        events = [TraceEvent(*record) for record in payload["events"]]
+        return cls(events, num_masters=payload["num_masters"])
+
+    @classmethod
+    def capture(cls, traffic_class, cycles, seed=0):
+        """Record the arrivals a traffic class would generate.
+
+        Runs the class's generators against sink interfaces for
+        ``cycles`` cycles and returns the resulting trace; the trace can
+        then be replayed identically against any arbiter.
+        """
+        from repro.sim.kernel import Simulator
+
+        recorder = TraceRecorder(traffic_class.num_masters)
+        simulator = Simulator()
+        for master_id in range(traffic_class.num_masters):
+            sink = recorder.interface(master_id)
+            simulator.add(traffic_class.build(master_id, sink, seed=seed))
+        simulator.run(cycles)
+        return recorder.trace
+
+
+class _RecordingInterface:
+    """Duck-typed MasterInterface that only records submissions."""
+
+    def __init__(self, trace, master_id):
+        self._trace = trace
+        self.master_id = master_id
+        self.queue_depth = 0  # always drains: generators see an empty queue
+
+    def submit(self, words, cycle, slave=0, tag=None, flow=None):
+        self._trace.add(cycle, self.master_id, words, slave)
+        return None
+
+
+class TraceRecorder:
+    """Collects submissions from generators into a :class:`Trace`.
+
+    Note: recording uses always-empty sink interfaces, so closed-loop
+    (saturating) generators emit at their queue-depth rate every cycle;
+    trace capture is intended for open-loop (rate-based) classes.
+    """
+
+    def __init__(self, num_masters):
+        self.trace = Trace(num_masters=num_masters)
+        self._interfaces = [
+            _RecordingInterface(self.trace, m) for m in range(num_masters)
+        ]
+
+    def interface(self, master_id):
+        return self._interfaces[master_id]
+
+
+class TraceReplayGenerator(Component):
+    """Replays one master's slice of a trace into a real interface."""
+
+    def __init__(self, name, interface, trace, master_id):
+        super().__init__(name)
+        self.interface = interface
+        self.master_id = master_id
+        self._events = [e for e in trace if e.master == master_id]
+        self._cursor = 0
+
+    def reset(self):
+        self._cursor = 0
+
+    def tick(self, cycle):
+        while (
+            self._cursor < len(self._events)
+            and self._events[self._cursor].cycle <= cycle
+        ):
+            event = self._events[self._cursor]
+            self.interface.submit(event.words, cycle, slave=event.slave)
+            self._cursor += 1

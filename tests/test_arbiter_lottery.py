@@ -1,0 +1,90 @@
+"""Tests for the LOTTERYBUS arbiter wrappers."""
+
+import pytest
+
+from repro.arbiters.lottery import DynamicLotteryArbiter, StaticLotteryArbiter
+from repro.core.lottery_manager import StaticLotteryManager
+
+
+def test_static_arbiter_grants_a_pending_master():
+    arbiter = StaticLotteryArbiter(tickets=[1, 2, 3, 4])
+    for cycle in range(50):
+        grant = arbiter.arbitrate(cycle, [4, 0, 4, 0])
+        assert grant.master in (0, 2)
+
+
+def test_no_requests_no_grant():
+    arbiter = StaticLotteryArbiter(tickets=[1, 2])
+    assert arbiter.arbitrate(0, [0, 0]) is None
+    assert arbiter.last_outcome is None
+
+
+def test_sole_requester_always_wins():
+    arbiter = StaticLotteryArbiter(tickets=[1, 2, 3])
+    for cycle in range(20):
+        assert arbiter.arbitrate(cycle, [0, 5, 0]).master == 1
+
+
+def test_grant_frequency_tracks_tickets():
+    arbiter = StaticLotteryArbiter(tickets=[1, 3])
+    counts = [0, 0]
+    for cycle in range(8000):
+        counts[arbiter.arbitrate(cycle, [1, 1]).master] += 1
+    share = counts[1] / sum(counts)
+    assert share == pytest.approx(0.75, abs=0.04)
+
+
+def test_prebuilt_manager_accepted():
+    manager = StaticLotteryManager([2, 2])
+    arbiter = StaticLotteryArbiter(manager=manager)
+    assert arbiter.manager is manager
+    assert arbiter.num_masters == 2
+
+
+def test_manager_and_tickets_are_exclusive():
+    manager = StaticLotteryManager([2, 2])
+    with pytest.raises(ValueError):
+        StaticLotteryArbiter(tickets=[1, 1], manager=manager)
+    with pytest.raises(ValueError):
+        StaticLotteryArbiter()
+
+
+def test_rejection_policy_may_skip_a_round():
+    # With tickets [3, 2] (total 5 -> scaled 8... keep unscaled) a
+    # rejection draw beyond the contending range yields no grant.
+    arbiter = StaticLotteryArbiter(
+        tickets=[3, 2], scale=False, draw_policy="rejection"
+    )
+    outcomes = [arbiter.arbitrate(c, [1, 0]) for c in range(200)]
+    skipped = sum(1 for g in outcomes if g is None)
+    granted = sum(1 for g in outcomes if g is not None)
+    assert granted > 0
+    assert skipped > 0  # draws in [3, 4) of the 4-wide window miss
+
+
+def test_dynamic_arbiter_ticket_updates_shift_shares():
+    arbiter = DynamicLotteryArbiter(tickets=[1, 1])
+    counts = [0, 0]
+    for cycle in range(4000):
+        counts[arbiter.arbitrate(cycle, [1, 1]).master] += 1
+    assert counts[0] / sum(counts) == pytest.approx(0.5, abs=0.05)
+
+    arbiter.set_tickets(0, 9)
+    counts = [0, 0]
+    for cycle in range(4000):
+        counts[arbiter.arbitrate(cycle, [1, 1]).master] += 1
+    assert counts[0] / sum(counts) == pytest.approx(0.9, abs=0.05)
+
+
+def test_dynamic_set_all_tickets():
+    arbiter = DynamicLotteryArbiter(tickets=[1, 1, 1])
+    arbiter.set_all_tickets([5, 6, 7])
+    assert arbiter.tickets == (5, 6, 7)
+
+
+def test_reset_rewinds_random_source():
+    arbiter = StaticLotteryArbiter(tickets=[1, 2, 3])
+    first = [arbiter.arbitrate(c, [1, 1, 1]).master for c in range(30)]
+    arbiter.reset()
+    second = [arbiter.arbitrate(c, [1, 1, 1]).master for c in range(30)]
+    assert first == second

@@ -1,0 +1,53 @@
+"""Tests for name-based arbiter construction."""
+
+import pytest
+
+from repro.arbiters.registry import available_arbiters, make_arbiter
+from repro.arbiters.static_priority import StaticPriorityArbiter
+from repro.arbiters.tdma import TdmaArbiter
+
+
+def test_every_listed_arbiter_constructs():
+    for name in available_arbiters():
+        arbiter = make_arbiter(name, 4, [1, 2, 3, 4])
+        assert arbiter.num_masters == 4
+
+
+def test_priority_ranks_follow_weights():
+    arbiter = make_arbiter("static-priority", 4, [5, 40, 10, 20])
+    assert isinstance(arbiter, StaticPriorityArbiter)
+    # Larger weight -> higher priority rank.
+    assert arbiter.priorities == (1, 4, 2, 3)
+
+
+def test_priority_ties_break_toward_lower_index():
+    arbiter = make_arbiter("static-priority", 3, [7, 7, 1])
+    # Master 0 outranks master 1 on equal weight.
+    assert arbiter.priorities[0] > arbiter.priorities[1]
+
+
+def test_tdma_weights_become_slot_counts():
+    arbiter = make_arbiter("tdma", 3, [1, 2, 3])
+    assert isinstance(arbiter, TdmaArbiter)
+    assert arbiter.slot_counts() == [1, 2, 3]
+
+
+def test_kwargs_reach_the_arbiter():
+    arbiter = make_arbiter("tdma", 2, [1, 1], reclaim="none")
+    assert arbiter.reclaim == "none"
+
+
+def test_default_weights_are_uniform():
+    arbiter = make_arbiter("tdma", 3)
+    assert arbiter.slot_counts() == [1, 1, 1]
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(ValueError):
+        make_arbiter("fifo", 2)
+
+
+@pytest.mark.parametrize("weights", [[1, 2], [0, 1, 1], [1, -1, 1]])
+def test_bad_weights_rejected(weights):
+    with pytest.raises(ValueError):
+        make_arbiter("lottery-static", 3, weights)

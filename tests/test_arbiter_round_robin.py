@@ -1,0 +1,44 @@
+"""Tests for the round-robin arbiter."""
+
+from repro.arbiters.round_robin import RoundRobinArbiter
+from repro.bus.transaction import Grant
+
+
+def test_cycles_through_pending_masters():
+    arbiter = RoundRobinArbiter(3)
+    grants = [arbiter.arbitrate(c, [1, 1, 1]).master for c in range(6)]
+    assert grants == [0, 1, 2, 0, 1, 2]
+
+
+def test_skips_idle_masters():
+    arbiter = RoundRobinArbiter(3)
+    grants = [arbiter.arbitrate(c, [1, 0, 1]).master for c in range(4)]
+    assert grants == [0, 2, 0, 2]
+
+
+def test_pointer_survives_idle_rounds():
+    arbiter = RoundRobinArbiter(3)
+    assert arbiter.arbitrate(0, [1, 1, 1]) == Grant(0)
+    assert arbiter.arbitrate(1, [0, 0, 0]) is None
+    assert arbiter.arbitrate(2, [1, 1, 1]) == Grant(1)
+
+
+def test_sole_requester_gets_every_grant():
+    arbiter = RoundRobinArbiter(4)
+    for c in range(5):
+        assert arbiter.arbitrate(c, [0, 0, 3, 0]) == Grant(2)
+
+
+def test_reset_restores_pointer():
+    arbiter = RoundRobinArbiter(3)
+    arbiter.arbitrate(0, [1, 1, 1])
+    arbiter.reset()
+    assert arbiter.arbitrate(1, [1, 1, 1]) == Grant(0)
+
+
+def test_fairness_over_long_run():
+    arbiter = RoundRobinArbiter(4)
+    counts = [0] * 4
+    for c in range(400):
+        counts[arbiter.arbitrate(c, [1, 1, 1, 1]).master] += 1
+    assert counts == [100, 100, 100, 100]

@@ -1,0 +1,41 @@
+"""Tests for the static priority arbiter."""
+
+import pytest
+
+from repro.arbiters.static_priority import StaticPriorityArbiter
+from repro.bus.transaction import Grant
+
+
+def test_grants_highest_priority_pending():
+    arbiter = StaticPriorityArbiter([1, 3, 2])
+    assert arbiter.arbitrate(0, [5, 5, 5]) == Grant(1)
+    assert arbiter.arbitrate(0, [5, 0, 5]) == Grant(2)
+    assert arbiter.arbitrate(0, [5, 0, 0]) == Grant(0)
+
+
+def test_no_pending_returns_none():
+    arbiter = StaticPriorityArbiter([1, 2])
+    assert arbiter.arbitrate(0, [0, 0]) is None
+
+
+def test_grant_has_no_word_cap():
+    arbiter = StaticPriorityArbiter([1, 2])
+    grant = arbiter.arbitrate(0, [0, 9])
+    assert grant.max_words is None
+
+
+def test_duplicate_priorities_rejected():
+    with pytest.raises(ValueError):
+        StaticPriorityArbiter([1, 1, 2])
+
+
+def test_pending_length_checked():
+    arbiter = StaticPriorityArbiter([1, 2])
+    with pytest.raises(ValueError):
+        arbiter.arbitrate(0, [1])
+
+
+def test_decision_is_stateless():
+    arbiter = StaticPriorityArbiter([2, 1])
+    for _ in range(5):
+        assert arbiter.arbitrate(0, [1, 1]) == Grant(0)

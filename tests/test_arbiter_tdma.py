@@ -1,0 +1,91 @@
+"""Tests for the two-level TDMA arbiter."""
+
+import pytest
+
+from repro.arbiters.tdma import TdmaArbiter
+from repro.bus.transaction import Grant
+
+
+def test_level_one_follows_the_wheel():
+    arbiter = TdmaArbiter(2, [0, 0, 1])
+    grants = [arbiter.arbitrate(c, [9, 9]).master for c in range(6)]
+    assert grants == [0, 0, 1, 0, 0, 1]
+    assert arbiter.level_one_grants == 6
+
+
+def test_grants_are_single_word():
+    arbiter = TdmaArbiter(2, [0, 1])
+    assert arbiter.arbitrate(0, [9, 9]) == Grant(0, max_words=1)
+
+
+def test_wheel_rotates_even_when_slot_wasted():
+    arbiter = TdmaArbiter(2, [0, 1], reclaim="none")
+    assert arbiter.arbitrate(0, [0, 5]) is None  # master 0's slot wasted
+    assert arbiter.arbitrate(1, [0, 5]) == Grant(1, max_words=1)
+    assert arbiter.wasted_slots == 1
+
+
+def test_scan_reclaim_hands_idle_slot_to_next_requester():
+    arbiter = TdmaArbiter(3, [0, 1, 2], reclaim="scan")
+    # Slot owner 0 is idle; rr starts at 0, so master 1 reclaims.
+    grant = arbiter.arbitrate(0, [0, 4, 4])
+    assert grant == Grant(1, max_words=1)
+    assert arbiter.level_two_grants == 1
+
+
+def test_scan_reclaim_round_robin_rotation():
+    arbiter = TdmaArbiter(4, [0] * 8, reclaim="scan")
+    grants = [arbiter.arbitrate(c, [0, 1, 1, 1]).master for c in range(6)]
+    assert grants == [1, 2, 3, 1, 2, 3]
+
+
+def test_single_reclaim_checks_one_candidate_per_slot():
+    arbiter = TdmaArbiter(4, [0] * 8, reclaim="single")
+    # rr=0; candidates advance 1,2,3,0,... one per wasted/owned slot.
+    # Only master 3 requests: slots are wasted until the candidate hits 3.
+    results = [arbiter.arbitrate(c, [0, 0, 0, 7]) for c in range(3)]
+    assert results[0] is None  # candidate 1
+    assert results[1] is None  # candidate 2
+    assert results[2] == Grant(3, max_words=1)  # candidate 3
+    assert arbiter.wasted_slots == 2
+
+
+def test_from_slot_counts_builds_contiguous_blocks():
+    arbiter = TdmaArbiter.from_slot_counts([1, 2, 3])
+    assert arbiter.slots == (0, 1, 1, 2, 2, 2)
+    assert arbiter.slot_counts() == [1, 2, 3]
+
+
+def test_bandwidth_proportional_to_slots_under_saturation():
+    arbiter = TdmaArbiter.from_slot_counts([1, 2, 3, 4])
+    counts = [0] * 4
+    for c in range(1000):
+        counts[arbiter.arbitrate(c, [1, 1, 1, 1]).master] += 1
+    assert counts == [100, 200, 300, 400]
+
+
+def test_reset_restores_wheel_and_pointers():
+    arbiter = TdmaArbiter(2, [0, 1])
+    arbiter.arbitrate(0, [1, 1])
+    arbiter.reset()
+    assert arbiter.current_owner == 0
+    assert arbiter.level_one_grants == 0
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"num_masters": 2, "slots": []},
+        {"num_masters": 2, "slots": [0, 2]},
+        {"num_masters": 2, "slots": [0, 1], "reclaim": "bogus"},
+    ],
+)
+def test_constructor_validation(kwargs):
+    with pytest.raises(ValueError):
+        TdmaArbiter(**kwargs)
+
+
+def test_empty_pending_rotates_and_returns_none():
+    arbiter = TdmaArbiter(2, [0, 1])
+    assert arbiter.arbitrate(0, [0, 0]) is None
+    assert arbiter.current_owner == 1

@@ -1,0 +1,55 @@
+"""Tests for the token-ring arbiter."""
+
+import pytest
+
+from repro.arbiters.token_ring import TokenRingArbiter
+from repro.bus.transaction import Grant
+
+
+def test_holder_with_request_is_granted():
+    arbiter = TokenRingArbiter(3)
+    assert arbiter.arbitrate(0, [1, 1, 1]) == Grant(0)
+    assert arbiter.holder == 0
+
+
+def test_token_passes_when_holder_idle():
+    arbiter = TokenRingArbiter(3)
+    assert arbiter.arbitrate(0, [0, 1, 0]) is None  # hop 0 -> 1
+    assert arbiter.arbitrate(1, [0, 1, 0]) == Grant(1)
+    assert arbiter.token_passes == 1
+
+
+def test_hop_costs_one_cycle_per_station():
+    arbiter = TokenRingArbiter(4)
+    # Only master 3 requests; token hops 0->1->2->3 over three calls.
+    assert arbiter.arbitrate(0, [0, 0, 0, 1]) is None
+    assert arbiter.arbitrate(1, [0, 0, 0, 1]) is None
+    assert arbiter.arbitrate(2, [0, 0, 0, 1]) is None
+    assert arbiter.arbitrate(3, [0, 0, 0, 1]) == Grant(3)
+
+
+def test_hold_limit_forces_token_release():
+    arbiter = TokenRingArbiter(2, hold_limit=2)
+    assert arbiter.arbitrate(0, [1, 1]) == Grant(0)
+    assert arbiter.arbitrate(1, [1, 1]) == Grant(0)
+    assert arbiter.arbitrate(2, [1, 1]) is None  # limit hit: token passes
+    assert arbiter.arbitrate(3, [1, 1]) == Grant(1)
+
+
+def test_unlimited_hold_keeps_token_while_pending():
+    arbiter = TokenRingArbiter(2)
+    for c in range(10):
+        assert arbiter.arbitrate(c, [1, 1]) == Grant(0)
+
+
+def test_reset_returns_token_to_station_zero():
+    arbiter = TokenRingArbiter(3)
+    arbiter.arbitrate(0, [0, 0, 1])
+    arbiter.reset()
+    assert arbiter.holder == 0
+    assert arbiter.token_passes == 0
+
+
+def test_bad_hold_limit_rejected():
+    with pytest.raises(ValueError):
+        TokenRingArbiter(2, hold_limit=0)

@@ -1,0 +1,118 @@
+"""Tests for ATM switch building blocks."""
+
+import pytest
+
+from repro.atm.cell import ATMCell, CELL_WORDS
+from repro.atm.queue import OutputQueue
+from repro.atm.shared_memory import SharedCellMemory
+from repro.atm.workload import (
+    BernoulliArrivals,
+    OnOffArrivals,
+    PeriodicBurstArrivals,
+    PortWorkload,
+)
+
+
+def test_cell_words_is_ceiling_of_53_bytes():
+    assert CELL_WORDS == 14
+
+
+def test_cell_latency_accounting():
+    cell = ATMCell(port=1, sequence=0, arrival_cycle=10)
+    assert not cell.forwarded
+    with pytest.raises(ValueError):
+        cell.switch_latency
+    cell.forward_cycle = 35
+    assert cell.switch_latency == 25
+
+
+def test_cell_validation():
+    with pytest.raises(ValueError):
+        ATMCell(-1, 0, 0)
+
+
+def test_queue_fifo_order_and_depth_stats():
+    queue = OutputQueue(0)
+    cells = [ATMCell(0, i, i) for i in range(3)]
+    for cell in cells:
+        assert queue.enqueue(cell)
+    assert queue.max_depth == 3
+    out = [queue.dequeue(cycle=10) for _ in range(3)]
+    assert [c.sequence for c in out] == [0, 1, 2]
+    assert all(c.dequeue_cycle == 10 for c in out)
+
+
+def test_queue_capacity_drops():
+    queue = OutputQueue(0, capacity=2)
+    assert queue.enqueue(ATMCell(0, 0, 0))
+    assert queue.enqueue(ATMCell(0, 1, 0))
+    assert not queue.enqueue(ATMCell(0, 2, 0))
+    assert queue.dropped == 1
+    assert queue.enqueued == 2
+
+
+def test_memory_allocation_and_release():
+    memory = SharedCellMemory("mem", num_cells=2)
+    a = ATMCell(0, 0, 0)
+    b = ATMCell(0, 1, 0)
+    c = ATMCell(0, 2, 0)
+    assert memory.write_cell(a)
+    assert memory.write_cell(b)
+    assert not memory.write_cell(c)  # full
+    assert memory.write_failures == 1
+    assert memory.occupancy == 2
+    memory.read_cell(a)
+    assert memory.occupancy == 1
+    assert memory.write_cell(c)  # buffer recycled
+    assert {a.address, b.address, c.address} <= {0, 1}
+
+
+def test_memory_double_read_rejected():
+    memory = SharedCellMemory("mem", num_cells=4)
+    cell = ATMCell(0, 0, 0)
+    memory.write_cell(cell)
+    memory.read_cell(cell)
+    with pytest.raises(ValueError):
+        memory.read_cell(cell)
+
+
+def test_bernoulli_arrival_rate():
+    process = BernoulliArrivals(0.3)
+    process.bind(seed=1, port=0)
+    hits = sum(process.arrives(c) for c in range(10_000))
+    assert hits == pytest.approx(3000, rel=0.1)
+
+
+def test_zero_rate_never_arrives():
+    process = BernoulliArrivals(0.0)
+    process.bind(seed=1, port=0)
+    assert not any(process.arrives(c) for c in range(100))
+
+
+def test_onoff_arrivals_cluster():
+    process = OnOffArrivals(1.0, mean_on=5, mean_off=95)
+    process.bind(seed=3, port=0)
+    hits = [c for c in range(20_000) if process.arrives(c)]
+    rate = len(hits) / 20_000
+    assert rate == pytest.approx(0.05, rel=0.4)
+
+
+def test_periodic_burst_interval_within_bursts():
+    process = PeriodicBurstArrivals(interval=7, mean_on=10_000, mean_off=1)
+    process.bind(seed=2, port=0)
+    hits = [c for c in range(500) if process.arrives(c)]
+    gaps = {b - a for a, b in zip(hits, hits[1:])}
+    assert gaps == {7}
+
+
+def test_workload_table1_shape():
+    workload = PortWorkload.table1()
+    assert workload.num_ports == 4
+
+
+def test_arrival_reset_is_reproducible():
+    process = OnOffArrivals(0.5, mean_on=10, mean_off=30)
+    process.bind(seed=9, port=2)
+    first = [process.arrives(c) for c in range(500)]
+    process.reset()
+    assert [process.arrives(c) for c in range(500)] == first

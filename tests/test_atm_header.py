@@ -1,0 +1,83 @@
+"""Tests for ATM header encoding and HEC protection."""
+
+import pytest
+
+from repro.atm.header import (
+    compute_hec,
+    crc8,
+    decode_header,
+    encode_header,
+    locate_single_bit_error,
+    verify,
+)
+
+
+def test_crc8_known_vectors():
+    # CRC of all-zero input is zero; the generator is x^8+x^2+x+1.
+    assert crc8([0, 0, 0, 0]) == 0
+    # A single 0x01 in the last position passes through unreduced.
+    assert crc8([0x00, 0x00, 0x00, 0x01]) == 0x07
+
+
+def test_crc8_rejects_bad_octets():
+    with pytest.raises(ValueError):
+        crc8([256])
+
+
+def test_hec_includes_coset():
+    assert compute_hec([0, 0, 0, 0]) == 0x55
+
+
+def test_encode_decode_round_trip():
+    header = encode_header(vpi=42, vci=4097, pt=3, clp=1, gfc=2)
+    assert len(header) == 5
+    fields = decode_header(header)
+    assert fields == {"gfc": 2, "vpi": 42, "vci": 4097, "pt": 3, "clp": 1}
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"vpi": 256, "vci": 0},
+        {"vpi": 0, "vci": 1 << 16},
+        {"vpi": 0, "vci": 0, "pt": 8},
+        {"vpi": 0, "vci": 0, "clp": 2},
+        {"vpi": 0, "vci": 0, "gfc": 16},
+    ],
+)
+def test_encode_validation(kwargs):
+    with pytest.raises(ValueError):
+        encode_header(**kwargs)
+
+
+def test_verify_detects_corruption():
+    header = encode_header(vpi=1, vci=2)
+    assert verify(header)
+    corrupted = list(header)
+    corrupted[2] ^= 0x10
+    assert not verify(corrupted)
+    with pytest.raises(ValueError):
+        decode_header(corrupted)
+
+
+def test_every_single_bit_error_detected_and_located():
+    header = encode_header(vpi=77, vci=1234, pt=1)
+    for index in range(5):
+        for bit in range(8):
+            corrupted = list(header)
+            corrupted[index] ^= 1 << bit
+            assert not verify(corrupted)
+            assert locate_single_bit_error(corrupted) == (index, bit)
+
+
+def test_locate_returns_none_for_valid_header():
+    assert locate_single_bit_error(encode_header(vpi=1, vci=1)) is None
+
+
+def test_header_length_enforced():
+    with pytest.raises(ValueError):
+        verify([0, 0, 0, 0])
+    with pytest.raises(ValueError):
+        decode_header([0] * 6)
+    with pytest.raises(ValueError):
+        compute_hec([0] * 5)

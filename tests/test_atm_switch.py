@@ -1,0 +1,90 @@
+"""Tests for the assembled ATM switch."""
+
+import pytest
+
+from repro.arbiters.registry import make_arbiter
+from repro.arbiters.round_robin import RoundRobinArbiter
+from repro.atm.switch import OutputQueuedSwitch
+from repro.atm.workload import BernoulliArrivals, PortWorkload
+
+
+def make_switch(arbiter=None, rates=(0.01, 0.01, 0.01, 0.01), **kwargs):
+    workload = PortWorkload([BernoulliArrivals(r) for r in rates])
+    if arbiter is None:
+        arbiter = RoundRobinArbiter(len(rates))
+    return OutputQueuedSwitch(arbiter, workload, seed=4, **kwargs)
+
+
+def test_cells_flow_end_to_end():
+    switch = make_switch()
+    report = switch.run(20_000)
+    assert report.cells_arrived > 0
+    assert sum(report.cells_forwarded) > 0
+    assert report.cells_dropped == 0
+
+
+def test_no_payload_leaks_under_light_load():
+    switch = make_switch()
+    switch.run(20_000)
+    # Every arrived cell is either forwarded or still queued/in flight.
+    in_system = sum(len(q) for q in switch.queues)
+    in_flight = sum(1 for port in switch.ports if port.busy)
+    forwarded = sum(port.cells_forwarded for port in switch.ports)
+    assert forwarded + in_system + in_flight == switch.scheduler.cells_arrived
+    assert switch.memory.occupancy == in_system + in_flight
+
+
+def test_forwarded_cells_have_monotone_sequence():
+    switch = make_switch()
+    switch.run(10_000)
+    # FIFO queues: per-port forwarding preserves arrival order, so the
+    # last forwarded sequence equals the count minus one.
+    for port in switch.ports:
+        if port.cells_forwarded:
+            assert port.cell_latency.messages == port.cells_forwarded
+
+
+def test_overload_drops_at_bounded_queues():
+    switch = make_switch(rates=(0.05, 0.05, 0.05, 0.05), queue_capacity=8,
+                         memory_cells=256)
+    report = switch.run(50_000)
+    assert report.cells_dropped > 0
+    # Drops must never corrupt the shared memory accounting.
+    in_system = sum(len(q) for q in switch.queues)
+    in_flight = sum(1 for port in switch.ports if port.busy)
+    assert switch.memory.occupancy == in_system + in_flight
+
+
+def test_bandwidth_fractions_sum_to_utilization():
+    switch = make_switch(rates=(0.03, 0.03, 0.03, 0.03))
+    report = switch.run(20_000)
+    assert sum(report.bandwidth_fractions) == pytest.approx(
+        switch.bus.metrics.utilization()
+    )
+
+
+def test_switch_latency_exceeds_bus_latency():
+    switch = make_switch(rates=(0.04, 0.04, 0.04, 0.04))
+    report = switch.run(30_000)
+    for port in range(4):
+        if report.cells_forwarded[port]:
+            # Switch latency includes queueing before the bus request.
+            assert (
+                report.switch_latencies[port]
+                >= report.latencies_per_word[port] * 14 - 1e-9
+            )
+
+
+def test_lottery_shares_respected_under_backlog():
+    arbiter = make_arbiter("lottery-static", 4, [1, 2, 6, 1])
+    switch = make_switch(
+        arbiter=arbiter, rates=(0.05, 0.05, 0.05, 0.05), queue_capacity=32
+    )
+    report = switch.run(100_000)
+    shares = report.bandwidth_shares
+    assert shares[2] > shares[1] > shares[0] * 1.2
+
+
+def test_arbiter_size_must_match_ports():
+    with pytest.raises(ValueError):
+        make_switch(arbiter=RoundRobinArbiter(3))

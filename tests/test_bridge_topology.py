@@ -1,0 +1,110 @@
+"""Tests for bridges and topology helpers."""
+
+import pytest
+
+from repro.arbiters.round_robin import RoundRobinArbiter
+from repro.arbiters.static_priority import StaticPriorityArbiter
+from repro.bus.bridge import Bridge, BridgeTag
+from repro.bus.bus import SharedBus
+from repro.bus.master import MasterInterface
+from repro.bus.slave import Slave
+from repro.bus.topology import BusSystem, build_single_bus_system
+from repro.sim.kernel import Simulator
+
+
+def build_two_bus_system():
+    """Near bus: one CPU master + bridge slave.  Far bus: bridge master."""
+    cpu = MasterInterface("cpu", 0)
+    bridge_master = MasterInterface("bridge.m", 0)
+    far_memory = Slave("far.mem", 0)
+    bridge = Bridge("bridge", slave_id=0, far_master=bridge_master)
+    near_bus = SharedBus(
+        "near", [cpu], StaticPriorityArbiter([1]), slaves=[bridge]
+    )
+    far_bus = SharedBus(
+        "far", [bridge_master], StaticPriorityArbiter([1]), slaves=[far_memory]
+    )
+    bridge.attach(near_bus)
+    sim = Simulator()
+    sim.add(near_bus)
+    sim.add(bridge)
+    sim.add(far_bus)
+    return sim, cpu, bridge, near_bus, far_bus, far_memory
+
+
+def test_bridge_forwards_completed_transactions():
+    sim, cpu, bridge, near_bus, far_bus, far_memory = build_two_bus_system()
+    cpu.submit(4, 0, slave=0, tag=BridgeTag(remote_slave=0, payload="data"))
+    sim.run(30)
+    assert bridge.forwarded == 1
+    assert far_memory.words_served == 4
+    assert far_bus.metrics.total_words == 4
+
+
+def test_bridge_forwarding_delay():
+    sim, cpu, bridge, near_bus, far_bus, _ = build_two_bus_system()
+    cpu.submit(2, 0, tag=BridgeTag(0))
+    # Near bus completes at cycle 1; bridge forwards at cycle 2 (delay 1);
+    # far bus first word no earlier than cycle 2.
+    sim.run(2)
+    assert far_bus.metrics.total_words == 0
+    sim.run(30)
+    assert far_bus.metrics.total_words == 2
+
+
+def test_bridge_preserves_payload_tag():
+    sim, cpu, bridge, near_bus, far_bus, _ = build_two_bus_system()
+    seen = []
+    far_bus.add_completion_hook(lambda request, cycle: seen.append(request.tag))
+    cpu.submit(1, 0, tag=BridgeTag(0, payload={"id": 9}))
+    sim.run(20)
+    assert seen == [{"id": 9}]
+
+
+def test_bridge_ignores_other_slaves():
+    cpu = MasterInterface("cpu", 0)
+    bridge_master = MasterInterface("bridge.m", 0)
+    bridge = Bridge("bridge", slave_id=1, far_master=bridge_master)
+    near_bus = SharedBus(
+        "near",
+        [cpu],
+        StaticPriorityArbiter([1]),
+        slaves=[Slave("local", 0), bridge],
+    )
+    bridge.attach(near_bus)
+    sim = Simulator()
+    sim.add(near_bus)
+    sim.add(bridge)
+    cpu.submit(3, 0, slave=0)  # local transaction, not via bridge
+    sim.run(10)
+    assert bridge.forwarded == 0
+
+
+def test_bridge_validation():
+    with pytest.raises(ValueError):
+        Bridge("b", 0, MasterInterface("m", 0), forwarding_delay=-1)
+
+
+def test_build_single_bus_system_shape():
+    system, bus = build_single_bus_system(3, RoundRobinArbiter(3), num_slaves=2)
+    assert len(bus.masters) == 3
+    assert len(bus.slaves) == 2
+    system.run(5)
+    assert bus.metrics.cycles == 5
+
+
+def test_bus_system_rejects_late_registration():
+    system, bus = build_single_bus_system(2, RoundRobinArbiter(2))
+    system.run(1)
+    with pytest.raises(RuntimeError):
+        system.add_bus(bus)
+
+
+def test_bus_system_metrics_shortcut():
+    system, bus = build_single_bus_system(2, RoundRobinArbiter(2))
+    assert system.metrics is bus.metrics
+
+
+def test_build_single_bus_system_validation():
+    with pytest.raises(ValueError):
+        build_single_bus_system(0, RoundRobinArbiter(1))

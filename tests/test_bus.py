@@ -1,0 +1,163 @@
+"""Tests for the shared bus."""
+
+import pytest
+
+from repro.arbiters.base import Arbiter
+from repro.arbiters.static_priority import StaticPriorityArbiter
+from repro.bus.bus import BusProtocolError, SharedBus
+from repro.bus.master import MasterInterface
+from repro.bus.slave import Slave
+from repro.bus.transaction import Grant
+from repro.sim.kernel import Simulator
+
+
+def make_bus(num_masters=2, arbiter=None, **kwargs):
+    masters = [MasterInterface("m{}".format(i), i) for i in range(num_masters)]
+    if arbiter is None:
+        arbiter = StaticPriorityArbiter(list(range(1, num_masters + 1)))
+    bus = SharedBus("bus", masters, arbiter, **kwargs)
+    return bus, masters
+
+
+def run_bus(bus, cycles):
+    sim = Simulator()
+    sim.add(bus)
+    sim.run(cycles)
+    return sim
+
+
+def test_single_request_transfers_one_word_per_cycle():
+    bus, masters = make_bus()
+    request = masters[0].submit(4, 0)
+    run_bus(bus, 4)
+    assert request.complete
+    assert request.completion_cycle == 3
+    assert request.latency_per_word == 1.0
+    assert bus.metrics.busy_cycles == 4
+
+
+def test_idle_bus_counts_idle_cycles():
+    bus, _ = make_bus()
+    run_bus(bus, 5)
+    assert bus.metrics.idle_cycles == 5
+    assert bus.metrics.utilization() == 0.0
+
+
+def test_max_burst_forces_rearbitration():
+    bus, masters = make_bus(max_burst=2)
+    low = masters[0].submit(4, 0)   # priority 1 (lower)
+    high = masters[1].submit(2, 0)  # priority 2 (higher)
+    run_bus(bus, 10)
+    # The high-priority master goes first; the low-priority request runs
+    # in two bursts of two words with no interruption afterwards.
+    assert high.completion_cycle == 1
+    assert low.completion_cycle == 5
+    assert bus.metrics.masters[0].grants == 2
+    assert bus.metrics.masters[1].grants == 1
+
+
+def test_higher_priority_preempts_at_burst_boundary():
+    bus, masters = make_bus(max_burst=2)
+    sim = Simulator()
+    sim.add(bus)
+    low = masters[0].submit(6, 0)
+    sim.run(2)  # one burst of the low-priority master
+    high = masters[1].submit(2, 2)
+    sim.run(10)
+    assert high.completion_cycle == 3
+    assert low.completion_cycle == 7
+
+
+def test_arbitration_cycles_delay_first_word():
+    bus, masters = make_bus(arbitration_cycles=2)
+    request = masters[0].submit(2, 0)
+    run_bus(bus, 6)
+    # Grant at cycle 0, two stall cycles, words at cycles 2 and 3.
+    assert request.first_grant_cycle == 0
+    assert request.completion_cycle == 3
+    assert bus.metrics.stall_cycles == 2
+
+
+def test_slave_setup_wait_states_hold_the_bus():
+    slave = Slave("s", 0, setup_wait_states=3)
+    bus, masters = make_bus(slaves=[slave])
+    request = masters[0].submit(2, 0)
+    run_bus(bus, 8)
+    # Three setup stalls at cycles 0-2, words at cycles 3 and 4.
+    assert request.completion_cycle == 4
+    assert slave.bursts_served == 1
+    assert slave.words_served == 2
+
+
+def test_per_word_wait_states_stretch_bursts():
+    slave = Slave("s", 0, per_word_wait_states=1)
+    bus, masters = make_bus(slaves=[slave])
+    request = masters[0].submit(3, 0)
+    run_bus(bus, 10)
+    # words at cycles 0, 2, 4
+    assert request.completion_cycle == 4
+
+
+def test_completion_hooks_fire_once_per_request():
+    bus, masters = make_bus()
+    seen = []
+    bus.add_completion_hook(lambda request, cycle: seen.append((request, cycle)))
+    request = masters[0].submit(3, 0)
+    run_bus(bus, 5)
+    assert seen == [(request, 2)]
+
+
+def test_granting_idle_master_raises():
+    class BadArbiter(Arbiter):
+        def arbitrate(self, cycle, pending):
+            return Grant(1)
+
+    bus, masters = make_bus(arbiter=BadArbiter(2))
+    masters[0].submit(1, 0)
+    with pytest.raises(BusProtocolError):
+        run_bus(bus, 1)
+
+
+def test_granting_unknown_master_raises():
+    class BadArbiter(Arbiter):
+        def arbitrate(self, cycle, pending):
+            return Grant(5)
+
+    bus, masters = make_bus(arbiter=BadArbiter(2))
+    masters[0].submit(1, 0)
+    with pytest.raises(BusProtocolError):
+        run_bus(bus, 1)
+
+
+def test_mismatched_master_ids_rejected():
+    masters = [MasterInterface("m0", 0), MasterInterface("m1", 5)]
+    with pytest.raises(ValueError):
+        SharedBus("bus", masters, StaticPriorityArbiter([1, 2]))
+
+
+def test_word_conservation():
+    bus, masters = make_bus()
+    masters[0].submit(5, 0)
+    masters[1].submit(7, 0)
+    run_bus(bus, 50)
+    assert bus.metrics.total_words == 12
+    assert bus.metrics.busy_cycles == 12
+
+
+def test_reset_clears_bus_state():
+    bus, masters = make_bus()
+    masters[0].submit(10, 0)
+    sim = run_bus(bus, 3)
+    masters[0].reset()
+    bus.reset()
+    assert not bus.busy
+    assert bus.metrics.cycles == 0
+
+
+def test_back_to_back_bursts_have_no_idle_gap():
+    bus, masters = make_bus()
+    masters[0].submit(2, 0)
+    masters[1].submit(2, 0)
+    run_bus(bus, 4)
+    assert bus.metrics.idle_cycles == 0
+    assert bus.metrics.total_words == 4

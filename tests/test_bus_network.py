@@ -1,0 +1,133 @@
+"""Tests for arbitrary multi-channel networks."""
+
+import pytest
+
+from repro.arbiters.round_robin import RoundRobinArbiter
+from repro.bus.network import BusNetwork, NetworkError
+
+
+def rr_factory(num_masters):
+    return RoundRobinArbiter(num_masters)
+
+
+def linear_network(channels=3):
+    """chan0 -- chan1 -- ... with a CPU on chan0 and a memory at the end."""
+    net = BusNetwork()
+    names = ["chan{}".format(i) for i in range(channels)]
+    for name in names:
+        net.add_channel(name, rr_factory)
+    net.add_master("cpu", names[0])
+    net.add_slave("mem", names[-1])
+    for near, far in zip(names, names[1:]):
+        net.add_bridge(near, far)
+    return net, names
+
+
+def test_same_channel_transaction():
+    net = BusNetwork()
+    net.add_channel("sys", rr_factory)
+    net.add_master("cpu", "sys")
+    net.add_slave("mem", "sys")
+    system = net.build()
+    net.submit("cpu", "mem", words=4, cycle=0)
+    system.run(10)
+    assert net.bus("sys").metrics.total_words == 4
+
+
+def test_single_hop_routing():
+    net, names = linear_network(channels=2)
+    system = net.build()
+    net.submit("cpu", "mem", words=4, cycle=0)
+    system.run(30)
+    assert net.bus(names[0]).metrics.total_words == 4
+    assert net.bus(names[1]).metrics.total_words == 4
+
+
+def test_multi_hop_routing():
+    net, names = linear_network(channels=4)
+    system = net.build()
+    net.submit("cpu", "mem", words=3, cycle=0)
+    system.run(60)
+    for name in names:
+        assert net.bus(name).metrics.total_words == 3, name
+
+
+def test_route_computation():
+    net, names = linear_network(channels=3)
+    assert net.route("chan0", "chan0") == []
+    assert net.route("chan0", "chan2") == [
+        "bridge:chan0->chan1",
+        "bridge:chan1->chan2",
+    ]
+
+
+def test_unroutable_raises():
+    net = BusNetwork()
+    net.add_channel("a", rr_factory)
+    net.add_channel("b", rr_factory)
+    net.add_master("cpu", "a")
+    net.add_master("dma", "b")
+    net.add_slave("mem", "b")
+    net.build()
+    with pytest.raises(NetworkError, match="no route"):
+        net.submit("cpu", "mem", words=1, cycle=0)
+
+
+def test_duplicate_names_rejected():
+    net = BusNetwork()
+    net.add_channel("a", rr_factory)
+    with pytest.raises(NetworkError):
+        net.add_channel("a", rr_factory)
+    net.add_master("x", "a")
+    with pytest.raises(NetworkError):
+        net.add_slave("x", "a")
+
+
+def test_unknown_endpoints_rejected():
+    net = BusNetwork()
+    net.add_channel("a", rr_factory)
+    net.add_master("cpu", "a")
+    net.add_slave("mem", "a")
+    net.build()
+    with pytest.raises(NetworkError):
+        net.submit("nobody", "mem", 1, 0)
+    with pytest.raises(NetworkError):
+        net.submit("cpu", "nothing", 1, 0)
+
+
+def test_cannot_modify_after_build():
+    net = BusNetwork()
+    net.add_channel("a", rr_factory)
+    net.add_master("cpu", "a")
+    net.add_slave("mem", "a")
+    net.build()
+    with pytest.raises(NetworkError):
+        net.add_channel("b", rr_factory)
+    with pytest.raises(NetworkError):
+        net.build()
+
+
+def test_bridge_self_loop_rejected():
+    net = BusNetwork()
+    net.add_channel("a", rr_factory)
+    with pytest.raises(NetworkError):
+        net.add_bridge("a", "a")
+
+
+def test_duplex_bridges_route_both_ways():
+    net = BusNetwork()
+    net.add_channel("a", rr_factory)
+    net.add_channel("b", rr_factory)
+    net.add_master("cpu", "a")
+    net.add_master("dma", "b")
+    net.add_slave("mem_a", "a")
+    net.add_slave("mem_b", "b")
+    net.add_bridge("a", "b")
+    net.add_bridge("b", "a")
+    system = net.build()
+    net.submit("cpu", "mem_b", words=2, cycle=0)
+    net.submit("dma", "mem_a", words=5, cycle=0)
+    system.run(40)
+    # Each channel carried its local leg of both transfers.
+    assert net.bus("a").metrics.total_words == 7
+    assert net.bus("b").metrics.total_words == 7

@@ -1,0 +1,98 @@
+"""Tests for split transactions (Section 2's dynamic bus splitting)."""
+
+import pytest
+
+from repro.arbiters.round_robin import RoundRobinArbiter
+from repro.bus.bus import SharedBus
+from repro.bus.master import MasterInterface
+from repro.bus.slave import Slave
+from repro.sim.kernel import Simulator
+
+
+def build(split, setups=(3, 3), num_masters=2):
+    masters = [MasterInterface("m{}".format(i), i) for i in range(num_masters)]
+    slaves = [
+        Slave("s{}".format(j), j, setup_wait_states=s)
+        for j, s in enumerate(setups)
+    ]
+    bus = SharedBus(
+        "bus",
+        masters,
+        RoundRobinArbiter(num_masters),
+        slaves=slaves,
+        max_burst=16,
+        split_transactions=split,
+    )
+    sim = Simulator()
+    sim.add(bus)
+    return sim, bus, masters
+
+
+def test_split_overlaps_setups_of_different_slaves():
+    # Two masters targeting two slaves, each with 3-cycle setup.
+    # Blocking: grant A holds the bus through its setup (3 stalls + 4
+    # words), then B the same: 14 cycles total.
+    sim, bus, masters = build(split=False)
+    a = masters[0].submit(4, 0, slave=0)
+    b = masters[1].submit(4, 0, slave=1)
+    sim.run(20)
+    blocking_finish = max(a.completion_cycle, b.completion_cycle)
+
+    # Split: address phases post in cycles 0 and 1; both setups run
+    # off-bus concurrently; data phases pack back-to-back.
+    sim, bus, masters = build(split=True)
+    a = masters[0].submit(4, 0, slave=0)
+    b = masters[1].submit(4, 0, slave=1)
+    sim.run(20)
+    split_finish = max(a.completion_cycle, b.completion_cycle)
+    assert split_finish < blocking_finish
+
+
+def test_split_request_pays_setup_once():
+    sim, bus, masters = build(split=True, setups=(4,), num_masters=1)
+    request = masters[0].submit(2, 0, slave=0)
+    sim.run(12)
+    # Address at cycle 0, parked through cycle 4, words at 4 and 5.
+    assert request.setup_done
+    assert request.completion_cycle == 5
+    assert bus.slaves[0].bursts_served == 1
+
+
+def test_parked_request_is_invisible_to_arbitration():
+    sim, bus, masters = build(split=True, setups=(5, 0))
+    slow = masters[0].submit(2, 0, slave=0)
+    fast = masters[1].submit(3, 0, slave=1)
+    sim.run(15)
+    # The zero-setup transfer proceeds while the other is parked.
+    assert fast.completion_cycle < slow.completion_cycle
+    assert bus.metrics.total_words == 5
+
+
+def test_split_off_by_default():
+    sim, bus, masters = build(split=False, setups=(3,), num_masters=1)
+    request = masters[0].submit(1, 0, slave=0)
+    sim.run(10)
+    # Blocking behaviour: stalls occupy the bus.
+    assert bus.metrics.stall_cycles == 3
+    assert request.completion_cycle == 3
+
+
+def test_split_with_zero_setup_behaves_identically():
+    for split in (False, True):
+        sim, bus, masters = build(split=split, setups=(0, 0))
+        a = masters[0].submit(4, 0, slave=0)
+        b = masters[1].submit(4, 0, slave=1)
+        sim.run(10)
+        assert bus.metrics.total_words == 8
+        assert a.completion_cycle is not None
+
+
+def test_split_conserves_words_under_load():
+    sim, bus, masters = build(split=True, setups=(2, 4))
+    total = 0
+    for master, words in ((0, 7), (1, 5), (0, 3)):
+        masters[master].submit(words, 0, slave=master % 2)
+        total += words
+    sim.run(60)
+    assert bus.metrics.total_words == total
+    assert all(not m.has_request for m in masters)

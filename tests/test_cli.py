@@ -1,0 +1,70 @@
+"""Tests for the CLI and the experiment runner registry."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.runner import (
+    experiment_names,
+    format_full_report,
+    run_all,
+    run_experiment,
+)
+
+
+def test_list_prints_experiment_ids(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in experiment_names():
+        assert name in out
+
+
+def test_figure8_runs_instantly(capsys):
+    assert main(["figure8"]) == 0
+    assert "winner" in capsys.readouterr().out
+
+
+def test_unknown_experiment_fails_cleanly(capsys):
+    assert main(["figure99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_output_file_written(tmp_path, capsys):
+    path = tmp_path / "report.txt"
+    assert main(["hardware", "--output", str(path)]) == 0
+    assert "cell grids" in path.read_text()
+
+
+def test_scale_reduces_runtime(capsys):
+    assert main(["figure5", "--scale", "0.05"]) == 0
+    assert "Figure 5" in capsys.readouterr().out
+
+
+def test_run_experiment_rejects_unknown():
+    with pytest.raises(ValueError):
+        run_experiment("nope")
+
+
+def test_run_all_subset_and_report():
+    results = run_all(scale=0.02, names=["figure8", "hardware"])
+    assert set(results) == {"figure8", "hardware"}
+    report = format_full_report(results)
+    assert "[figure8]" in report
+    assert "[hardware]" in report
+
+
+def test_experiment_names_cover_all_paper_artifacts():
+    names = experiment_names()
+    for artifact in (
+        "figure4",
+        "figure5",
+        "figure6a",
+        "figure6b",
+        "figure8",
+        "figure12a",
+        "figure12b",
+        "figure12c",
+        "table1",
+        "hardware",
+        "starvation",
+    ):
+        assert artifact in names

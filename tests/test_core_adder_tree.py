@@ -1,0 +1,55 @@
+"""Tests for the dynamic manager's adder-tree datapath."""
+
+import pytest
+
+from repro.core.adder_tree import AdderTree, masked_tickets, prefix_sums
+
+
+def test_masked_tickets_apply_request_lines():
+    assert masked_tickets([True, False, True], [5, 6, 7]) == [5, 0, 7]
+
+
+def test_masked_tickets_length_checked():
+    with pytest.raises(ValueError):
+        masked_tickets([True], [1, 2])
+
+
+def test_prefix_sums():
+    assert prefix_sums([1, 0, 3, 4]) == [1, 1, 4, 8]
+    assert prefix_sums([]) == []
+
+
+def test_compute_matches_paper_example():
+    tree = AdderTree(4, word_bits=8)
+    sums = tree.compute([True, False, True, True], [1, 2, 3, 4])
+    assert sums == [1, 1, 4, 8]
+
+
+@pytest.mark.parametrize(
+    "inputs,depth",
+    [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (16, 4)],
+)
+def test_depth_is_log2_ceiling(inputs, depth):
+    assert AdderTree(inputs, 8).depth == depth
+
+
+def test_sklansky_adder_count_for_four_inputs():
+    # Level 1: indices 1, 3; level 2: indices 2, 3 -> four adders.
+    assert AdderTree(4, 8).adder_count == 4
+
+
+def test_adder_count_grows_superlinearly():
+    assert AdderTree(8, 8).adder_count == 12
+    assert AdderTree(16, 8).adder_count == 32
+
+
+def test_result_bits_include_carry_growth():
+    assert AdderTree(4, 8).result_bits == 10
+    assert AdderTree(2, 4).result_bits == 5
+
+
+@pytest.mark.parametrize("kwargs", [{"num_inputs": 0, "word_bits": 4},
+                                    {"num_inputs": 4, "word_bits": 0}])
+def test_validation(kwargs):
+    with pytest.raises(ValueError):
+        AdderTree(**kwargs)

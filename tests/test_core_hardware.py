@@ -1,0 +1,69 @@
+"""Tests for the hardware area/delay model."""
+
+import pytest
+
+from repro.core.hardware_model import (
+    Technology,
+    estimate_dynamic_manager,
+    estimate_static_manager,
+    estimate_static_priority,
+    estimate_tdma,
+)
+
+
+def test_static_manager_matches_paper_calibration():
+    # Section 5.2: ~1458 cell grids, ~3.1 ns on NEC 0.35um.
+    estimate = estimate_static_manager(4, 16)
+    assert estimate.area_cell_grids == pytest.approx(1458, rel=0.05)
+    assert estimate.arbitration_ns == pytest.approx(3.1, rel=0.05)
+    assert estimate.max_bus_mhz > 300
+
+
+def test_dynamic_manager_is_larger_and_slower():
+    static = estimate_static_manager(4, 16)
+    dynamic = estimate_dynamic_manager(4)
+    assert dynamic.area_cell_grids > static.area_cell_grids
+    assert dynamic.arbitration_ns > static.arbitration_ns
+
+
+def test_unpipelined_dynamic_is_slower_than_pipelined():
+    pipelined = estimate_dynamic_manager(4, pipelined=True)
+    combinational = estimate_dynamic_manager(4, pipelined=False)
+    assert combinational.arbitration_ns > pipelined.arbitration_ns
+    assert combinational.area_cell_grids == pipelined.area_cell_grids
+
+
+def test_baselines_are_cheaper_than_lottery():
+    lottery = estimate_static_manager(4, 16)
+    priority = estimate_static_priority(4)
+    tdma = estimate_tdma(4, 10)
+    assert priority.area_cell_grids < lottery.area_cell_grids
+    assert tdma.area_cell_grids < lottery.area_cell_grids
+
+
+def test_static_area_grows_exponentially_with_masters():
+    # The lookup table has 2**n rows.
+    four = estimate_static_manager(4, 16)
+    six = estimate_static_manager(6, 16)
+    assert six.gate_equivalents > 3 * four.gate_equivalents
+
+
+def test_dynamic_area_grows_with_ticket_width():
+    narrow = estimate_dynamic_manager(4, ticket_bits=4)
+    wide = estimate_dynamic_manager(4, ticket_bits=16)
+    assert wide.area_cell_grids > narrow.area_cell_grids
+
+
+def test_custom_technology_scales_results():
+    slow = Technology(grids_per_gate=10.0, ns_per_level=1.0, name="test")
+    estimate = estimate_static_manager(4, 16, technology=slow)
+    baseline = estimate_static_manager(4, 16)
+    assert estimate.area_cell_grids > baseline.area_cell_grids
+    assert estimate.arbitration_ns > baseline.arbitration_ns
+
+
+def test_technology_validation():
+    with pytest.raises(ValueError):
+        Technology(grids_per_gate=0)
+    with pytest.raises(ValueError):
+        Technology(ns_per_level=-1)

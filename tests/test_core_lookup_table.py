@@ -1,0 +1,48 @@
+"""Tests for the static lottery lookup table."""
+
+import itertools
+
+from repro.core.lookup_table import (
+    LotteryLookupTable,
+    index_to_request_map,
+    request_map_to_index,
+)
+from repro.core.tickets import TicketAssignment
+
+
+def test_index_round_trip():
+    for index in range(16):
+        request_map = index_to_request_map(index, 4)
+        assert request_map_to_index(request_map) == index
+
+
+def test_table_matches_direct_computation():
+    tickets = TicketAssignment([2, 3, 5, 6])
+    table = LotteryLookupTable(tickets)
+    for request_map in itertools.product([False, True], repeat=4):
+        assert table.partial_sums(list(request_map)) == tuple(
+            tickets.partial_sums(list(request_map))
+        )
+
+
+def test_total_for_request_map():
+    table = LotteryLookupTable([1, 2, 3, 4])
+    assert table.total_for([True, False, True, True]) == 8
+    assert table.total_for([False] * 4) == 0
+    assert table.total_for([True] * 4) == 10
+
+
+def test_row_count_is_two_to_the_masters():
+    table = LotteryLookupTable([1, 2, 3])
+    assert len(table.rows()) == 8
+
+
+def test_storage_bits_accounting():
+    table = LotteryLookupTable([2, 3, 5, 6])  # total 16 -> 5 bits/entry
+    assert table.entry_bits == 5
+    assert table.storage_bits == 16 * 4 * 5
+
+
+def test_plain_sequence_accepted():
+    table = LotteryLookupTable([1, 1])
+    assert table.partial_sums([True, True]) == (1, 2)

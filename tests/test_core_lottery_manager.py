@@ -1,0 +1,161 @@
+"""Tests for the static and dynamic lottery managers."""
+
+import pytest
+
+from repro.core.lottery_manager import (
+    DynamicLotteryManager,
+    SoftwareRandomSource,
+    StaticLotteryManager,
+    select_winner,
+)
+from repro.sim.rng import RandomStream
+
+
+class ScriptedSource:
+    def __init__(self, values):
+        self.values = list(values)
+        self.cursor = 0
+
+    def draw_below(self, bound):
+        value = self.values[self.cursor % len(self.values)]
+        self.cursor += 1
+        return value % bound
+
+    def reset(self):
+        self.cursor = 0
+
+
+def test_select_winner_priority_semantics():
+    # Partial sums for tickets 1,2,3,4 with all pending: 1,3,6,10.
+    sums = [1, 3, 6, 10]
+    assert select_winner(0, sums) == 0
+    assert select_winner(1, sums) == 1
+    assert select_winner(5, sums) == 2
+    assert select_winner(9, sums) == 3
+    assert select_winner(10, sums) is None
+
+
+def test_select_winner_skips_idle_ranges():
+    # Request map 1011 with tickets 1,2,3,4: sums 1,1,4,8.  A draw of 1
+    # must select C3, never the idle C2 (its zero-width range).
+    assert select_winner(1, [1, 1, 4, 8]) == 2
+
+
+def test_static_scaling_preserves_num_masters():
+    manager = StaticLotteryManager([1, 2, 3, 4])
+    assert manager.num_masters == 4
+    assert sum(manager.tickets) in (16,)  # 10 -> next power of two
+
+
+def test_static_draw_none_when_idle():
+    manager = StaticLotteryManager([1, 2])
+    assert manager.draw([False, False]) is None
+    assert manager.lotteries_held == 0
+
+
+def test_static_draw_winner_always_pending():
+    manager = StaticLotteryManager([1, 2, 3, 4], lfsr_seed=7)
+    for _ in range(300):
+        outcome = manager.draw([True, False, False, True])
+        assert outcome.winner in (0, 3)
+
+
+def test_static_paper_example_with_scripted_draw():
+    manager = StaticLotteryManager(
+        [1, 2, 3, 4], random_source=ScriptedSource([5]), scale=False
+    )
+    outcome = manager.draw([True, False, True, True])
+    assert outcome.total == 8
+    assert outcome.partial_sums == (1, 1, 4, 8)
+    assert outcome.winner == 3  # the paper grants C4 on a draw of 5
+
+
+def test_static_long_run_shares_track_scaled_tickets():
+    manager = StaticLotteryManager([1, 2, 3, 4], lfsr_seed=3)
+    scaled = manager.tickets
+    counts = [0] * 4
+    rounds = 16000
+    for _ in range(rounds):
+        counts[manager.draw([True] * 4).winner] += 1
+    for master in range(4):
+        expected = scaled[master] / scaled.total
+        assert counts[master] / rounds == pytest.approx(expected, abs=0.02)
+
+
+def test_static_software_source_supported():
+    source = SoftwareRandomSource(RandomStream(1, "lottery"))
+    manager = StaticLotteryManager([3, 1], random_source=source)
+    counts = [0, 0]
+    for _ in range(8000):
+        counts[manager.draw([True, True]).winner] += 1
+    assert counts[0] / 8000 == pytest.approx(0.75, abs=0.03)
+
+
+def test_static_rejection_policy_counts_misses():
+    manager = StaticLotteryManager(
+        [3, 2], scale=False, draw_policy="rejection", lfsr_seed=5
+    )
+    outcomes = [manager.draw([True, False]) for _ in range(400)]
+    missed = [o for o in outcomes if o.winner is None]
+    assert manager.rejected_draws == len(missed)
+    assert missed  # window 4 vs range 3: some draws must miss
+
+
+def test_static_invalid_policy_rejected():
+    with pytest.raises(ValueError):
+        StaticLotteryManager([1, 2], draw_policy="mystery")
+
+
+def test_static_reset_reproduces_sequence():
+    manager = StaticLotteryManager([1, 2, 3], lfsr_seed=11)
+    first = [manager.draw([True] * 3).winner for _ in range(40)]
+    manager.reset()
+    assert [manager.draw([True] * 3).winner for _ in range(40)] == first
+
+
+def test_dynamic_draw_uses_current_tickets():
+    manager = DynamicLotteryManager([1, 1], lfsr_seed=3)
+    manager.set_tickets(0, 255)
+    counts = [0, 0]
+    for _ in range(2000):
+        counts[manager.draw([True, True]).winner] += 1
+    assert counts[0] / 2000 > 0.9
+
+
+def test_dynamic_tickets_clamped_to_word_width():
+    manager = DynamicLotteryManager([1, 1], ticket_bits=4)
+    manager.set_tickets(0, 500)
+    assert manager.tickets[0] == 15
+
+
+def test_dynamic_rejects_zero_tickets():
+    manager = DynamicLotteryManager([1, 1])
+    with pytest.raises(ValueError):
+        manager.set_tickets(0, 0)
+
+
+def test_dynamic_set_all_validates_length():
+    manager = DynamicLotteryManager([1, 1])
+    with pytest.raises(ValueError):
+        manager.set_all_tickets([1, 2, 3])
+
+
+def test_dynamic_reset_restores_initial_tickets():
+    manager = DynamicLotteryManager([2, 5])
+    manager.set_tickets(0, 9)
+    manager.reset()
+    assert manager.tickets == (2, 5)
+    assert manager.ticket_updates == 0
+
+
+def test_dynamic_request_map_length_checked():
+    manager = DynamicLotteryManager([1, 1])
+    with pytest.raises(ValueError):
+        manager.draw([True])
+
+
+def test_outcome_repr_and_granted():
+    manager = StaticLotteryManager([1, 1])
+    outcome = manager.draw([True, True])
+    assert outcome.granted
+    assert "LotteryOutcome" in repr(outcome)

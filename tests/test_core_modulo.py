@@ -1,0 +1,62 @@
+"""Tests for the modulo range-reduction hardware model."""
+
+import pytest
+
+from repro.core.modulo import modulo_bias, reduce_modulo, reduce_scale
+
+
+def test_reduce_modulo_basic():
+    assert reduce_modulo(5, 8) == 5
+    assert reduce_modulo(13, 8) == 5
+    assert reduce_modulo(0, 3) == 0
+
+
+def test_reduce_modulo_validation():
+    with pytest.raises(ValueError):
+        reduce_modulo(5, 0)
+    with pytest.raises(ValueError):
+        reduce_modulo(-1, 4)
+
+
+def test_reduce_scale_range():
+    for draw in range(16):
+        value = reduce_scale(draw, 5, 4)
+        assert 0 <= value < 5
+
+
+def test_reduce_scale_uniformish_partition():
+    counts = [0] * 5
+    for draw in range(1 << 10):
+        counts[reduce_scale(draw, 5, 10)] += 1
+    assert max(counts) - min(counts) <= 1
+
+
+def test_reduce_scale_validation():
+    with pytest.raises(ValueError):
+        reduce_scale(16, 5, 4)
+    with pytest.raises(ValueError):
+        reduce_scale(1, 0, 4)
+
+
+def test_modulo_bias_zero_when_dividing_evenly():
+    assert modulo_bias(8, 4) == 0.0
+    assert modulo_bias(16, 8) == 0.0
+
+
+def test_modulo_bias_bound():
+    # Bias shrinks as the draw space grows relative to the total.
+    assert modulo_bias(10, 4) > modulo_bias(10, 16) > 0.0
+    assert modulo_bias(10, 16) < 10 / (1 << 16)
+
+
+def test_modulo_bias_exact_small_case():
+    # Space 8, total 3: residues 0,1 have 3 preimages, residue 2 has 2.
+    # The largest deviation is residue 2's deficit: 1/3 - 2/8 = 1/12.
+    assert modulo_bias(3, 3) == pytest.approx(1 / 3 - 2 / 8)
+
+
+def test_modulo_bias_validation():
+    with pytest.raises(ValueError):
+        modulo_bias(0, 4)
+    with pytest.raises(ValueError):
+        modulo_bias(100, 4)

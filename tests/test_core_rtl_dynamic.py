@@ -1,0 +1,74 @@
+"""Tests for the dynamic lottery manager's Verilog export."""
+
+import pytest
+
+from repro.core.adder_tree import prefix_sums
+from repro.core.lottery_manager import select_winner
+from repro.core.rtl_export import (
+    DynamicLotteryRtl,
+    evaluate_dynamic_reference_model,
+)
+
+
+@pytest.fixture
+def rtl():
+    return DynamicLotteryRtl(4, ticket_bits=8)
+
+
+def test_module_structure(rtl):
+    text = rtl.generate()
+    assert "module dynamic_lottery_manager (" in text
+    for m in range(4):
+        assert "tickets{}".format(m) in text
+        assert "masked{}".format(m) in text
+        assert "psum{}".format(m) in text
+    assert "lfsr %" in text  # the modulo range reduction
+    assert text.rstrip().endswith("endmodule")
+
+
+def test_save(tmp_path, rtl):
+    path = tmp_path / "dyn.v"
+    rtl.save(str(path))
+    assert path.read_text() == rtl.generate()
+
+
+def test_sum_width_includes_carry_growth(rtl):
+    # 4 masters x 8-bit tickets -> 10-bit sums.
+    assert rtl.sum_bits == 10
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"num_masters": 0},
+        {"num_masters": 2, "ticket_bits": 0},
+        {"num_masters": 2, "lfsr_width": 99},
+    ],
+)
+def test_validation(kwargs):
+    with pytest.raises(ValueError):
+        DynamicLotteryRtl(**kwargs)
+
+
+def test_reference_model_matches_python_datapath(rtl):
+    tickets = [3, 7, 1, 5]
+    request_map = [True, False, True, True]
+    sums = prefix_sums([t if r else 0 for r, t in zip(request_map, tickets)])
+    total = sums[-1]
+    for raw in range(0, 1 << rtl.lfsr_width, 997):
+        expected = select_winner(raw % total, sums)
+        got = evaluate_dynamic_reference_model(rtl, request_map, tickets, raw)
+        assert got == expected
+
+
+def test_reference_model_idle_and_validation(rtl):
+    assert (
+        evaluate_dynamic_reference_model(rtl, [False] * 4, [1, 1, 1, 1], 0)
+        is None
+    )
+    with pytest.raises(ValueError):
+        evaluate_dynamic_reference_model(rtl, [True], [1], 0)
+    with pytest.raises(ValueError):
+        evaluate_dynamic_reference_model(
+            rtl, [True] * 4, [1] * 4, 1 << rtl.lfsr_width
+        )

@@ -1,0 +1,74 @@
+"""Tests for power-of-two ticket scaling."""
+
+import pytest
+
+from repro.core.scaling import (
+    is_power_of_two,
+    next_power_of_two,
+    scale_to_power_of_two,
+    scaling_error,
+)
+
+
+def test_paper_example_1_2_4_scales_to_5_9_18():
+    # Section 4.3: "if the ticket holdings of three components are in the
+    # ratio 1:2:4 (T=7), they would be scaled to 5:9:18 (T=32)".
+    assert scale_to_power_of_two([1, 2, 4], minimum_total=32) == [5, 9, 18]
+
+
+def test_total_is_power_of_two():
+    for tickets in ([1, 2, 3, 4], [7], [3, 3, 3], [9, 1, 5, 5, 13]):
+        scaled = scale_to_power_of_two(tickets)
+        assert is_power_of_two(sum(scaled))
+
+
+def test_already_power_of_two_with_exact_ratio_is_identity_like():
+    scaled = scale_to_power_of_two([2, 2, 4])
+    assert sum(scaled) == 8
+    assert scaled == [2, 2, 4]
+
+
+def test_every_master_keeps_a_ticket():
+    scaled = scale_to_power_of_two([1, 1000])
+    assert min(scaled) >= 1
+    assert is_power_of_two(sum(scaled))
+
+
+def test_minimum_total_raises_resolution():
+    coarse = scale_to_power_of_two([1, 2, 4])
+    fine = scale_to_power_of_two([1, 2, 4], minimum_total=256)
+    assert sum(fine) == 256
+    assert scaling_error([1, 2, 4], fine) < scaling_error([1, 2, 4], coarse)
+
+
+def test_minimum_total_must_be_power_of_two():
+    with pytest.raises(ValueError):
+        scale_to_power_of_two([1, 2], minimum_total=24)
+
+
+@pytest.mark.parametrize("bad", [[], [0, 1], [-2, 3]])
+def test_bad_tickets_rejected(bad):
+    with pytest.raises(ValueError):
+        scale_to_power_of_two(bad)
+
+
+def test_scaling_error_reasonably_small():
+    # The paper: "care must be taken to ensure that the ratios ... are
+    # not significantly altered".
+    error = scaling_error([1, 2, 4], scale_to_power_of_two([1, 2, 4]))
+    assert error < 0.15
+
+
+def test_next_power_of_two():
+    assert next_power_of_two(1) == 1
+    assert next_power_of_two(5) == 8
+    assert next_power_of_two(16) == 16
+    with pytest.raises(ValueError):
+        next_power_of_two(0)
+
+
+def test_is_power_of_two():
+    assert is_power_of_two(1)
+    assert is_power_of_two(64)
+    assert not is_power_of_two(0)
+    assert not is_power_of_two(12)

@@ -1,0 +1,91 @@
+"""Tests for the analytic starvation model."""
+
+import pytest
+
+from repro.core.starvation import (
+    access_probability,
+    drawings_for_confidence,
+    expected_bandwidth_shares,
+    expected_drawings_to_access,
+    expected_saturated_latency,
+    expected_wait_drawings,
+)
+
+
+def test_access_probability_formula():
+    # p = 1 - (1 - t/T)^n
+    assert access_probability(1, 4, 1) == pytest.approx(0.25)
+    assert access_probability(1, 4, 2) == pytest.approx(1 - 0.75 ** 2)
+    assert access_probability(4, 4, 1) == 1.0
+    assert access_probability(1, 10, 0) == 0.0
+
+
+def test_access_probability_monotone_in_drawings():
+    values = [access_probability(1, 16, n) for n in range(0, 50)]
+    assert all(a <= b for a, b in zip(values, values[1:]))
+    assert values[-1] > 0.95
+
+
+def test_access_probability_monotone_in_tickets():
+    values = [access_probability(t, 16, 4) for t in range(1, 17)]
+    assert all(a < b for a, b in zip(values, values[1:]))
+
+
+def test_expected_drawings_is_geometric_mean():
+    assert expected_drawings_to_access(1, 4) == 4.0
+    assert expected_drawings_to_access(2, 4) == 2.0
+    assert expected_wait_drawings(1, 4) == 3.0
+
+
+def test_drawings_for_confidence():
+    n = drawings_for_confidence(1, 16, 0.99)
+    assert access_probability(1, 16, n) >= 0.99
+    assert access_probability(1, 16, n - 1) < 0.99
+    assert drawings_for_confidence(16, 16, 0.999) == 1
+    assert drawings_for_confidence(1, 16, 0.0) == 0
+
+
+def test_expected_bandwidth_shares():
+    assert expected_bandwidth_shares([1, 2, 3, 4]) == [0.1, 0.2, 0.3, 0.4]
+
+
+def test_expected_saturated_latency_values():
+    assert expected_saturated_latency([1, 2, 3, 4]) == [10.0, 5.0, 10 / 3, 2.5]
+    with pytest.raises(ValueError):
+        expected_saturated_latency([0, 1])
+
+
+def test_saturated_latency_matches_simulation():
+    # Closed-loop 16-word saturation (T9): measured cycles/word should
+    # track T/t_i for both TDMA (exactly) and the lottery (statistically).
+    from repro.experiments.system import run_testbed
+
+    analytic = expected_saturated_latency([1, 2, 3, 4])
+    tdma = run_testbed("tdma", "T9", [1, 2, 3, 4], cycles=40_000)
+    lottery = run_testbed("lottery-static", "T9", [1, 2, 3, 4], cycles=40_000)
+    for master in range(4):
+        assert tdma.latencies_per_word[master] == pytest.approx(
+            analytic[master], rel=0.05
+        )
+    # The lottery serves the scaled holdings (2,3,5,6)/16.
+    scaled = expected_saturated_latency([2, 3, 5, 6])
+    for master in range(4):
+        assert lottery.latencies_per_word[master] == pytest.approx(
+            scaled[master], rel=0.15
+        )
+
+
+@pytest.mark.parametrize(
+    "call",
+    [
+        lambda: access_probability(0, 4, 1),
+        lambda: access_probability(5, 4, 1),
+        lambda: access_probability(1, 0, 1),
+        lambda: access_probability(1, 4, -1),
+        lambda: drawings_for_confidence(1, 4, 1.0),
+        lambda: expected_bandwidth_shares([0, 0]),
+    ],
+)
+def test_validation(call):
+    with pytest.raises(ValueError):
+        call()

@@ -1,0 +1,57 @@
+"""Tests for the closed-form pure-TDMA alignment model."""
+
+import pytest
+
+from repro.core.tdma_model import (
+    aligned_phase,
+    pure_tdma_latency_per_word,
+    pure_tdma_wait,
+    worst_case_phase,
+)
+from repro.experiments.figure5 import BLOCK, NUM_MASTERS, run_figure5
+
+
+def test_aligned_pattern_is_free():
+    assert pure_tdma_wait(0, 6, 3) == 0
+    assert pure_tdma_latency_per_word(0, 6, 3) == 1.0
+    assert aligned_phase() == 0
+
+
+def test_worst_case_is_just_after_the_block():
+    phase = worst_case_phase(6, 3)
+    assert phase == 6
+    assert pure_tdma_wait(phase, 6, 3) == 12
+    waits = [pure_tdma_wait(p, 6, 3) for p in range(18)]
+    assert max(waits) == pure_tdma_wait(phase, 6, 3)
+
+
+def test_known_values():
+    # Figure 5's geometry: block 6, three masters, period 18.
+    assert pure_tdma_latency_per_word(3, 6, 3) == pytest.approx(3.0)
+    assert pure_tdma_latency_per_word(6, 6, 3) == pytest.approx(3.0)
+    assert pure_tdma_latency_per_word(9, 6, 3) == pytest.approx(2.5)
+    assert pure_tdma_latency_per_word(15, 6, 3) == pytest.approx(1.5)
+    assert pure_tdma_wait(15, 6, 3) == 3  # the paper's "Wait = 3"
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        pure_tdma_wait(18, 6, 3)
+    with pytest.raises(ValueError):
+        pure_tdma_wait(-1, 6, 3)
+    with pytest.raises(ValueError):
+        pure_tdma_latency_per_word(0, 0, 3)
+
+
+def test_model_matches_simulation_exactly():
+    phases = [0, 3, 6, 9, 12, 15]
+    result = run_figure5(cycles=9_000, phases=phases)
+    for index, phase in enumerate(phases):
+        analytic_latency = pure_tdma_latency_per_word(phase, BLOCK, NUM_MASTERS)
+        analytic_wait = pure_tdma_wait(phase, BLOCK, NUM_MASTERS)
+        assert result.pure_tdma[index] == pytest.approx(
+            analytic_latency, abs=0.02
+        ), phase
+        assert result.pure_waits[index] == pytest.approx(
+            analytic_wait, abs=0.1
+        ), phase

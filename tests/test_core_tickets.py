@@ -1,0 +1,52 @@
+"""Tests for ticket assignments."""
+
+import pytest
+
+from repro.core.tickets import TicketAssignment
+
+
+def test_basic_properties():
+    tickets = TicketAssignment([1, 2, 3, 4])
+    assert tickets.num_masters == 4
+    assert tickets.total == 10
+    assert tickets.share(3) == 0.4
+    assert tickets.shares() == [0.1, 0.2, 0.3, 0.4]
+    assert list(tickets) == [1, 2, 3, 4]
+    assert tickets[2] == 3
+
+
+def test_partial_sums_match_paper_example():
+    # Figure 8: tickets 1,2,3,4; requests from C1, C3, C4.
+    tickets = TicketAssignment([1, 2, 3, 4])
+    sums = tickets.partial_sums([True, False, True, True])
+    assert sums == [1, 1, 4, 8]
+    assert tickets.contending_total([True, False, True, True]) == 8
+
+
+def test_partial_sums_all_idle():
+    tickets = TicketAssignment([5, 5])
+    assert tickets.partial_sums([False, False]) == [0, 0]
+    assert tickets.contending_total([False, False]) == 0
+
+
+def test_request_map_length_checked():
+    tickets = TicketAssignment([1, 2])
+    with pytest.raises(ValueError):
+        tickets.partial_sums([True])
+
+
+@pytest.mark.parametrize("bad", [[], [0, 1], [-1, 2]])
+def test_validation(bad):
+    with pytest.raises(ValueError):
+        TicketAssignment(bad)
+
+
+def test_equality_and_hash():
+    assert TicketAssignment([1, 2]) == TicketAssignment([1, 2])
+    assert TicketAssignment([1, 2]) != TicketAssignment([2, 1])
+    assert len({TicketAssignment([1, 2]), TicketAssignment([1, 2])}) == 1
+
+
+def test_values_coerced_to_int():
+    tickets = TicketAssignment([1.0, 2.0])
+    assert tickets.tickets == (1, 2)

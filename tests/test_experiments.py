@@ -1,0 +1,144 @@
+"""Smoke and shape tests for the experiment harnesses.
+
+Cycle counts are reduced for test speed; the assertions target the
+paper's qualitative claims, which hold at these scales.
+"""
+
+import pytest
+
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6a, run_figure6b
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.figure12 import run_figure12a, run_figure12_latency
+from repro.experiments.hardware import run_hardware_comparison
+from repro.experiments.starvation import run_starvation
+from repro.experiments.system import (
+    permutation_label,
+    run_testbed,
+    weight_permutations,
+)
+from repro.experiments.table1 import run_table1
+
+
+def test_weight_permutations_enumerate_all_24():
+    perms = weight_permutations()
+    assert len(perms) == 24
+    assert perms[0] == [1, 2, 3, 4]
+    assert perms[-1] == [4, 3, 2, 1]
+    assert permutation_label([2, 1, 4, 3]) == "2143"
+
+
+def test_run_testbed_returns_summary():
+    result = run_testbed("round-robin", "T8", [1, 1, 1, 1], cycles=2000)
+    assert result.utilization > 0.9
+    assert len(result.bandwidth_fractions) == 4
+
+
+def test_run_testbed_warmup_discards_transient():
+    result = run_testbed(
+        "round-robin", "T8", [1, 1, 1, 1], cycles=2000, warmup=500
+    )
+    # Metrics cover only the measured window.
+    assert result.summary["cycles"] == 2000
+    with pytest.raises(ValueError):
+        run_testbed("round-robin", "T8", [1, 1, 1, 1], cycles=10, warmup=-1)
+
+
+def test_figure4_priority_sensitivity_and_starvation():
+    result = run_figure4(cycles=8000)
+    assert len(result.labels) == 24
+    low, high = result.master_range(0)
+    # C1's share swings from almost nothing to almost everything.
+    assert low < 0.05
+    assert high > 0.85
+    # Whoever holds the lowest priority starves.
+    assert result.average_when_lowest(3) < 0.05
+    assert "Figure 4" in result.format_report()
+
+
+def test_figure5_alignment_pathology():
+    result = run_figure5(cycles=6000)
+    aligned = result.pure_tdma[result.phases.index(0)]
+    worst = max(result.pure_tdma)
+    # Aligned traffic is serviced immediately; misaligned waits slots.
+    assert aligned == pytest.approx(1.0, abs=0.05)
+    assert worst > 2.0
+    assert result.worst_wait() >= 3.0
+    # The lottery is phase-blind.
+    assert result.lottery_spread() < 0.5
+    assert "Figure 5" in result.format_report()
+
+
+def test_figure6a_shares_track_tickets():
+    result = run_figure6a(cycles=8000)
+    assert len(result.labels) == 24
+    # Proportionality within the tolerance of LFSR draws + scaling.
+    assert result.worst_share_error() < 0.08
+    assert "Figure 6(a)" in result.format_report()
+
+
+def test_figure6b_lottery_beats_constrained_tdma():
+    result = run_figure6b(cycles=60_000)
+    # The high-ticket component: cost-constrained TDMA is several times
+    # worse than the lottery (the paper's 8.55 vs 1.17 comparison).
+    assert result.improvement(master=3, tdma="single") > 1.5
+    assert "Figure 6(b)" in result.format_report()
+
+
+def test_figure8_grants_c4_on_draw_of_5():
+    result = run_figure8()
+    assert result.outcome.winner == 3
+    assert result.outcome.total == 8
+    assert result.outcome.partial_sums == (1, 1, 4, 8)
+    assert "C4" in result.format_report()
+
+
+def test_figure12a_saturating_classes_follow_tickets():
+    result = run_figure12a(cycles=20_000)
+    assert len(result.class_names) == 9
+    t8 = result.class_names.index("T8")
+    row = result.fractions[t8]
+    assert row[0] < row[1] < row[2] < row[3]
+    # Sparse classes leave bandwidth unused.
+    t3 = result.class_names.index("T3")
+    assert result.unutilized(t3) > 0.3
+    assert "Figure 12(a)" in result.format_report()
+
+
+def test_figure12_latency_surfaces():
+    tdma = run_figure12_latency("tdma", cycles=30_000, reclaim="single")
+    lottery = run_figure12_latency("lottery-static", cycles=30_000)
+    # T6, highest-weight component: constrained TDMA much worse.
+    assert tdma.latency("T6", 4) > lottery.latency("T6", 4)
+    # Sparse class: lottery grants are near-immediate.
+    assert lottery.latency("T3", 4) < 2.0
+    assert "surface" in tdma.format_report()
+
+
+def test_table1_bandwidth_rows():
+    result = run_table1(cycles=60_000)
+    # Static priority starves the lowest-priority port.
+    assert result.bandwidth("static priority", 3) < 0.02
+    # LOTTERYBUS honours port 3's dominant reservation...
+    lottery_p3 = result.bandwidth("LOTTERYBUS", 2)
+    assert lottery_p3 > 0.5
+    # ...while TDMA's ratio-blind reclaim dilutes it.
+    assert result.bandwidth("TDMA (scan reclaim)", 2) < lottery_p3
+    # Port 1's latency is minimal under static priority.
+    pri = result.port1_latency("static priority")
+    assert pri < result.port1_latency("TDMA (scan reclaim)")
+    assert "Table 1" in result.format_report()
+
+
+def test_hardware_comparison_report():
+    result = run_hardware_comparison()
+    static = result.by_name("static-lottery")
+    assert static.area_cell_grids == pytest.approx(1458, rel=0.05)
+    assert "cell grids" in result.format_report()
+
+
+def test_starvation_analytic_matches_empirical():
+    result = run_starvation(drawings=30_000)
+    assert result.worst_gap() < 0.05
+    assert "Starvation" in result.format_report()

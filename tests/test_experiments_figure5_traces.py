@@ -1,0 +1,37 @@
+"""Tests for the Figure 5 waveform rendering."""
+
+from repro.experiments.figure5 import BLOCK, PERIOD, render_figure5_traces
+
+
+def test_aligned_trace_serves_at_arrival():
+    art = render_figure5_traces(phase=0, cycles=PERIOD * 2)
+    lines = art.splitlines()
+    # First master: request at cycle 0, bus ownership starting cycle 0.
+    req_m1 = next(line for line in lines if line.startswith("req M1"))
+    bus_m1 = next(line for line in lines if line.startswith("bus M1"))
+    req_row = req_m1.split("  ", 1)[1]
+    bus_row = bus_m1.split("  ", 1)[1]
+    assert req_row[0] == "R"
+    assert bus_row[:BLOCK] == "=" * BLOCK
+
+
+def test_shifted_trace_shows_three_slot_wait():
+    # Phase 15 = each master arrives 3 slots before its block: the
+    # paper's Trace 2, "Wait = 3".
+    art = render_figure5_traces(phase=15, cycles=PERIOD * 2)
+    lines = art.splitlines()
+    req_m1 = next(line for line in lines if line.startswith("req M1"))
+    bus_m1 = next(line for line in lines if line.startswith("bus M1"))
+    req_row = req_m1.split("  ", 1)[1]
+    bus_row = bus_m1.split("  ", 1)[1]
+    arrival = req_row.index("R")
+    service = bus_row.index("=")
+    assert service - arrival == 3
+
+
+def test_trace_includes_title_and_all_masters():
+    art = render_figure5_traces(phase=0, cycles=20)
+    assert "Figure 5 trace" in art
+    for master in ("M1", "M2", "M3"):
+        assert "req {}".format(master) in art
+        assert "bus {}".format(master) in art

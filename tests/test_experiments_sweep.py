@@ -1,0 +1,76 @@
+"""Tests for the sweep harness and replication experiments."""
+
+import csv
+
+import pytest
+
+from repro.experiments.replication import run_replicated_testbed
+from repro.experiments.sweep import run_sweep
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return run_sweep(
+        ["round-robin", "lottery-static"],
+        ["T3", "T8"],
+        cycles=4000,
+        seed=2,
+    )
+
+
+def test_sweep_covers_cross_product(small_sweep):
+    assert len(small_sweep.rows) == 4
+    assert len(small_sweep.filter(arbiter="round-robin")) == 2
+    assert len(small_sweep.filter(traffic="T8")) == 2
+
+
+def test_sweep_values_sane(small_sweep):
+    util = small_sweep.value("lottery-static", "T8", "utilization")
+    assert util > 0.9
+    sparse = small_sweep.value("lottery-static", "T3", "utilization")
+    assert sparse < 0.6
+
+
+def test_sweep_value_requires_unique_row(small_sweep):
+    with pytest.raises(KeyError):
+        small_sweep.value("round-robin", "T9", "utilization")
+
+
+def test_sweep_csv_round_trip(small_sweep, tmp_path):
+    path = tmp_path / "sweep.csv"
+    small_sweep.save_csv(str(path))
+    with open(path, newline="") as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 4
+    assert set(rows[0]) == set(small_sweep.COLUMNS)
+    assert float(rows[0]["utilization"]) >= 0.0
+
+
+def test_sweep_report(small_sweep):
+    text = small_sweep.format_report()
+    assert "Test-bed sweep" in text
+    assert "lottery-static" in text
+
+
+def test_sweep_arbiter_kwargs_reach_arbiter():
+    result = run_sweep(
+        ["tdma"],
+        ["T8"],
+        cycles=2000,
+        arbiter_kwargs={"tdma": {"reclaim": "none"}},
+    )
+    assert len(result.rows) == 1
+
+
+def test_replicated_testbed_report():
+    result = run_replicated_testbed(
+        "lottery-static", "T8", [1, 2, 3, 4], seeds=range(1, 4), cycles=3000,
+        warmup=500,
+    )
+    mu, halfwidth = result.interval("utilization")
+    assert mu == pytest.approx(1.0, abs=0.02)
+    assert "replicated" in result.format_report()
+    # Per-master metrics exist for every master.
+    for master in range(4):
+        result.interval("share{}".format(master))
+        result.interval("latency{}".format(master))

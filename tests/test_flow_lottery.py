@@ -1,0 +1,145 @@
+"""Tests for per-data-flow lottery allocation."""
+
+import pytest
+
+from repro.arbiters.flow_lottery import FlowLotteryArbiter
+from repro.bus.bus import SharedBus
+from repro.bus.master import MasterInterface
+from repro.core.flows import FlowLotteryManager, FlowTicketTable, FlowUsage
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+
+
+def test_table_lookup_and_default():
+    table = FlowTicketTable({"rt": 8, "bulk": 1}, default_tickets=2)
+    assert table.tickets_for("rt") == 8
+    assert table.tickets_for("unknown") == 2
+    assert table.flows() == ["bulk", "rt"]
+    assert "rt" in table
+
+
+def test_table_validation():
+    with pytest.raises(ValueError):
+        FlowTicketTable({"x": 0})
+    with pytest.raises(ValueError):
+        FlowTicketTable({}, default_tickets=0)
+
+
+def test_manager_draws_only_pending():
+    manager = FlowLotteryManager(FlowTicketTable({"a": 1, "b": 1}))
+    for _ in range(50):
+        winner = manager.draw([None, "a", None])
+        assert winner == 1
+    assert manager.draw([None, None, None]) is None
+
+
+def test_manager_weights_by_flow_tickets():
+    manager = FlowLotteryManager(
+        FlowTicketTable({"rt": 9, "bulk": 1}), lfsr_seed=5
+    )
+    counts = [0, 0]
+    for _ in range(6000):
+        counts[manager.draw(["rt", "bulk"])] += 1
+    assert counts[0] / sum(counts) == pytest.approx(0.9, abs=0.03)
+
+
+def test_flow_usage_accounting():
+    usage = FlowUsage()
+
+    class FakeRequest:
+        def __init__(self, flow, words):
+            self.flow = flow
+            self.words = words
+
+    usage.on_completion(FakeRequest("rt", 6), 0)
+    usage.on_completion(FakeRequest("bulk", 2), 1)
+    usage.on_completion(FakeRequest("rt", 2), 2)
+    assert usage.words == {"rt": 8, "bulk": 2}
+    assert usage.share("rt") == 0.8
+    assert usage.shares()["bulk"] == pytest.approx(0.2)
+
+
+class _FlowSource(Component):
+    """Closed-loop saturating source carrying one (switchable) flow."""
+
+    def __init__(self, name, interface, flow, words):
+        super().__init__(name)
+        self.interface = interface
+        self.flow = flow
+        self.words = words
+
+    def tick(self, cycle):
+        if self.interface.queue_depth == 0:
+            self.interface.submit(self.words, cycle, flow=self.flow)
+
+
+def build_flow_system(flow_tickets, seed=3):
+    masters = [MasterInterface("m{}".format(i), i) for i in range(2)]
+    arbiter = FlowLotteryArbiter(2, flow_tickets, lfsr_seed=seed)
+    bus = SharedBus("bus", masters, arbiter, max_burst=8)
+    sources = [
+        _FlowSource("s0", masters[0], "rt", 8),
+        _FlowSource("s1", masters[1], "bulk", 8),
+    ]
+    sim = Simulator()
+    for source in sources:
+        sim.add(source)
+    sim.add(bus)
+    return sim, bus, arbiter, sources
+
+
+def test_flow_shares_track_flow_tickets():
+    sim, bus, arbiter, _ = build_flow_system({"rt": 3, "bulk": 1})
+    sim.run(60_000)
+    shares = arbiter.usage.shares()
+    assert shares["rt"] == pytest.approx(0.75, abs=0.05)
+    assert shares["bulk"] == pytest.approx(0.25, abs=0.05)
+
+
+def test_allocation_follows_flows_across_masters():
+    # Phase 1: master 0 carries the privileged flow and gets ~75%.
+    # Phase 2: the masters swap flows; the bandwidth follows the flow,
+    # not the master — the "per data flow" control of the abstract.
+    sim, bus, arbiter, sources = build_flow_system({"rt": 3, "bulk": 1})
+    sim.run(40_000)
+    phase1 = bus.metrics.bandwidth_shares()
+    snapshot = [m.words for m in bus.metrics.masters]
+    sources[0].flow, sources[1].flow = "bulk", "rt"
+    sim.run(40_000)
+    words = [m.words for m in bus.metrics.masters]
+    delta = [b - a for a, b in zip(snapshot, words)]
+    phase2 = [d / sum(delta) for d in delta]
+    assert phase1[0] == pytest.approx(0.75, abs=0.05)
+    assert phase2[0] == pytest.approx(0.25, abs=0.05)
+
+
+def test_equal_flow_tickets_equalize():
+    sim, bus, arbiter, _ = build_flow_system({"rt": 2, "bulk": 2})
+    sim.run(40_000)
+    shares = arbiter.usage.shares()
+    assert shares["rt"] == pytest.approx(0.5, abs=0.05)
+
+
+def test_unbound_arbiter_raises():
+    arbiter = FlowLotteryArbiter(2, {"a": 1})
+    with pytest.raises(RuntimeError):
+        arbiter.arbitrate(0, [1, 0])
+
+
+def test_bind_checks_master_count():
+    masters = [MasterInterface("m0", 0)]
+    arbiter = FlowLotteryArbiter(2, {"a": 1})
+    with pytest.raises(ValueError):
+        SharedBus("bus", masters, arbiter)
+
+
+def test_unlabeled_requests_use_default_tickets():
+    masters = [MasterInterface("m{}".format(i), i) for i in range(2)]
+    arbiter = FlowLotteryArbiter(2, {"rt": 7}, default_tickets=7, lfsr_seed=2)
+    bus = SharedBus("bus", masters, arbiter, max_burst=4)
+    sim = Simulator()
+    sim.add(bus)
+    masters[0].submit(4, 0, flow="rt")
+    masters[1].submit(4, 0)  # unlabeled -> default tickets
+    sim.run(8)
+    assert bus.metrics.total_words == 8

@@ -1,0 +1,84 @@
+"""Tests for the latency histogram."""
+
+import pytest
+
+from repro.metrics.histogram import LatencyDistribution, LogHistogram
+
+
+def test_percentiles_of_uniform_ramp():
+    histogram = LogHistogram(low=0.5, high=1e4)
+    for value in range(1, 1001):
+        histogram.record(float(value))
+    assert histogram.percentile(0.5) == pytest.approx(500, rel=0.08)
+    assert histogram.percentile(0.99) == pytest.approx(990, rel=0.08)
+    assert histogram.percentile(1.0) == 1000.0
+    assert histogram.percentile(0.0) == 1.0
+
+
+def test_clamping_at_edges():
+    histogram = LogHistogram(low=1.0, high=100.0)
+    histogram.record(0.001)
+    histogram.record(1e9)
+    assert histogram.total == 2
+    assert histogram.counts[0] == 1
+    assert histogram.counts[-1] == 1
+
+
+def test_empty_histogram():
+    histogram = LogHistogram()
+    assert histogram.percentile(0.5) == 0.0
+    assert histogram.summary() == (0.0, 0.0, 0.0, 0.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LogHistogram(low=0)
+    with pytest.raises(ValueError):
+        LogHistogram(low=10, high=5)
+    histogram = LogHistogram()
+    with pytest.raises(ValueError):
+        histogram.record(0)
+    with pytest.raises(ValueError):
+        histogram.percentile(1.5)
+
+
+def test_merge():
+    a = LogHistogram()
+    b = LogHistogram()
+    for value in (1.0, 2.0, 3.0):
+        a.record(value)
+    for value in (100.0, 200.0):
+        b.record(value)
+    a.merge(b)
+    assert a.total == 5
+    assert a.max_value == 200.0
+    assert a.min_value == 1.0
+
+
+def test_merge_requires_same_binning():
+    a = LogHistogram(low=0.5)
+    b = LogHistogram(low=1.0)
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_distribution_tracks_bus_completions():
+    from repro.arbiters.lottery import StaticLotteryArbiter
+    from repro.bus.topology import build_single_bus_system
+    from repro.traffic.classes import get_traffic_class
+
+    arbiter = StaticLotteryArbiter(tickets=[1, 2, 3, 4])
+    system, bus = build_single_bus_system(
+        4, arbiter, get_traffic_class("T8").generator_factory(seed=1)
+    )
+    distribution = LatencyDistribution(4)
+    bus.add_completion_hook(distribution.on_completion)
+    system.run(20_000)
+    rows = distribution.summary_rows()
+    assert all(row[1] > 0 for row in rows)
+    # The histogram's median tracks the collector's mean ordering: the
+    # 1-ticket master is slower than the 4-ticket master at p50.
+    assert distribution.percentile(0, 0.5) > distribution.percentile(3, 0.5)
+    # Tails are at least as large as medians.
+    for master, _, p50, p95, p99, peak in rows:
+        assert p50 <= p95 <= p99 <= peak + 1e-9

@@ -1,0 +1,51 @@
+"""Tests for text report formatting."""
+
+import pytest
+
+from repro.metrics.report import (
+    format_bar_chart,
+    format_stacked_percentages,
+    format_table,
+)
+
+
+def test_format_table_alignment_and_title():
+    text = format_table(["name", "value"], [["a", 1.23456], ["bb", 7]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1]
+    assert "1.235" in text
+    assert "7" in text
+    # Separator row uses dashes matching column widths.
+    assert set(lines[2].replace("  ", "")) == {"-"}
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["only one"]])
+
+
+def test_format_bar_chart_scales_to_peak():
+    text = format_bar_chart(["x", "y"], [1.0, 0.5], width=10)
+    lines = text.splitlines()
+    assert lines[0].count("#") == 10
+    assert lines[1].count("#") == 5
+
+
+def test_format_bar_chart_handles_zeros():
+    text = format_bar_chart(["x"], [0.0])
+    assert "#" not in text
+
+
+def test_format_bar_chart_length_mismatch():
+    with pytest.raises(ValueError):
+        format_bar_chart(["x"], [1.0, 2.0])
+
+
+def test_format_stacked_percentages():
+    text = format_stacked_percentages(
+        ["1234"], {"C1": [0.25], "C2": [0.75]}, width=8
+    )
+    assert "C1=25.0%" in text
+    assert "C2=75.0%" in text
+    assert "|" in text

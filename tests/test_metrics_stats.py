@@ -1,0 +1,87 @@
+"""Tests for replication statistics."""
+
+import pytest
+
+from repro.metrics.stats import (
+    Replication,
+    confidence_interval,
+    mean,
+    replicate,
+    stddev,
+    t_critical_95,
+)
+
+
+def test_mean_and_stddev():
+    assert mean([1, 2, 3]) == 2.0
+    assert stddev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.138, abs=0.01)
+    assert stddev([5]) == 0.0
+
+
+def test_mean_requires_values():
+    with pytest.raises(ValueError):
+        mean([])
+
+
+def test_t_critical_values():
+    assert t_critical_95(1) == pytest.approx(12.706)
+    assert t_critical_95(9) == pytest.approx(2.262)
+    assert t_critical_95(12) == pytest.approx(2.228)  # falls back to dof 10
+    assert t_critical_95(500) == pytest.approx(1.960)
+    with pytest.raises(ValueError):
+        t_critical_95(0)
+
+
+def test_confidence_interval_known_case():
+    mu, halfwidth = confidence_interval([10.0, 12.0, 11.0, 13.0, 9.0])
+    assert mu == 11.0
+    # s = sqrt(2.5), t(4) = 2.776 -> hw = 2.776 * 1.5811 / sqrt(5)
+    assert halfwidth == pytest.approx(1.963, abs=0.01)
+
+
+def test_confidence_interval_single_sample_is_unbounded():
+    mu, halfwidth = confidence_interval([4.2])
+    assert mu == 4.2
+    assert halfwidth == float("inf")
+
+
+def test_only_95_level_supported():
+    with pytest.raises(ValueError):
+        confidence_interval([1, 2], level=0.99)
+
+
+def test_replication_accumulates_metrics():
+    rep = Replication()
+    for value in (1.0, 2.0, 3.0):
+        rep.record("util", value)
+    rep.record("latency", 5.0)
+    assert rep.metrics() == ["latency", "util"]
+    assert rep.mean("util") == 2.0
+    assert rep.samples("latency") == [5.0]
+    rows = rep.summary_rows()
+    assert rows[1][0] == "util" and rows[1][1] == 3
+
+
+def test_replicate_runs_per_seed():
+    rep = replicate(lambda seed: {"x": seed * 2.0}, seeds=range(4))
+    assert rep.samples("x") == [0.0, 2.0, 4.0, 6.0]
+
+
+def test_replicated_simulation_interval_covers_truth():
+    # Lottery share of a 1-of-4-ticket master over modest runs: the CI
+    # from 6 replications should cover the design target 0.25.
+    from repro.arbiters.lottery import StaticLotteryArbiter
+    from repro.bus.topology import build_single_bus_system
+    from repro.traffic.classes import get_traffic_class
+
+    def run(seed):
+        arbiter = StaticLotteryArbiter(tickets=[1, 1, 1, 1], lfsr_seed=seed)
+        system, bus = build_single_bus_system(
+            4, arbiter, get_traffic_class("T8").generator_factory(seed=seed)
+        )
+        system.run(6000)
+        return {"share0": bus.metrics.bandwidth_shares()[0]}
+
+    rep = replicate(run, seeds=range(1, 7))
+    mu, halfwidth = rep.interval("share0")
+    assert abs(mu - 0.25) < halfwidth + 0.02

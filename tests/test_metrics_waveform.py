@@ -1,0 +1,76 @@
+"""Tests for the bus probe and waveform renderer."""
+
+import pytest
+
+from repro.arbiters.static_priority import StaticPriorityArbiter
+from repro.bus.bus import SharedBus
+from repro.bus.master import MasterInterface
+from repro.metrics.waveform import BusProbe, ownership_runs, render_waveform
+from repro.sim.kernel import Simulator
+
+
+def build(num_masters=2, window=32):
+    masters = [MasterInterface("m{}".format(i), i) for i in range(num_masters)]
+    bus = SharedBus(
+        "bus", masters, StaticPriorityArbiter(list(range(1, num_masters + 1)))
+    )
+    probe = BusProbe("probe", bus, window=window)
+    sim = Simulator()
+    sim.add(bus)
+    sim.add(probe)
+    return sim, bus, masters, probe
+
+
+def test_probe_records_ownership_sequence():
+    sim, bus, masters, probe = build()
+    masters[0].submit(3, 0)
+    sim.run(5)
+    assert probe.owners == [0, 0, 0, None, None]
+
+
+def test_probe_records_arrivals():
+    sim, bus, masters, probe = build()
+    masters[1].submit(2, 0)
+    sim.run(1)
+    masters[0].submit(1, 1)
+    sim.run(5)
+    assert 0 in probe.arrivals[1]
+    assert 1 in probe.arrivals[0]
+
+
+def test_ownership_runs_condense():
+    sim, bus, masters, probe = build()
+    masters[0].submit(2, 0)
+    masters[1].submit(2, 0)
+    sim.run(6)
+    # Priority order: master 1 first (higher priority), then master 0.
+    assert ownership_runs(probe) == [
+        (1, 0, 2),
+        (0, 2, 2),
+        (None, 4, 2),
+    ]
+
+
+def test_render_waveform_marks_requests_and_ownership():
+    sim, bus, masters, probe = build()
+    masters[0].submit(2, 0)
+    sim.run(4)
+    art = render_waveform(probe)
+    lines = art.splitlines()
+    assert lines[2].endswith("R...")
+    assert lines[3].endswith("==..")
+
+
+def test_window_bounds_recording():
+    sim, bus, masters, probe = build(window=3)
+    masters[0].submit(10, 0)
+    sim.run(10)
+    assert len(probe.owners) == 3
+
+
+def test_probe_validation():
+    _, bus, _, _ = build()
+    with pytest.raises(ValueError):
+        BusProbe("p", bus, window=0)
+    with pytest.raises(ValueError):
+        BusProbe("p", bus, start=-1)

@@ -1,0 +1,116 @@
+"""Additional behaviour coverage across modules."""
+
+import pytest
+
+from repro.arbiters.round_robin import RoundRobinArbiter
+from repro.atm.port import OutputPort
+from repro.atm.queue import OutputQueue
+from repro.atm.shared_memory import SharedCellMemory
+from repro.atm.cell import ATMCell
+from repro.bus.bus import SharedBus
+from repro.bus.master import MasterInterface
+from repro.metrics.waveform import BusProbe, render_waveform
+from repro.sim.kernel import Simulator
+
+
+def test_port_raises_on_rejected_bus_request():
+    # A port must never silently drop a dequeued cell.
+    interface = MasterInterface("p0", 0, max_queue=0)
+    queue = OutputQueue(0)
+    memory = SharedCellMemory("mem", num_cells=4)
+    cell = ATMCell(0, 0, 0)
+    memory.write_cell(cell)
+    queue.enqueue(cell)
+    port = OutputPort("port0", 0, interface, queue, memory)
+    with pytest.raises(RuntimeError, match="rejected"):
+        port.tick(0)
+
+
+def test_port_reset_clears_state():
+    interface = MasterInterface("p0", 0)
+    queue = OutputQueue(0)
+    memory = SharedCellMemory("mem", num_cells=4)
+    port = OutputPort("port0", 0, interface, queue, memory)
+    port.cells_forwarded = 5
+    port.reset()
+    assert port.cells_forwarded == 0
+    assert not port.busy
+
+
+def test_queue_and_memory_reset():
+    queue = OutputQueue(0)
+    queue.enqueue(ATMCell(0, 0, 0))
+    queue.reset()
+    assert queue.empty and queue.enqueued == 0
+    memory = SharedCellMemory("mem", num_cells=2)
+    memory.write_cell(ATMCell(0, 0, 0))
+    memory.reset()
+    assert memory.occupancy == 0
+
+
+def test_waveform_width_truncation_and_probe_reset():
+    masters = [MasterInterface("m0", 0)]
+    bus = SharedBus("bus", masters, RoundRobinArbiter(1))
+    probe = BusProbe("probe", bus, window=16)
+    sim = Simulator()
+    sim.add(bus)
+    sim.add(probe)
+    masters[0].submit(6, 0)
+    sim.run(8)
+    art = render_waveform(probe, width=4)
+    row = next(l for l in art.splitlines() if l.startswith("bus"))
+    assert len(row.split("  ", 1)[1]) == 4
+    probe.reset()
+    assert probe.owners == []
+
+
+def test_waveform_custom_labels():
+    masters = [MasterInterface("m0", 0)]
+    bus = SharedBus("bus", masters, RoundRobinArbiter(1))
+    probe = BusProbe("probe", bus)
+    sim = Simulator()
+    sim.add(bus)
+    sim.add(probe)
+    sim.run(2)
+    art = render_waveform(probe, labels=["CPU"])
+    assert "req CPU" in art
+
+
+def test_switch_report_accumulates_across_runs():
+    from repro.atm.switch import OutputQueuedSwitch
+    from repro.atm.workload import BernoulliArrivals, PortWorkload
+
+    switch = OutputQueuedSwitch(
+        RoundRobinArbiter(2),
+        PortWorkload([BernoulliArrivals(0.01), BernoulliArrivals(0.01)]),
+        seed=2,
+    )
+    first = switch.run(5000)
+    second = switch.run(5000)
+    assert second.cycles == 10_000
+    assert second.cells_arrived >= first.cells_arrived
+    assert "SwitchReport" in repr(second)
+
+
+def test_dynamic_manager_rejects_bad_ticket_bits():
+    from repro.core.lottery_manager import DynamicLotteryManager
+
+    with pytest.raises(ValueError):
+        DynamicLotteryManager([1, 1], ticket_bits=0)
+
+
+def test_static_manager_rejection_policy_on_bus_wastes_cycles():
+    from repro.arbiters.lottery import StaticLotteryArbiter
+    from repro.bus.topology import build_single_bus_system
+    from repro.traffic.classes import get_traffic_class
+
+    arbiter = StaticLotteryArbiter(
+        tickets=[3, 2, 1, 1], scale=False, draw_policy="rejection"
+    )
+    system, bus = build_single_bus_system(
+        4, arbiter, get_traffic_class("T8").generator_factory(seed=1)
+    )
+    system.run(5000)
+    # Rejected draws show up as idle cycles despite pending requests.
+    assert arbiter.manager.rejected_draws > 0
+    assert bus.metrics.idle_cycles >= arbiter.manager.rejected_draws

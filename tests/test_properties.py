@@ -1,0 +1,156 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arbiters.round_robin import RoundRobinArbiter
+from repro.arbiters.static_priority import StaticPriorityArbiter
+from repro.arbiters.tdma import TdmaArbiter
+from repro.core.adder_tree import AdderTree
+from repro.core.lfsr import LFSR
+from repro.core.lookup_table import LotteryLookupTable
+from repro.core.lottery_manager import DynamicLotteryManager, StaticLotteryManager
+from repro.core.scaling import is_power_of_two, scale_to_power_of_two
+from repro.core.starvation import access_probability
+from repro.core.tickets import TicketAssignment
+
+tickets_lists = st.lists(st.integers(min_value=1, max_value=200), min_size=1,
+                         max_size=8)
+
+
+@given(tickets_lists)
+def test_scaling_always_power_of_two_and_positive(tickets):
+    scaled = scale_to_power_of_two(tickets)
+    assert is_power_of_two(sum(scaled))
+    assert all(t >= 1 for t in scaled)
+    assert len(scaled) == len(tickets)
+
+
+@given(tickets_lists)
+def test_scaling_preserves_ordering(tickets):
+    scaled = scale_to_power_of_two(tickets, minimum_total=1024)
+    for (a, sa), (b, sb) in zip(
+        zip(tickets, scaled), list(zip(tickets, scaled))[1:]
+    ):
+        if a < b:
+            assert sa <= sb
+        elif a > b:
+            assert sa >= sb
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=6),
+    st.lists(st.booleans(), min_size=1, max_size=6),
+)
+def test_lookup_table_matches_direct_partial_sums(tickets, request_map):
+    request_map = (request_map + [False] * len(tickets))[: len(tickets)]
+    table = LotteryLookupTable(tickets)
+    direct = TicketAssignment(tickets).partial_sums(request_map)
+    assert list(table.partial_sums(request_map)) == direct
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=255), min_size=1, max_size=8),
+    st.data(),
+)
+def test_adder_tree_prefix_sums_are_monotone_and_bounded(tickets, data):
+    request_map = data.draw(
+        st.lists(st.booleans(), min_size=len(tickets), max_size=len(tickets))
+    )
+    tree = AdderTree(len(tickets), 8)
+    sums = tree.compute(request_map, tickets)
+    assert all(a <= b for a, b in zip(sums, sums[1:]))
+    assert sums[-1] == sum(t for t, r in zip(tickets, request_map) if r)
+
+
+@given(st.integers(min_value=2, max_value=16), st.integers(min_value=1))
+def test_lfsr_draws_in_range(width, bound):
+    bound = 1 + bound % 100
+    lfsr = LFSR(width, seed=1)
+    for _ in range(30):
+        assert 0 <= lfsr.draw_below(bound) < bound
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=30), min_size=2, max_size=6),
+    st.data(),
+)
+def test_static_lottery_winner_is_always_pending(tickets, data):
+    request_map = data.draw(
+        st.lists(st.booleans(), min_size=len(tickets), max_size=len(tickets))
+    )
+    manager = StaticLotteryManager(tickets, lfsr_seed=3)
+    outcome = manager.draw(request_map)
+    if not any(request_map):
+        assert outcome is None
+    else:
+        assert outcome.winner is not None
+        assert request_map[outcome.winner]
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=255), min_size=2, max_size=6),
+    st.data(),
+)
+def test_dynamic_lottery_winner_is_always_pending(tickets, data):
+    request_map = data.draw(
+        st.lists(st.booleans(), min_size=len(tickets), max_size=len(tickets))
+    )
+    manager = DynamicLotteryManager(tickets, lfsr_seed=3)
+    outcome = manager.draw(request_map)
+    if not any(request_map):
+        assert outcome is None
+    else:
+        assert request_map[outcome.winner]
+
+
+@given(
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=0, max_value=200),
+)
+def test_access_probability_is_a_probability(tickets, drawings):
+    p = access_probability(tickets, 16, drawings)
+    assert 0.0 <= p <= 1.0
+
+
+@given(st.lists(st.booleans(), min_size=2, max_size=6), st.data())
+def test_arbiters_never_grant_idle_masters(request_map, data):
+    pending = [9 if r else 0 for r in request_map]
+    n = len(pending)
+    arbiters = [
+        StaticPriorityArbiter(list(range(1, n + 1))),
+        RoundRobinArbiter(n),
+        TdmaArbiter.from_slot_counts([1] * n),
+    ]
+    for arbiter in arbiters:
+        for cycle in range(data.draw(st.integers(min_value=1, max_value=8))):
+            grant = arbiter.arbitrate(cycle, pending)
+            if grant is not None:
+                assert pending[grant.master] > 0
+            elif arbiter.__class__ is StaticPriorityArbiter:
+                assert not any(pending)
+
+
+@settings(max_examples=25)
+@given(
+    st.lists(st.integers(min_value=0, max_value=5), min_size=2, max_size=4),
+    st.integers(min_value=0, max_value=2 ** 31),
+)
+def test_bus_conserves_words(word_counts, seed):
+    from repro.arbiters.round_robin import RoundRobinArbiter as RR
+    from repro.bus.bus import SharedBus
+    from repro.bus.master import MasterInterface
+    from repro.sim.kernel import Simulator
+
+    masters = [MasterInterface("m{}".format(i), i) for i in range(len(word_counts))]
+    bus = SharedBus("bus", masters, RR(len(word_counts)), max_burst=3)
+    total = 0
+    for master, words in zip(masters, word_counts):
+        if words:
+            master.submit(words, 0)
+            total += words
+    sim = Simulator()
+    sim.add(bus)
+    sim.run(total + 5)
+    assert bus.metrics.total_words == total
+    assert all(not m.has_request for m in masters)

@@ -1,0 +1,97 @@
+"""Tests for the simulation kernel."""
+
+import pytest
+
+from repro.sim import Component, SimulationError, Simulator
+
+
+class Counter(Component):
+    def __init__(self, name="counter"):
+        super().__init__(name)
+        self.ticks = []
+
+    def tick(self, cycle):
+        self.ticks.append(cycle)
+
+    def reset(self):
+        self.ticks = []
+
+
+def test_run_advances_cycles():
+    sim = Simulator()
+    counter = sim.add(Counter())
+    assert sim.run(5) == 5
+    assert counter.ticks == [0, 1, 2, 3, 4]
+    assert sim.cycle == 5
+
+
+def test_run_resumes_from_current_cycle():
+    sim = Simulator()
+    counter = sim.add(Counter())
+    sim.run(3)
+    sim.run(2)
+    assert counter.ticks == [0, 1, 2, 3, 4]
+
+
+def test_components_tick_in_registration_order():
+    sim = Simulator()
+    order = []
+
+    class Probe(Component):
+        def tick(self, cycle):
+            order.append(self.name)
+
+    sim.add(Probe("first"))
+    sim.add(Probe("second"))
+    sim.run(1)
+    assert order == ["first", "second"]
+
+
+def test_duplicate_names_rejected():
+    sim = Simulator()
+    sim.add(Counter("a"))
+    with pytest.raises(SimulationError):
+        sim.add(Counter("a"))
+
+
+def test_non_component_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.add(object())
+
+
+def test_negative_cycles_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.run(-1)
+
+
+def test_reset_restores_time_and_components():
+    sim = Simulator()
+    counter = sim.add(Counter())
+    sim.run(4)
+    sim.reset()
+    assert sim.cycle == 0
+    assert counter.ticks == []
+    sim.run(2)
+    assert counter.ticks == [0, 1]
+
+
+def test_run_until_predicate():
+    sim = Simulator()
+    sim.add(Counter())
+    reached = sim.run_until(lambda cycle: cycle >= 7)
+    assert reached == 7
+
+
+def test_run_until_bound_exhausted():
+    sim = Simulator()
+    sim.add(Counter())
+    with pytest.raises(SimulationError):
+        sim.run_until(lambda cycle: False, max_cycles=10)
+
+
+def test_components_view_is_readonly_tuple():
+    sim = Simulator()
+    counter = sim.add(Counter())
+    assert sim.components == (counter,)

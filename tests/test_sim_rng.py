@@ -1,0 +1,62 @@
+"""Tests for seeded random streams."""
+
+import pytest
+
+from repro.sim.rng import RandomStream, derive_seed
+
+
+def test_same_seed_same_sequence():
+    a = RandomStream(42, "x")
+    b = RandomStream(42, "x")
+    assert [a.randint(0, 100) for _ in range(10)] == [
+        b.randint(0, 100) for _ in range(10)
+    ]
+
+
+def test_different_purposes_diverge():
+    a = RandomStream(42, "traffic")
+    b = RandomStream(42, "lottery")
+    assert [a.randint(0, 10 ** 6) for _ in range(5)] != [
+        b.randint(0, 10 ** 6) for _ in range(5)
+    ]
+
+
+def test_reset_rewinds():
+    stream = RandomStream(7, "x")
+    first = [stream.random() for _ in range(5)]
+    stream.reset()
+    assert [stream.random() for _ in range(5)] == first
+
+
+def test_derive_seed_stable_and_distinct():
+    assert derive_seed(1, "a") == derive_seed(1, "a")
+    assert derive_seed(1, "a") != derive_seed(1, "b")
+    assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+def test_randrange_bounds():
+    stream = RandomStream(3)
+    values = [stream.randrange(5) for _ in range(200)]
+    assert set(values) <= set(range(5))
+    assert len(set(values)) == 5
+
+
+def test_geometric_mean_and_support():
+    stream = RandomStream(5, "g")
+    samples = [stream.geometric(0.25) for _ in range(4000)]
+    assert min(samples) >= 1
+    mean = sum(samples) / len(samples)
+    assert mean == pytest.approx(4.0, rel=0.1)
+
+
+def test_geometric_p_one_is_always_one():
+    stream = RandomStream(5)
+    assert all(stream.geometric(1.0) == 1 for _ in range(10))
+
+
+def test_geometric_rejects_bad_p():
+    stream = RandomStream(5)
+    with pytest.raises(ValueError):
+        stream.geometric(0.0)
+    with pytest.raises(ValueError):
+        stream.geometric(1.5)

@@ -1,0 +1,160 @@
+"""Tests for declarative system construction."""
+
+import json
+
+import pytest
+
+from repro.soc.config import (
+    ConfigError,
+    build_system,
+    build_traffic_source,
+    build_words_distribution,
+    load_system,
+)
+from repro.soc.presets import PRESETS, get_preset
+from repro.bus.master import MasterInterface
+from repro.traffic.generator import ClosedLoopGenerator, OnOffGenerator
+from repro.traffic.message import FixedWords, GeometricWords, UniformWords
+
+
+def minimal_spec():
+    return {
+        "bus": {"arbiter": "round-robin"},
+        "masters": [
+            {"name": "a", "traffic": {"kind": "closedloop",
+                                      "words": {"kind": "fixed", "words": 4}}},
+            {"name": "b"},
+        ],
+    }
+
+
+def test_build_minimal_system_runs():
+    system, bus = build_system(minimal_spec())
+    system.run(1000)
+    assert bus.metrics.total_words > 0
+    assert len(bus.masters) == 2
+
+
+def test_weights_reach_the_arbiter():
+    spec = minimal_spec()
+    spec["bus"]["arbiter"] = "tdma"
+    spec["bus"]["weights"] = [3, 1]
+    system, bus = build_system(spec)
+    assert bus.arbiter.slot_counts() == [3, 1]
+
+
+def test_arbiter_options_forwarded():
+    spec = minimal_spec()
+    spec["bus"]["arbiter"] = "tdma"
+    spec["bus"]["arbiter_options"] = {"reclaim": "none"}
+    _, bus = build_system(spec)
+    assert bus.arbiter.reclaim == "none"
+
+
+def test_slave_wait_states_configured():
+    spec = minimal_spec()
+    spec["slaves"] = [{"name": "mem", "setup_wait_states": 3}]
+    _, bus = build_system(spec)
+    assert bus.slaves[0].setup_wait_states == 3
+
+
+def test_unknown_keys_rejected():
+    spec = minimal_spec()
+    spec["bus"]["burst"] = 16  # typo for max_burst
+    with pytest.raises(ConfigError, match="unknown keys"):
+        build_system(spec)
+
+
+def test_missing_required_key_rejected():
+    with pytest.raises(ConfigError, match="missing required key"):
+        build_system({"masters": []})
+
+
+def test_empty_masters_rejected():
+    with pytest.raises(ConfigError):
+        build_system({"bus": {"arbiter": "round-robin"}, "masters": []})
+
+
+@pytest.mark.parametrize(
+    "spec,expected",
+    [
+        ({"kind": "fixed", "words": 8}, FixedWords),
+        ({"kind": "uniform", "low": 2, "high": 6}, UniformWords),
+        ({"kind": "geometric", "mean_words": 10}, GeometricWords),
+    ],
+)
+def test_words_distributions(spec, expected):
+    assert isinstance(build_words_distribution(spec), expected)
+
+
+def test_words_distribution_errors():
+    with pytest.raises(ConfigError, match="unknown distribution"):
+        build_words_distribution({"kind": "zipf"})
+    with pytest.raises(ConfigError, match="needs 'low'"):
+        build_words_distribution({"kind": "uniform", "high": 4})
+
+
+def test_traffic_source_construction():
+    interface = MasterInterface("m", 0)
+    source = build_traffic_source(
+        {
+            "kind": "onoff",
+            "words": {"kind": "fixed", "words": 4},
+            "on_rate": 0.2,
+            "mean_on": 10,
+            "mean_off": 40,
+        },
+        "gen",
+        interface,
+        seed=1,
+    )
+    assert isinstance(source, OnOffGenerator)
+
+
+def test_traffic_source_errors():
+    interface = MasterInterface("m", 0)
+    with pytest.raises(ConfigError, match="unknown traffic kind"):
+        build_traffic_source({"kind": "fractal"}, "g", interface, 0)
+    with pytest.raises(ConfigError, match="needs 'rate'"):
+        build_traffic_source(
+            {"kind": "poisson", "words": {"kind": "fixed", "words": 1}},
+            "g",
+            interface,
+            0,
+        )
+
+
+def test_load_system_from_json(tmp_path):
+    path = tmp_path / "soc.json"
+    path.write_text(json.dumps(minimal_spec()))
+    system, bus = load_system(str(path))
+    system.run(100)
+    assert bus.metrics.cycles == 100
+
+
+def test_all_presets_build_and_run():
+    for name in PRESETS:
+        system, bus = build_system(get_preset(name))
+        system.run(2000)
+        assert bus.metrics.total_words > 0, name
+
+
+def test_preset_copies_are_independent():
+    a = get_preset("testbed-lottery")
+    a["bus"]["weights"][0] = 99
+    assert PRESETS["testbed-lottery"]["bus"]["weights"][0] == 1
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(ValueError):
+        get_preset("nope")
+
+
+def test_seed_controls_reproducibility():
+    spec = minimal_spec()
+    runs = []
+    for _ in range(2):
+        system, bus = build_system(spec)
+        system.run(2000)
+        runs.append(bus.metrics.summary())
+    assert runs[0] == runs[1]

@@ -1,0 +1,73 @@
+"""Tests for the nine traffic classes."""
+
+import pytest
+
+from repro.arbiters.round_robin import RoundRobinArbiter
+from repro.bus.topology import build_single_bus_system
+from repro.traffic.classes import (
+    TRAFFIC_CLASSES,
+    get_traffic_class,
+    latency_classes,
+)
+
+
+def run_class(name, cycles=30_000, seed=3):
+    cls = get_traffic_class(name)
+    system, bus = build_single_bus_system(
+        4, RoundRobinArbiter(4), cls.generator_factory(seed=seed)
+    )
+    system.run(cycles)
+    return bus.metrics
+
+
+def test_all_nine_classes_exist():
+    assert sorted(TRAFFIC_CLASSES) == [
+        "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9",
+    ]
+
+
+def test_every_class_builds_and_generates():
+    for name in TRAFFIC_CLASSES:
+        metrics = run_class(name, cycles=5000)
+        assert metrics.total_words > 0, name
+
+
+def test_saturating_classes_keep_bus_busy():
+    for name, cls in TRAFFIC_CLASSES.items():
+        if cls.saturating:
+            metrics = run_class(name)
+            assert metrics.utilization() > 0.9, name
+
+
+def test_sparse_classes_leave_bus_idle():
+    for name, cls in TRAFFIC_CLASSES.items():
+        if not cls.saturating:
+            metrics = run_class(name)
+            assert metrics.utilization() < 0.6, name
+
+
+def test_t5_demand_rises_with_master_index():
+    metrics = run_class("T5", cycles=60_000)
+    words = [metrics.masters[i].words for i in range(4)]
+    assert words[0] < words[1] < words[2] < words[3]
+
+
+def test_unknown_class_rejected():
+    with pytest.raises(ValueError):
+        get_traffic_class("T10")
+
+
+def test_latency_classes_are_t1_to_t6():
+    assert [cls.name for cls in latency_classes()] == [
+        "T1", "T2", "T3", "T4", "T5", "T6",
+    ]
+
+
+def test_generator_factory_uses_distinct_seeds():
+    cls = get_traffic_class("T1")
+    factory = cls.generator_factory(seed=10)
+    from repro.bus.master import MasterInterface
+
+    a = factory(0, MasterInterface("a", 0))
+    b = factory(1, MasterInterface("b", 1))
+    assert a._rng.seed != b._rng.seed

@@ -1,0 +1,57 @@
+"""Tests for message-size distributions."""
+
+import pytest
+
+from repro.sim.rng import RandomStream
+from repro.traffic.message import FixedWords, GeometricWords, UniformWords
+
+
+@pytest.fixture
+def rng():
+    return RandomStream(17, "messages")
+
+
+def test_fixed_words(rng):
+    dist = FixedWords(8)
+    assert all(dist.sample(rng) == 8 for _ in range(10))
+    assert dist.mean() == 8.0
+
+
+def test_fixed_words_validation():
+    with pytest.raises(ValueError):
+        FixedWords(0)
+
+
+def test_uniform_words_range_and_mean(rng):
+    dist = UniformWords(2, 6)
+    samples = [dist.sample(rng) for _ in range(3000)]
+    assert set(samples) == {2, 3, 4, 5, 6}
+    assert sum(samples) / len(samples) == pytest.approx(4.0, rel=0.05)
+    assert dist.mean() == 4.0
+
+
+def test_uniform_words_validation():
+    with pytest.raises(ValueError):
+        UniformWords(0, 4)
+    with pytest.raises(ValueError):
+        UniformWords(5, 4)
+
+
+def test_geometric_words_mean_and_cap(rng):
+    dist = GeometricWords(10, cap=64)
+    samples = [dist.sample(rng) for _ in range(5000)]
+    assert min(samples) >= 1
+    assert max(samples) <= 64
+    assert sum(samples) / len(samples) == pytest.approx(10.0, rel=0.1)
+
+
+def test_geometric_words_cap_enforced(rng):
+    dist = GeometricWords(50, cap=8)
+    assert all(dist.sample(rng) <= 8 for _ in range(500))
+
+
+def test_geometric_words_validation():
+    with pytest.raises(ValueError):
+        GeometricWords(0)
+    with pytest.raises(ValueError):
+        GeometricWords(4, cap=0)

@@ -1,0 +1,62 @@
+"""Tests for deterministic pattern generators."""
+
+import pytest
+
+from repro.bus.master import MasterInterface
+from repro.sim.kernel import Simulator
+from repro.traffic.patterns import PatternGenerator, phase_shifted
+
+
+def drive(generator, cycles):
+    sim = Simulator()
+    sim.add(generator)
+    sim.run(cycles)
+
+
+def test_one_shot_schedule():
+    interface = MasterInterface("m", 0)
+    gen = PatternGenerator("g", interface, [(3, 2), (7, 5)])
+    drive(gen, 20)
+    arrivals = [(r.arrival_cycle, r.words) for r in interface._queue]
+    assert arrivals == [(3, 2), (7, 5)]
+    assert gen.messages_emitted == 2
+
+
+def test_repeating_schedule():
+    interface = MasterInterface("m", 0)
+    gen = PatternGenerator("g", interface, [(1, 3)], repeat_period=5)
+    drive(gen, 12)
+    arrivals = [r.arrival_cycle for r in interface._queue]
+    assert arrivals == [1, 6, 11]
+
+
+def test_events_sorted_regardless_of_input_order():
+    interface = MasterInterface("m", 0)
+    gen = PatternGenerator("g", interface, [(7, 1), (2, 1)])
+    assert gen.events == [(2, 1), (7, 1)]
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"events": [(-1, 2)]},
+        {"events": [(0, 0)]},
+        {"events": [(0, 1)], "repeat_period": 0},
+        {"events": [(9, 1)], "repeat_period": 5},
+    ],
+)
+def test_validation(kwargs):
+    interface = MasterInterface("m", 0)
+    with pytest.raises(ValueError):
+        PatternGenerator("g", interface, **kwargs)
+
+
+def test_phase_shifted_wraps_within_period():
+    events = [(0, 6), (6, 6), (12, 6)]
+    shifted = phase_shifted(events, 8, 18)
+    assert shifted == [(2, 6), (8, 6), (14, 6)]
+
+
+def test_phase_shift_by_zero_is_identity():
+    events = [(0, 1), (4, 2)]
+    assert phase_shifted(events, 0, 10) == events

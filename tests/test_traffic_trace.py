@@ -1,0 +1,75 @@
+"""Tests for trace record/replay."""
+
+import pytest
+
+from repro.bus.master import MasterInterface
+from repro.sim.kernel import Simulator
+from repro.traffic.classes import get_traffic_class
+from repro.traffic.trace import Trace, TraceEvent, TraceRecorder, TraceReplayGenerator
+
+
+def test_trace_accumulates_and_sorts():
+    trace = Trace()
+    trace.add(10, 1, 4)
+    trace.add(5, 0, 2)
+    trace = Trace(trace.events)
+    assert [e.cycle for e in trace] == [5, 10]
+    assert trace.num_masters == 2
+    assert trace.total_words() == 6
+    assert trace.total_words(master=1) == 4
+    assert trace.duration() == 10
+
+
+def test_offered_load():
+    trace = Trace([TraceEvent(0, 0, 5), TraceEvent(9, 0, 5)])
+    assert trace.offered_load() == pytest.approx(1.0)
+    assert Trace().offered_load() == 0.0
+
+
+def test_event_validation():
+    with pytest.raises(ValueError):
+        TraceEvent(-1, 0, 1)
+    with pytest.raises(ValueError):
+        TraceEvent(0, 0, 0)
+
+
+def test_save_and_load_round_trip(tmp_path):
+    trace = Trace([TraceEvent(3, 1, 7, slave=2), TraceEvent(0, 0, 1)],
+                  num_masters=4)
+    path = tmp_path / "trace.json"
+    trace.save(str(path))
+    loaded = Trace.load(str(path))
+    assert loaded.num_masters == 4
+    assert loaded.events == trace.events
+
+
+def test_capture_records_open_loop_class():
+    trace = Trace.capture(get_traffic_class("T6"), cycles=5000, seed=2)
+    assert trace.num_masters == 4
+    assert len(trace) > 0
+    assert all(e.cycle < 5000 for e in trace)
+
+
+def test_capture_is_deterministic():
+    first = Trace.capture(get_traffic_class("T6"), cycles=3000, seed=2)
+    second = Trace.capture(get_traffic_class("T6"), cycles=3000, seed=2)
+    assert first.events == second.events
+
+
+def test_replay_reproduces_arrivals():
+    trace = Trace([TraceEvent(2, 0, 3), TraceEvent(8, 0, 1), TraceEvent(4, 1, 2)])
+    interface = MasterInterface("m", 0, max_queue=100)
+    replay = TraceReplayGenerator("r", interface, trace, master_id=0)
+    sim = Simulator()
+    sim.add(replay)
+    sim.run(20)
+    arrivals = [(r.arrival_cycle, r.words) for r in interface._queue]
+    assert arrivals == [(2, 3), (8, 1)]
+
+
+def test_recorder_routes_by_master():
+    recorder = TraceRecorder(2)
+    recorder.interface(0).submit(4, 1)
+    recorder.interface(1).submit(5, 2)
+    assert recorder.trace.total_words(master=0) == 4
+    assert recorder.trace.total_words(master=1) == 5
