@@ -50,6 +50,7 @@ from repro.core import (
     access_probability,
     scale_to_power_of_two,
 )
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.metrics import MetricsCollector
 from repro.sim import Component, RandomStream, Simulator
 
@@ -73,6 +74,9 @@ __all__ = [
     "SharedBus",
     "Slave",
     "build_single_bus_system",
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
     "LFSR",
     "DynamicLotteryManager",
     "StaticLotteryManager",

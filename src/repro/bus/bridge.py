@@ -6,7 +6,13 @@ the necessary channels").  A transaction addressed to the bridge's slave
 id on the near bus is forwarded, once it completes there, as a new
 transaction on the far bus targeting a remote slave carried in the
 request tag.
+
+Under fault injection (see :mod:`repro.faults`) a forward can be lost
+in the bridge FIFO; the bridge detects the loss and retransmits after
+the plan's retry delay, so bridged traffic survives lossy links.
 """
+
+import bisect
 
 from repro.bus.slave import Slave
 
@@ -42,17 +48,35 @@ class Bridge(Slave):
             raise ValueError("forwarding_delay must be non-negative")
         self.far_master = far_master
         self.forwarding_delay = forwarding_delay
-        self._inflight = []
+        self.injector = None
+        self._near_bus = None
+        self._inflight = []  # (ready_cycle, seq, words, remote_slave, payload)
+        self._seq = 0
         self.forwarded = 0
+        self.retransmits = 0
 
     def reset(self):
         super().reset()
         self._inflight = []
+        self._seq = 0
         self.forwarded = 0
+        self.retransmits = 0
 
     def attach(self, near_bus):
-        """Subscribe to the near bus's completion stream."""
-        near_bus.add_completion_hook(self._on_near_completion)
+        """Subscribe to the near bus's completion stream (idempotent)."""
+        near_bus.add_completion_hook(
+            self._on_near_completion, key="bridge:" + self.name
+        )
+        self._near_bus = near_bus
+
+    def _schedule(self, ready_cycle, words, remote_slave, payload):
+        # Keep the FIFO ordered by ready cycle (retransmits re-enter out
+        # of order); the seq counter breaks ties without comparing the
+        # (possibly incomparable) payloads.
+        self._seq += 1
+        bisect.insort(
+            self._inflight, (ready_cycle, self._seq, words, remote_slave, payload)
+        )
 
     def _on_near_completion(self, request, cycle):
         if request.slave != self.slave_id:
@@ -60,12 +84,22 @@ class Bridge(Slave):
         tag = request.tag
         remote_slave = tag.remote_slave if isinstance(tag, BridgeTag) else 0
         payload = tag.payload if isinstance(tag, BridgeTag) else tag
-        self._inflight.append(
-            (cycle + self.forwarding_delay, request.words, remote_slave, payload)
+        self._schedule(
+            cycle + self.forwarding_delay, request.words, remote_slave, payload
         )
 
     def tick(self, cycle):
         while self._inflight and self._inflight[0][0] <= cycle:
-            _, words, remote_slave, payload = self._inflight.pop(0)
+            _, _, words, remote_slave, payload = self._inflight.pop(0)
+            if self.injector is not None and self.injector.bridge_loss(self, cycle):
+                # Forward lost in the bridge FIFO: retransmit later.
+                self.retransmits += 1
+                self._schedule(
+                    cycle + self.injector.plan.bridge_retry_delay,
+                    words,
+                    remote_slave,
+                    payload,
+                )
+                continue
             self.far_master.submit(words, cycle, slave=remote_slave, tag=payload)
             self.forwarded += 1

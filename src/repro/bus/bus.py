@@ -49,6 +49,10 @@ class SharedBus(Component):
         during the setup (the address phase is posted, the slave works
         off-bus, the request re-competes when ready) instead of holding
         it idle, so other masters' transfers overlap slave latency.
+    :param bus_timeout: consecutive stall cycles an active burst may
+        accumulate before the watchdog aborts it through the masters'
+        error-response path instead of wedging the simulation (``None``
+        disables the watchdog; see :mod:`repro.faults`).
     :param metrics: optional externally owned MetricsCollector.
     """
 
@@ -62,6 +66,7 @@ class SharedBus(Component):
         arbitration_cycles=0,
         preemptive=False,
         split_transactions=False,
+        bus_timeout=None,
         metrics=None,
     ):
         super().__init__(name)
@@ -71,6 +76,8 @@ class SharedBus(Component):
             raise ValueError("max_burst must be >= 1")
         if arbitration_cycles < 0:
             raise ValueError("arbitration_cycles must be non-negative")
+        if bus_timeout is not None and bus_timeout < 1:
+            raise ValueError("bus_timeout must be >= 1 when given")
         self.masters = list(masters)
         if slaves is None:
             from repro.bus.slave import Slave
@@ -79,6 +86,7 @@ class SharedBus(Component):
         self.slaves = list(slaves)
         self.arbiter = arbiter
         self._completion_hooks = []
+        self._hook_keys = {}
         if hasattr(arbiter, "bind"):
             # Flow-aware arbiters need visibility beyond pending word
             # counts (e.g. the head request's flow label).
@@ -87,9 +95,12 @@ class SharedBus(Component):
         self.arbitration_cycles = arbitration_cycles
         self.preemptive = preemptive
         self.split_transactions = split_transactions
+        self.bus_timeout = bus_timeout
+        self.injector = None
         self.metrics = metrics or MetricsCollector(len(self.masters))
         self._burst = None
         self._stall = 0
+        self._stall_run = 0
         for index, master in enumerate(self.masters):
             if master.master_id != index:
                 raise ValueError(
@@ -97,14 +108,53 @@ class SharedBus(Component):
                         master.name, master.master_id, index
                     )
                 )
+        # Interfaces exposing the fault/retry machinery (serviced every
+        # cycle; plain duck-typed masters are left alone).
+        self._serviced_masters = [
+            master for master in self.masters if hasattr(master, "service")
+        ]
 
-    def add_completion_hook(self, hook):
-        """Register ``hook(request, cycle)`` called as requests complete."""
+    def add_completion_hook(self, hook, key=None):
+        """Register ``hook(request, cycle)`` called as requests complete.
+
+        Registration is idempotent: re-adding an already registered hook
+        is a no-op, and a ``key`` names a slot of which there is at most
+        one — adding another hook under the same key replaces the old
+        one (used by :class:`~repro.bus.checker.BusChecker` so stacked
+        or reset checkers never double-fire).
+        """
+        if key is not None:
+            old = self._hook_keys.pop(key, None)
+            if old is not None and old in self._completion_hooks:
+                self._completion_hooks.remove(old)
+            self._hook_keys[key] = hook
+        elif hook in self._completion_hooks:
+            return hook
         self._completion_hooks.append(hook)
+        return hook
+
+    def remove_completion_hook(self, hook_or_key):
+        """Deregister a completion hook by callable or by its key.
+
+        Returns True if a hook was removed.
+        """
+        hook = hook_or_key
+        if hook_or_key in self._hook_keys:
+            hook = self._hook_keys.pop(hook_or_key)
+        else:
+            for key, value in list(self._hook_keys.items()):
+                if value == hook:
+                    del self._hook_keys[key]
+        try:
+            self._completion_hooks.remove(hook)
+            return True
+        except ValueError:
+            return False
 
     def reset(self):
         self._burst = None
         self._stall = 0
+        self._stall_run = 0
         self.metrics.reset()
         if hasattr(self.arbiter, "reset"):
             self.arbiter.reset()
@@ -132,9 +182,15 @@ class SharedBus(Component):
 
     def tick(self, cycle):
         self.metrics.observe_cycle()
+        for master in self._serviced_masters:
+            master.service(cycle, self.metrics.faults)
         if self._stall > 0:
             self._stall -= 1
             self.metrics.record_stall()
+            if self._burst is not None and self.bus_timeout is not None:
+                self._stall_run += 1
+                if self._stall_run > self.bus_timeout:
+                    self._abort_burst(cycle)
             return
         if self.preemptive:
             # Pre-emption: the arbiter is consulted every cycle; any
@@ -154,6 +210,8 @@ class SharedBus(Component):
     def _arbitrate(self, cycle):
         pending = self.pending_words(cycle)
         grant = self.arbiter.arbitrate(cycle, pending)
+        if self.injector is not None:
+            grant = self.injector.filter_grant(self, grant, pending, cycle)
         if grant is None:
             return
         if grant.master >= len(self.masters):
@@ -161,6 +219,12 @@ class SharedBus(Component):
                 "arbiter granted nonexistent master {}".format(grant.master)
             )
         if pending[grant.master] == 0:
+            if self.injector is not None:
+                # An injected spurious grant decoded to an idle master:
+                # the bus-side protocol check catches it and the round
+                # is wasted, but the simulation survives.
+                self.metrics.faults.record_detected()
+                return
             raise BusProtocolError(
                 "arbiter granted idle master {} at cycle {}".format(
                     grant.master, cycle
@@ -174,6 +238,7 @@ class SharedBus(Component):
         if self.preemptive:
             burst = 1
         slave = self.slaves[request.slave]
+        request.attempt_granted = True
         if request.first_grant_cycle is None:
             request.first_grant_cycle = cycle
         setup = 0 if request.setup_done else slave.begin_burst()
@@ -196,13 +261,55 @@ class SharedBus(Component):
         burst.words_left -= 1
         request.account_word(cycle)
         self.metrics.record_word(request.master)
+        self._stall_run = 0
         self._stall = burst.slave.serve_word()
+        if self.injector is not None:
+            if self.injector.corrupt_word(self, request, cycle):
+                request.fault_detected = True
+            self._stall += self.injector.slave_stall(self, burst.slave, cycle)
         if request.complete:
+            if request.fault_detected:
+                # End-of-message integrity check failed (the CRC view of
+                # the injected word errors): error-respond instead of
+                # completing; the master retries or aborts per policy.
+                self._burst = None
+                self._complete_with_error(request, cycle)
+                return
             request.completion_cycle = cycle
-            self.masters[request.master].pop()
+            master = self.masters[request.master]
+            if hasattr(master, "retire"):
+                master.retire(request)
+            else:  # duck-typed master without the retry machinery
+                master.pop()
             self.metrics.record_completion(request)
+            if request.retries:
+                self.metrics.faults.record_recovered(
+                    cycle - request.arrival_cycle + 1
+                )
             for hook in self._completion_hooks:
                 hook(request, cycle)
             self._burst = None
         elif burst.words_left == 0:
             self._burst = None
+
+    def _abort_burst(self, cycle):
+        """Bus-timeout watchdog: abort the hung transfer, free the bus."""
+        request = self._burst.request
+        self._burst = None
+        self._stall = 0
+        self._stall_run = 0
+        self.metrics.faults.record_timeout()
+        self._complete_with_error(request, cycle)
+
+    def _complete_with_error(self, request, cycle):
+        """Deliver an error response to the issuing master."""
+        faults = self.metrics.faults
+        faults.record_detected()
+        master = self.masters[request.master]
+        if hasattr(master, "complete_with_error"):
+            master.complete_with_error(request, cycle, faults=faults)
+        else:  # duck-typed master without the retry machinery
+            request.aborted = True
+            if master.head() is request:
+                master.pop()
+            faults.record_aborted()

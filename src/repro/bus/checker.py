@@ -35,6 +35,8 @@ class BusChecker(Component):
         (``None`` disables the watchdog).
     """
 
+    _HOOK_KEY = "bus-checker"
+
     def __init__(self, name, bus, starvation_bound=10_000):
         super().__init__(name)
         if starvation_bound is not None and starvation_bound < 1:
@@ -45,13 +47,17 @@ class BusChecker(Component):
         self.worst_wait = 0
         self._last_progress = [0] * len(bus.masters)
         self._last_words = [0] * len(bus.masters)
-        bus.add_completion_hook(self._on_completion)
+        # Keyed registration: at most one checker hook per bus, so
+        # stacking a second checker (or re-registering after reset)
+        # never double-fires the completion check.
+        bus.add_completion_hook(self._on_completion, key=self._HOOK_KEY)
 
     def reset(self):
         self.checks_performed = 0
         self.worst_wait = 0
         self._last_progress = [0] * len(self.bus.masters)
         self._last_words = [0] * len(self.bus.masters)
+        self.bus.add_completion_hook(self._on_completion, key=self._HOOK_KEY)
 
     def _on_completion(self, request, cycle):
         if request.completion_cycle - request.arrival_cycle + 1 < request.words:

@@ -12,20 +12,47 @@ class MasterInterface(Component):
     Traffic generators (or application components such as ATM ports)
     call :meth:`submit`; the bus pulls words from the head request when
     the arbiter grants this master.
+
+    With a :class:`~repro.faults.plan.RetryPolicy` installed the
+    interface also owns the error-response path: transfers the bus
+    error-completes (corrupted payload, bus-timeout abort) are re-issued
+    after an exponential backoff, or aborted once retries are exhausted;
+    queued requests that were never granted within the policy's timeout
+    are error-completed by the interface itself.  The bus drives this
+    machinery by calling :meth:`service` once per cycle, so interfaces
+    need not be registered with the simulator.
+
+    :param retry_policy: optional recovery policy (``None`` = legacy
+        behaviour: the first error-completion aborts the request).
+    :param retry_seed: seed for the backoff-jitter RNG stream.
     """
 
-    def __init__(self, name, master_id, max_queue=None):
+    def __init__(self, name, master_id, max_queue=None, retry_policy=None,
+                 retry_seed=0):
         super().__init__(name)
         self.master_id = master_id
         self.max_queue = max_queue
+        self.retry_policy = retry_policy
+        self.retry_seed = retry_seed
+        self._retry_rng = None
         self._queue = deque()
+        self._retry_pending = []  # (ready_cycle, request), small & unsorted
         self.submitted_requests = 0
         self.rejected_requests = 0
+        self.retried_requests = 0
+        self.aborted_requests = 0
+        self.timeout_requests = 0
 
     def reset(self):
         self._queue.clear()
+        self._retry_pending = []
+        if self._retry_rng is not None:
+            self._retry_rng.reset()
         self.submitted_requests = 0
         self.rejected_requests = 0
+        self.retried_requests = 0
+        self.aborted_requests = 0
+        self.timeout_requests = 0
 
     def submit(self, words, cycle, slave=0, tag=None, flow=None):
         """Enqueue a new transaction; returns the Request or None if full."""
@@ -70,3 +97,94 @@ class MasterInterface(Component):
     def pop(self):
         """Remove and return the (completed) head request."""
         return self._queue.popleft()
+
+    def retire(self, request):
+        """Remove a specific completed request from the queue.
+
+        The bus uses this instead of :meth:`pop` because a retry
+        released mid-burst re-enters at the queue front, so by
+        completion time the in-flight request may no longer be the
+        head; popping blindly would discard the wrong transaction and
+        wedge this master forever.
+        """
+        if self._queue and self._queue[0] is request:
+            self._queue.popleft()
+        else:
+            try:
+                self._queue.remove(request)
+            except ValueError:
+                pass
+
+    # -- error-response path (see repro.faults) --------------------------
+
+    def _rng(self):
+        if self._retry_rng is None:
+            from repro.sim.rng import RandomStream
+
+            self._retry_rng = RandomStream(self.retry_seed,
+                                           "retry:" + self.name)
+        return self._retry_rng
+
+    def service(self, cycle, faults=None):
+        """Release due retries and expire timed-out requests.
+
+        Called by the owning bus at the top of every bus cycle (before
+        arbitration), so released retries are visible to the arbiter the
+        same cycle.  ``faults`` is the bus's fault-accounting section.
+        """
+        if self._retry_pending:
+            due = [entry for entry in self._retry_pending if entry[0] <= cycle]
+            if due:
+                self._retry_pending = [
+                    entry for entry in self._retry_pending if entry[0] > cycle
+                ]
+                # Retried requests re-enter at the front: they are the
+                # oldest work and head-of-line order stays stable.
+                for _, request in sorted(due, key=lambda entry: entry[0],
+                                         reverse=True):
+                    self._queue.appendleft(request)
+        policy = self.retry_policy
+        if policy is not None and policy.timeout is not None and self._queue:
+            head = self._queue[0]
+            # Only requests whose current attempt was never granted are
+            # expired here; once granted, the request may be the bus's
+            # active burst and mid-burst hangs belong to the bus's own
+            # bus_timeout watchdog.
+            if (not head.attempt_granted
+                    and cycle - head.attempt_cycle > policy.timeout):
+                self.timeout_requests += 1
+                if faults is not None:
+                    faults.record_timeout()
+                    faults.record_detected()
+                self._queue.popleft()
+                self._resolve_error(head, cycle, faults)
+
+    def complete_with_error(self, request, cycle, faults=None):
+        """Bus-side error response: retry with backoff or abort.
+
+        Returns ``"retry"`` or ``"abort"``.
+        """
+        if self._queue and self._queue[0] is request:
+            self._queue.popleft()
+        else:  # defensive: preempted/split requests are still the head
+            try:
+                self._queue.remove(request)
+            except ValueError:
+                pass
+        return self._resolve_error(request, cycle, faults)
+
+    def _resolve_error(self, request, cycle, faults):
+        policy = self.retry_policy
+        if policy is None or request.retries >= policy.max_retries:
+            request.aborted = True
+            self.aborted_requests += 1
+            if faults is not None:
+                faults.record_aborted()
+            return "abort"
+        request.prepare_retry(cycle)
+        delay = policy.delay(request.retries, self._rng())
+        self._retry_pending.append((cycle + delay, request))
+        self.retried_requests += 1
+        if faults is not None:
+            faults.record_retried()
+        return "retry"

@@ -35,6 +35,11 @@ class Request:
         "completion_cycle",
         "last_word_cycle",
         "word_latency_total",
+        "retries",
+        "fault_detected",
+        "aborted",
+        "attempt_cycle",
+        "attempt_granted",
     )
 
     def __init__(self, master, words, arrival_cycle, slave=0, tag=None,
@@ -60,6 +65,14 @@ class Request:
         # to arbitration (the slave is performing its setup off-bus).
         self.parked_until = None
         self.setup_done = False
+        # Error-response / retry state (see repro.faults): a transfer
+        # whose payload was corrupted in flight is error-completed and,
+        # policy permitting, re-issued from scratch.
+        self.retries = 0
+        self.fault_detected = False
+        self.aborted = False
+        self.attempt_cycle = arrival_cycle
+        self.attempt_granted = False
 
     def account_word(self, cycle):
         """Record one word moving at ``cycle`` (called by the bus).
@@ -76,6 +89,22 @@ class Request:
             ready = self.last_word_cycle + 1
         self.word_latency_total += cycle - ready + 1
         self.last_word_cycle = cycle
+
+    def prepare_retry(self, cycle):
+        """Reset per-attempt transfer state so the request can re-issue.
+
+        Called by the master interface's error-response path.  The
+        arrival cycle is preserved, so latency figures (and the recovery
+        latency histogram) charge the full arrival-to-final-completion
+        span including every failed attempt and backoff wait.
+        """
+        self.remaining = self.words
+        self.fault_detected = False
+        self.setup_done = False
+        self.parked_until = None
+        self.attempt_granted = False
+        self.attempt_cycle = cycle
+        self.retries += 1
 
     @property
     def complete(self):

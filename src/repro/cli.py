@@ -39,6 +39,15 @@ def build_parser():
         "--seed", type=int, default=1, help="root RNG seed (default 1)"
     )
     parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=None,
+        help=(
+            "faultsweep only: sweep just {0, RATE} instead of the default "
+            "fault-rate ladder"
+        ),
+    )
+    parser.add_argument(
         "--output",
         help="also write the report to this file",
     )
@@ -47,15 +56,21 @@ def build_parser():
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    options = {}
+    if args.fault_rate is not None:
+        options["fault_rates"] = (0.0, args.fault_rate)
     if args.experiment == "list":
         report = "\n".join(experiment_names())
     elif args.experiment == "all":
+        if options:
+            print("--fault-rate applies only to faultsweep", file=sys.stderr)
+            return 2
         results = run_all(scale=args.scale, seed=args.seed)
         report = format_full_report(results)
     else:
         try:
             result = run_experiment(
-                args.experiment, scale=args.scale, seed=args.seed
+                args.experiment, scale=args.scale, seed=args.seed, **options
             )
         except ValueError as error:
             print(str(error), file=sys.stderr)

@@ -200,6 +200,12 @@ class DynamicLotteryManager:
         self.lotteries_held = 0
         self.ticket_updates = 0
         self._initial = list(self._tickets)
+        # Graceful degradation (see repro.faults): while the ticket
+        # update channel is down, the manager keeps serving lotteries
+        # from its last-known table and counts the dropped updates.
+        self.ticket_channel_up = True
+        self.degradation_events = 0
+        self.dropped_updates = 0
 
     def _clamp(self, value):
         value = int(value)
@@ -217,9 +223,28 @@ class DynamicLotteryManager:
         return tuple(self._tickets)
 
     def set_tickets(self, master, count):
-        """A master communicates a new holding to the manager."""
+        """A master communicates a new holding to the manager.
+
+        While the ticket-update channel is disabled (an injected fault),
+        the update is dropped — a counted, non-fatal degradation: the
+        manager falls back to its last-known static ticket table rather
+        than wedging or granting from garbage.
+        """
+        if not self.ticket_channel_up:
+            self.dropped_updates += 1
+            return
         self._tickets[master] = self._clamp(count)
         self.ticket_updates += 1
+
+    def disable_ticket_channel(self):
+        """Fault entry point: the update channel goes down (non-fatal)."""
+        if self.ticket_channel_up:
+            self.ticket_channel_up = False
+            self.degradation_events += 1
+
+    def restore_ticket_channel(self):
+        """Fault recovery: updates flow again."""
+        self.ticket_channel_up = True
 
     def set_all_tickets(self, tickets):
         """Replace every holding at once."""
@@ -234,6 +259,9 @@ class DynamicLotteryManager:
             self.random_source.reset()
         self.lotteries_held = 0
         self.ticket_updates = 0
+        self.ticket_channel_up = True
+        self.degradation_events = 0
+        self.dropped_updates = 0
 
     def draw(self, request_map):
         """Hold one lottery; returns a LotteryOutcome or None if no requests."""

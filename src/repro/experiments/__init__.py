@@ -6,6 +6,7 @@ one code path.  Experiment parameters default to the values recorded in
 EXPERIMENTS.md; cycle counts can be reduced for smoke tests.
 """
 
+from repro.experiments.fault_sweep import build_fault_testbed, run_fault_sweep
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.figure6 import run_figure6a, run_figure6b
@@ -22,6 +23,8 @@ from repro.experiments.system import run_testbed
 from repro.experiments.table1 import run_table1
 
 __all__ = [
+    "build_fault_testbed",
+    "run_fault_sweep",
     "run_figure4",
     "run_figure5",
     "run_figure6a",

@@ -1,0 +1,322 @@
+"""Fault sweep: proportional bandwidth under injected faults.
+
+Reruns the Figure-4/6(a) bandwidth-proportionality setup (four masters
+saturating one bus, lottery tickets 1:2:3:4) while a
+:class:`~repro.faults.FaultInjector` corrupts words, stalls the slave,
+drops and garbles grants and wedges the lottery LFSR at increasing
+rates.  The claim under test is the robustness analogue of the paper's
+central property: with the recovery machinery engaged (bounded retries,
+exponential backoff, bus-timeout watchdog) the ticket-proportional
+bandwidth shares survive the faults — and with retries disabled they do
+not (transfers abort), proving the recovery path rather than luck
+preserves the property.
+
+Two companion sub-runs round out the picture:
+
+* a *no-retry* run at the highest fault rate
+  (:class:`~repro.faults.RetryPolicy` ``max_retries=0``) demonstrating
+  aborts without recovery;
+* a *degradation* run on the dynamic lottery where the injector takes
+  the ticket-update channel down and the manager falls back to its
+  last-known table (counted, non-fatal).
+
+A :class:`~repro.bus.checker.BusChecker` rides along on every run, so
+any conservation, latency or starvation violation under faults fails
+the experiment at the offending cycle.
+"""
+
+from repro.arbiters.lottery import DynamicLotteryArbiter, StaticLotteryArbiter
+from repro.bus.bus import SharedBus
+from repro.bus.checker import BusChecker
+from repro.bus.master import MasterInterface
+from repro.bus.slave import Slave
+from repro.bus.topology import BusSystem
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy
+from repro.metrics.report import format_table
+from repro.sim.component import Component
+from repro.traffic.generator import SaturatingGenerator
+from repro.traffic.message import UniformWords
+
+DEFAULT_FAULT_RATES = (0.0, 0.0005, 0.002, 0.005)
+
+
+class _TicketRefresher(Component):
+    """Periodically re-communicates holdings to a dynamic arbiter.
+
+    Models the masters' ticket-update traffic so a ticket-channel
+    outage has updates to drop.
+    """
+
+    def __init__(self, name, arbiter, tickets, period=50):
+        super().__init__(name)
+        self.arbiter = arbiter
+        self.tickets = list(tickets)
+        self.period = period
+
+    def tick(self, cycle):
+        if cycle % self.period == 0:
+            self.arbiter.set_all_tickets(self.tickets)
+
+
+def build_fault_testbed(
+    tickets=(1, 2, 3, 4),
+    seed=1,
+    plan=None,
+    retry_policy=None,
+    arbiter=None,
+    bus_timeout=2_000,
+    starvation_bound=10_000,
+    max_burst=16,
+    name="fbus",
+):
+    """Assemble the saturated lottery test-bed with fault machinery.
+
+    Returns ``(system, bus, injector, checker)``; ``injector`` is
+    ``None`` when ``plan`` is ``None`` or inactive.
+    """
+    masters = [
+        MasterInterface(
+            "{}.m{}".format(name, i),
+            i,
+            retry_policy=retry_policy,
+            retry_seed=seed + i,
+        )
+        for i in range(len(tickets))
+    ]
+    if arbiter is None:
+        arbiter = StaticLotteryArbiter(
+            tickets=list(tickets), lfsr_seed=max(1, seed)
+        )
+    bus = SharedBus(
+        name,
+        masters,
+        arbiter,
+        slaves=[Slave("{}.s0".format(name), 0)],
+        max_burst=max_burst,
+        bus_timeout=bus_timeout,
+    )
+    system = BusSystem()
+    injector = None
+    if plan is not None and plan.active:
+        injector = FaultInjector("{}.faults".format(name), plan, seed=seed)
+        injector.attach_bus(bus)
+        system.add_generator(injector)
+    for index, master in enumerate(masters):
+        system.add_generator(
+            SaturatingGenerator(
+                "{}.gen{}".format(name, index),
+                master,
+                UniformWords(2, 6),
+                seed=seed + index,
+            )
+        )
+    system.add_bus(bus)
+    checker = system.add_monitor(
+        BusChecker("{}.chk".format(name), bus, starvation_bound=starvation_bound)
+    )
+    return system, bus, injector, checker
+
+
+class FaultSweepResult:
+    """Shares and fault/recovery accounting per injected fault rate."""
+
+    def __init__(
+        self,
+        rates,
+        shares,
+        utilizations,
+        fault_summaries,
+        worst_waits,
+        expected_shares,
+        no_retry,
+        degradation,
+        cycles,
+        seed,
+    ):
+        self.rates = list(rates)
+        self.shares = [list(row) for row in shares]
+        self.utilizations = list(utilizations)
+        self.fault_summaries = list(fault_summaries)
+        self.worst_waits = list(worst_waits)
+        self.expected_shares = list(expected_shares)
+        self.no_retry = no_retry  # dict or None
+        self.degradation = degradation  # dict or None
+        self.cycles = cycles
+        self.seed = seed
+
+    def baseline_shares(self):
+        """Shares of the fault-free (rate 0) run."""
+        index = self.rates.index(0.0)
+        return self.shares[index]
+
+    def max_share_delta_pp(self, row):
+        """Worst per-master share deviation from fault-free, in points."""
+        baseline = self.baseline_shares()
+        return 100.0 * max(
+            abs(share - base) for share, base in zip(self.shares[row], baseline)
+        )
+
+    def format_report(self):
+        headers = (
+            ["fault rate"]
+            + ["M{} share".format(i) for i in range(len(self.expected_shares))]
+            + ["Δmax pp", "util", "inj", "det", "retry", "recov", "abort",
+               "t/o", "worst wait"]
+        )
+        rows = []
+        for index, rate in enumerate(self.rates):
+            faults = self.fault_summaries[index]
+            rows.append(
+                ["{:g}".format(rate)]
+                + ["{:.1%}".format(v) for v in self.shares[index]]
+                + [
+                    "{:.2f}".format(self.max_share_delta_pp(index)),
+                    "{:.3f}".format(self.utilizations[index]),
+                    faults["injected_total"],
+                    faults["detected"],
+                    faults["retried"],
+                    faults["recovered"],
+                    faults["aborted"],
+                    faults["timeouts"],
+                    self.worst_waits[index],
+                ]
+            )
+        lines = [
+            format_table(
+                headers,
+                rows,
+                title=(
+                    "Fault sweep: lottery shares under injected faults "
+                    "({} cycles, seed {}, expected shares {})".format(
+                        self.cycles,
+                        self.seed,
+                        " ".join(
+                            "{:.1%}".format(v) for v in self.expected_shares
+                        ),
+                    )
+                ),
+            )
+        ]
+        if self.no_retry is not None:
+            lines.append(
+                "no-retry control at rate {:g}: {} aborted, {} recovered "
+                "(recovery machinery disabled)".format(
+                    self.no_retry["rate"],
+                    self.no_retry["aborted"],
+                    self.no_retry["recovered"],
+                )
+            )
+        if self.degradation is not None:
+            lines.append(
+                "dynamic-lottery degradation at rate {:g}: {} outages, "
+                "{} dropped updates, shares {} (last-known-table fallback)".format(
+                    self.degradation["rate"],
+                    self.degradation["events"],
+                    self.degradation["dropped_updates"],
+                    " ".join(
+                        "{:.1%}".format(v) for v in self.degradation["shares"]
+                    ),
+                )
+            )
+        return "\n".join(lines)
+
+
+def _run_point(cycles, seed, tickets, plan, retry_policy):
+    system, bus, injector, checker = build_fault_testbed(
+        tickets=tickets, seed=seed, plan=plan, retry_policy=retry_policy
+    )
+    system.run(cycles)
+    return bus, checker
+
+
+def run_fault_sweep(
+    cycles=60_000,
+    seed=1,
+    fault_rates=DEFAULT_FAULT_RATES,
+    tickets=(1, 2, 3, 4),
+    max_retries=8,
+    request_timeout=5_000,
+    include_no_retry=True,
+    include_degradation=True,
+):
+    """Run the sweep; returns a :class:`FaultSweepResult`.
+
+    Any :class:`~repro.bus.checker.CheckerViolation` under faults
+    propagates — a clean return certifies every invariant held at every
+    fault rate.
+    """
+    rates = sorted(set(fault_rates))
+    for rate in rates:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("fault rates must lie in [0, 1]; got {!r}".format(rate))
+    if 0.0 not in rates:
+        rates.insert(0, 0.0)
+    policy = RetryPolicy(max_retries=max_retries, timeout=request_timeout)
+    shares, utilizations, fault_summaries, worst_waits = [], [], [], []
+    for rate in rates:
+        plan = FaultPlan.uniform(rate) if rate > 0 else None
+        bus, checker = _run_point(cycles, seed, tickets, plan, policy)
+        shares.append(bus.metrics.bandwidth_shares())
+        utilizations.append(bus.metrics.utilization())
+        fault_summaries.append(bus.metrics.faults.summary())
+        worst_waits.append(checker.worst_wait)
+
+    no_retry = None
+    top_rate = max(rates)
+    if include_no_retry and top_rate > 0:
+        bus, _ = _run_point(
+            cycles,
+            seed,
+            tickets,
+            FaultPlan.uniform(top_rate),
+            RetryPolicy.disabled(),
+        )
+        no_retry = {
+            "rate": top_rate,
+            "aborted": bus.metrics.faults.aborted,
+            "recovered": bus.metrics.faults.recovered,
+            "shares": bus.metrics.bandwidth_shares(),
+        }
+
+    degradation = None
+    if include_degradation and top_rate > 0:
+        # Outage-only plan: the point is the ticket-channel fallback,
+        # not transfer errors, so other channels stay quiet.
+        plan = FaultPlan(
+            ticket_outage_rate=min(1.0, top_rate * 4),
+            ticket_outage_cycles=64,
+        )
+        arbiter = DynamicLotteryArbiter(tickets=list(tickets))
+        system, bus, injector, checker = build_fault_testbed(
+            tickets=tickets,
+            seed=seed,
+            plan=plan,
+            retry_policy=policy,
+            arbiter=arbiter,
+        )
+        system.add_generator(
+            _TicketRefresher("fbus.tickets", arbiter, tickets, period=50)
+        )
+        system.run(max(1_000, cycles // 4))
+        manager = arbiter.manager
+        degradation = {
+            "rate": top_rate,
+            "events": manager.degradation_events,
+            "dropped_updates": manager.dropped_updates,
+            "shares": bus.metrics.bandwidth_shares(),
+        }
+
+    total = float(sum(tickets))
+    expected = [ticket / total for ticket in tickets]
+    return FaultSweepResult(
+        rates,
+        shares,
+        utilizations,
+        fault_summaries,
+        worst_waits,
+        expected,
+        no_retry,
+        degradation,
+        cycles,
+        seed,
+    )

@@ -5,6 +5,7 @@ and figure of the paper in one pass; individual experiments are exposed
 through the same registry for the CLI and the benchmarks.
 """
 
+from repro.experiments.fault_sweep import run_fault_sweep
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.figure6 import run_figure6a, run_figure6b
@@ -49,7 +50,14 @@ _EXPERIMENTS = {
     "starvation": lambda scale, seed: run_starvation(
         drawings=int(200_000 * scale), seed=seed
     ),
+    "faultsweep": lambda scale, seed, **options: run_fault_sweep(
+        cycles=int(60_000 * scale), seed=seed, **options
+    ),
 }
+
+# Experiments accepting extra keyword options (e.g. the CLI's
+# ``--fault-rate``); passing options to any other experiment is an error.
+_OPTION_AWARE = {"faultsweep"}
 
 
 def experiment_names():
@@ -57,7 +65,7 @@ def experiment_names():
     return list(_EXPERIMENTS)
 
 
-def run_experiment(name, scale=1.0, seed=1):
+def run_experiment(name, scale=1.0, seed=1, **options):
     """Run one experiment by id; returns its result object."""
     try:
         runner = _EXPERIMENTS[name]
@@ -67,6 +75,14 @@ def run_experiment(name, scale=1.0, seed=1):
                 name, experiment_names()
             )
         )
+    if options:
+        if name not in _OPTION_AWARE:
+            raise ValueError(
+                "experiment {!r} takes no extra options ({} apply only to {})".format(
+                    name, sorted(options), sorted(_OPTION_AWARE)
+                )
+            )
+        return runner(scale, seed, **options)
     return runner(scale, seed)
 
 

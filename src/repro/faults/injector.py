@@ -1,0 +1,214 @@
+"""The fault injector component.
+
+A :class:`FaultInjector` owns one :class:`~repro.sim.rng.RandomStream`
+and realizes a :class:`~repro.faults.plan.FaultPlan` against attached
+buses, bridges and lottery managers.  Register it as a *generator* on
+the :class:`~repro.bus.topology.BusSystem` (so it ticks before the
+buses and window faults take effect the cycle they start), then attach
+the fabric::
+
+    injector = FaultInjector("faults", FaultPlan.uniform(0.002), seed=1)
+    system.add_generator(injector)
+    injector.attach_system(system)
+
+Per-word and per-grant faults are pulled by the bus (which checks its
+``injector`` attribute at the relevant protocol points); window faults
+(stuck LFSRs, ticket-channel outages) are pushed by the injector's own
+``tick``.  Every decision consumes the injector's private RNG stream,
+so the fault schedule replays exactly from the seed and never perturbs
+traffic or lottery randomness.
+"""
+
+from repro.bus.transaction import Grant
+from repro.sim.component import Component
+from repro.sim.rng import RandomStream
+
+
+class StuckRandomSource:
+    """Wraps a lottery manager's random source with a stuck-at fault.
+
+    While stuck, every draw returns the wedged register value (reduced
+    into the caller's bound); otherwise draws pass through to the
+    wrapped source.  Models a transient stuck-at fault on the LFSR
+    output register.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.stuck_value = None
+        self.stuck_until = None
+        self.stuck_draws = 0
+
+    @property
+    def stuck(self):
+        """True while the stuck-at window is active."""
+        return self.stuck_value is not None
+
+    def stick(self, until):
+        """Wedge the output at the next inner value until ``until``."""
+        self.stuck_value = self.inner.draw_below(1 << 16)
+        self.stuck_until = until
+
+    def release(self):
+        """End the stuck-at window."""
+        self.stuck_value = None
+        self.stuck_until = None
+
+    def draw_below(self, bound):
+        """Draw in ``[0, bound)`` — constant while the fault is active."""
+        if self.stuck_value is not None:
+            self.stuck_draws += 1
+            return self.stuck_value % bound
+        return self.inner.draw_below(bound)
+
+    def reset(self):
+        """Clear the fault and reset the wrapped source."""
+        self.release()
+        self.stuck_draws = 0
+        if hasattr(self.inner, "reset"):
+            self.inner.reset()
+
+
+class FaultInjector(Component):
+    """Schedules a :class:`FaultPlan` against an attached bus fabric.
+
+    :param name: component name.
+    :param plan: the :class:`~repro.faults.plan.FaultPlan` to realize.
+    :param seed: root seed for the injector's private RNG stream.
+
+    The injector keeps an aggregate :class:`FaultStats` in ``stats``;
+    each attached bus additionally accounts faults in its own
+    ``bus.metrics.faults`` section, so per-bus reports stay local.
+    """
+
+    def __init__(self, name, plan, seed=1):
+        super().__init__(name)
+        self.plan = plan
+        self.seed = seed
+        self._rng = RandomStream(seed, "faults:" + name)
+        from repro.metrics.collector import FaultStats
+
+        self.stats = FaultStats()
+        self._buses = []
+        self._bridges = []
+        self._sources = []  # (StuckRandomSource, owning bus)
+        self._managers = []  # [manager, owning bus, outage-end cycle]
+
+    # -- attachment ------------------------------------------------------
+
+    def attach_bus(self, bus):
+        """Attach to a bus: grant/word/stall faults plus manager faults."""
+        bus.injector = self
+        self._buses.append(bus)
+        manager = getattr(bus.arbiter, "manager", None)
+        if manager is None:
+            return bus
+        source = getattr(manager, "random_source", None)
+        if source is not None and self.plan.lfsr_stuck_rate > 0:
+            wrapper = StuckRandomSource(source)
+            manager.random_source = wrapper
+            self._sources.append((wrapper, bus))
+        if (
+            hasattr(manager, "disable_ticket_channel")
+            and self.plan.ticket_outage_rate > 0
+        ):
+            self._managers.append([manager, bus, None])
+        return bus
+
+    def attach_bridge(self, bridge):
+        """Attach to a bridge: forwarded messages may be lost."""
+        bridge.injector = self
+        self._bridges.append(bridge)
+        return bridge
+
+    def attach_system(self, system):
+        """Attach to every bus (and bridge slave) in a BusSystem."""
+        from repro.bus.bridge import Bridge
+
+        for bus in system.buses:
+            self.attach_bus(bus)
+            for slave in bus.slaves:
+                if isinstance(slave, Bridge):
+                    self.attach_bridge(slave)
+        return system
+
+    # -- accounting ------------------------------------------------------
+
+    def _record(self, kind, bus=None):
+        self.stats.record_injected(kind)
+        if bus is not None:
+            bus.metrics.faults.record_injected(kind)
+
+    # -- pull-side hooks (called by the bus / bridge) --------------------
+
+    def corrupt_word(self, bus, request, cycle):
+        """Decide whether the word moving this cycle is corrupted."""
+        if self.plan.word_error_rate and self._rng.random() < self.plan.word_error_rate:
+            self._record("word_error", bus)
+            return True
+        return False
+
+    def slave_stall(self, bus, slave, cycle):
+        """Extra transient wait states after the word served this cycle."""
+        if self.plan.slave_stall_rate and self._rng.random() < self.plan.slave_stall_rate:
+            low, high = self.plan.slave_stall_cycles
+            self._record("slave_stall", bus)
+            return self._rng.randint(low, high)
+        return 0
+
+    def filter_grant(self, bus, grant, pending, cycle):
+        """Possibly drop or corrupt the arbiter's grant for this round."""
+        if grant is None:
+            return None
+        if self.plan.grant_drop_rate and self._rng.random() < self.plan.grant_drop_rate:
+            self._record("grant_drop", bus)
+            return None
+        if (
+            self.plan.grant_spurious_rate
+            and self._rng.random() < self.plan.grant_spurious_rate
+        ):
+            self._record("grant_spurious", bus)
+            return Grant(self._rng.randrange(len(pending)), grant.max_words)
+        return grant
+
+    def bridge_loss(self, bridge, cycle):
+        """Decide whether a bridge forward is lost (bridge retransmits)."""
+        if self.plan.bridge_loss_rate and self._rng.random() < self.plan.bridge_loss_rate:
+            self._record("bridge_loss", getattr(bridge, "_near_bus", None))
+            return True
+        return False
+
+    # -- push-side window faults -----------------------------------------
+
+    def tick(self, cycle):
+        plan = self.plan
+        for wrapper, bus in self._sources:
+            if wrapper.stuck:
+                if cycle >= wrapper.stuck_until:
+                    wrapper.release()
+            elif self._rng.random() < plan.lfsr_stuck_rate:
+                wrapper.stick(cycle + plan.lfsr_stuck_cycles)
+                self._record("lfsr_stuck", bus)
+        for entry in self._managers:
+            manager, bus, until = entry
+            if until is not None:
+                if cycle >= until:
+                    manager.restore_ticket_channel()
+                    entry[2] = None
+            elif self._rng.random() < plan.ticket_outage_rate:
+                manager.disable_ticket_channel()
+                entry[2] = cycle + plan.ticket_outage_cycles
+                self._record("ticket_outage", bus)
+                self.stats.record_degradation()
+                bus.metrics.faults.record_degradation()
+
+    def reset(self):
+        from repro.metrics.collector import FaultStats
+
+        self._rng.reset()
+        self.stats = FaultStats()
+        for wrapper, _ in self._sources:
+            wrapper.release()
+            wrapper.stuck_draws = 0
+        for entry in self._managers:
+            entry[2] = None

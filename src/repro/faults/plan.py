@@ -1,0 +1,229 @@
+"""Fault schedules and recovery policies.
+
+A :class:`FaultPlan` is pure configuration: per-event probabilities and
+window lengths for every fault channel the injector knows how to drive.
+A :class:`RetryPolicy` is the master-side answer: how many times to
+re-issue an error-completed transfer, how long to wait before declaring
+a pending request hung, and how to space the retries (exponential
+backoff with jitter drawn from the simulation RNG, so runs stay
+reproducible).
+"""
+
+
+class FaultPlan:
+    """Declarative fault rates for a :class:`~repro.faults.FaultInjector`.
+
+    All ``*_rate`` parameters are per-event probabilities in ``[0, 1]``:
+    per transferred word for ``word_error_rate`` and
+    ``slave_stall_rate``, per issued grant for the grant faults, per
+    cycle for the window faults (LFSR stuck-at, ticket-channel outage)
+    and per forwarded message for ``bridge_loss_rate``.
+
+    :param word_error_rate: probability a transferred word is corrupted
+        in flight (detected at end of message, like a CRC check).
+    :param slave_stall_rate: probability a served word incurs extra
+        transient wait states.
+    :param slave_stall_cycles: ``(low, high)`` inclusive range of extra
+        stall cycles per slave-stall event.
+    :param grant_drop_rate: probability an arbiter grant is lost on the
+        grant lines (one idle cycle; the request re-competes).
+    :param grant_spurious_rate: probability the grant decodes to a
+        random master instead of the winner; if that master is idle the
+        bus-side protocol check catches it (a *detected* fault).
+    :param lfsr_stuck_rate: per-cycle probability a lottery manager's
+        random source wedges at a constant value.
+    :param lfsr_stuck_cycles: length of a stuck window.
+    :param ticket_outage_rate: per-cycle probability the dynamic lottery
+        manager's ticket-update channel goes down (graceful degradation:
+        the manager keeps serving from its last-known table).
+    :param ticket_outage_cycles: length of a ticket-channel outage.
+    :param bridge_loss_rate: probability a bridge-forwarded message is
+        lost in the bridge FIFO (the bridge retransmits it).
+    :param bridge_retry_delay: cycles before a lost forward is
+        retransmitted.
+    """
+
+    KINDS = (
+        "word_error",
+        "slave_stall",
+        "grant_drop",
+        "grant_spurious",
+        "lfsr_stuck",
+        "ticket_outage",
+        "bridge_loss",
+    )
+
+    def __init__(
+        self,
+        word_error_rate=0.0,
+        slave_stall_rate=0.0,
+        slave_stall_cycles=(1, 8),
+        grant_drop_rate=0.0,
+        grant_spurious_rate=0.0,
+        lfsr_stuck_rate=0.0,
+        lfsr_stuck_cycles=32,
+        ticket_outage_rate=0.0,
+        ticket_outage_cycles=64,
+        bridge_loss_rate=0.0,
+        bridge_retry_delay=4,
+    ):
+        rates = {
+            "word_error_rate": word_error_rate,
+            "slave_stall_rate": slave_stall_rate,
+            "grant_drop_rate": grant_drop_rate,
+            "grant_spurious_rate": grant_spurious_rate,
+            "lfsr_stuck_rate": lfsr_stuck_rate,
+            "ticket_outage_rate": ticket_outage_rate,
+            "bridge_loss_rate": bridge_loss_rate,
+        }
+        for name, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("{} must lie in [0, 1]".format(name))
+        low, high = slave_stall_cycles
+        if not 1 <= low <= high:
+            raise ValueError("slave_stall_cycles must satisfy 1 <= low <= high")
+        if lfsr_stuck_cycles < 1 or ticket_outage_cycles < 1:
+            raise ValueError("fault windows must last at least one cycle")
+        if bridge_retry_delay < 1:
+            raise ValueError("bridge_retry_delay must be >= 1")
+        self.word_error_rate = word_error_rate
+        self.slave_stall_rate = slave_stall_rate
+        self.slave_stall_cycles = (low, high)
+        self.grant_drop_rate = grant_drop_rate
+        self.grant_spurious_rate = grant_spurious_rate
+        self.lfsr_stuck_rate = lfsr_stuck_rate
+        self.lfsr_stuck_cycles = lfsr_stuck_cycles
+        self.ticket_outage_rate = ticket_outage_rate
+        self.ticket_outage_cycles = ticket_outage_cycles
+        self.bridge_loss_rate = bridge_loss_rate
+        self.bridge_retry_delay = bridge_retry_delay
+
+    @classmethod
+    def uniform(cls, rate, **overrides):
+        """One-knob plan: apply ``rate`` across every fault channel.
+
+        Per-event channels (word errors, slave stalls, grant faults,
+        bridge losses) get ``rate`` directly; window faults (stuck LFSR,
+        ticket outages) get ``rate / 8`` since each event disrupts many
+        cycles.  Keyword overrides replace individual parameters.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must lie in [0, 1]")
+        params = {
+            "word_error_rate": rate,
+            "slave_stall_rate": rate,
+            "grant_drop_rate": rate,
+            "grant_spurious_rate": rate / 2.0,
+            "lfsr_stuck_rate": rate / 8.0,
+            "ticket_outage_rate": rate / 8.0,
+            "bridge_loss_rate": rate,
+        }
+        params.update(overrides)
+        return cls(**params)
+
+    @property
+    def active(self):
+        """True if any fault channel has a nonzero rate."""
+        return any(
+            (
+                self.word_error_rate,
+                self.slave_stall_rate,
+                self.grant_drop_rate,
+                self.grant_spurious_rate,
+                self.lfsr_stuck_rate,
+                self.ticket_outage_rate,
+                self.bridge_loss_rate,
+            )
+        )
+
+    def __repr__(self):
+        return (
+            "FaultPlan(word_error={}, slave_stall={}, grant_drop={}, "
+            "grant_spurious={}, lfsr_stuck={}, ticket_outage={}, "
+            "bridge_loss={})".format(
+                self.word_error_rate,
+                self.slave_stall_rate,
+                self.grant_drop_rate,
+                self.grant_spurious_rate,
+                self.lfsr_stuck_rate,
+                self.ticket_outage_rate,
+                self.bridge_loss_rate,
+            )
+        )
+
+
+class RetryPolicy:
+    """Master-side recovery policy for error-completed transfers.
+
+    :param max_retries: attempts after the first before the request is
+        aborted (0 disables retries entirely: the first error aborts).
+    :param timeout: cycles a queued-but-never-granted request may wait
+        (per attempt) before the master error-completes it; ``None``
+        disables the request timeout.  Requests whose current attempt
+        has already been granted are left to the bus's own
+        ``bus_timeout`` watchdog, which owns mid-burst hangs.
+    :param backoff_base: cycles of backoff after the first error.
+    :param backoff_factor: multiplier applied per subsequent retry
+        (exponential backoff).
+    :param max_backoff: cap on the deterministic part of the delay.
+    :param jitter: fraction of the deterministic delay added as uniform
+        random jitter (0 disables; randomness comes from the master's
+        seeded retry stream, so runs are reproducible).
+    """
+
+    def __init__(
+        self,
+        max_retries=8,
+        timeout=None,
+        backoff_base=8,
+        backoff_factor=2.0,
+        max_backoff=512,
+        jitter=0.5,
+    ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if timeout is not None and timeout < 1:
+            raise ValueError("timeout must be >= 1 when given")
+        if backoff_base < 1:
+            raise ValueError("backoff_base must be >= 1")
+        if backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1.0")
+        if max_backoff < backoff_base:
+            raise ValueError("max_backoff must be >= backoff_base")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must lie in [0, 1]")
+        self.max_retries = max_retries
+        self.timeout = timeout
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.max_backoff = max_backoff
+        self.jitter = jitter
+
+    @classmethod
+    def disabled(cls, **kwargs):
+        """A policy that aborts on the first error (no retries)."""
+        kwargs.setdefault("max_retries", 0)
+        return cls(**kwargs)
+
+    def delay(self, attempt, rng=None):
+        """Backoff cycles before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        base = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        base = min(base, self.max_backoff)
+        if self.jitter and rng is not None:
+            base += base * self.jitter * rng.random()
+        return max(1, int(base))
+
+    def __repr__(self):
+        return (
+            "RetryPolicy(max_retries={}, timeout={}, backoff_base={}, "
+            "backoff_factor={}, max_backoff={}, jitter={})".format(
+                self.max_retries,
+                self.timeout,
+                self.backoff_base,
+                self.backoff_factor,
+                self.max_backoff,
+                self.jitter,
+            )
+        )

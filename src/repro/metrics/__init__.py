@@ -1,7 +1,7 @@
 """Instrumentation: bandwidth fractions, latencies, reports."""
 
 from repro.metrics.bandwidth import bandwidth_fractions, utilization
-from repro.metrics.collector import MasterStats, MetricsCollector
+from repro.metrics.collector import FaultStats, MasterStats, MetricsCollector
 from repro.metrics.latency import LatencyStats
 from repro.metrics.report import format_bar_chart, format_table
 from repro.metrics.stats import Replication, confidence_interval, replicate
@@ -10,6 +10,7 @@ from repro.metrics.waveform import BusProbe, render_waveform
 __all__ = [
     "bandwidth_fractions",
     "utilization",
+    "FaultStats",
     "MasterStats",
     "MetricsCollector",
     "LatencyStats",

@@ -1,6 +1,105 @@
 """Per-bus metrics collection."""
 
+from repro.metrics.histogram import LogHistogram
 from repro.metrics.latency import LatencyStats
+
+
+class FaultStats:
+    """Fault-injection and recovery accounting (see :mod:`repro.faults`).
+
+    One instance lives on every :class:`MetricsCollector` as its
+    ``faults`` section; the :class:`~repro.faults.FaultInjector` keeps
+    another as its cross-bus aggregate.  All counters stay zero on a
+    fault-free run, so the section is inert unless faults are in play.
+    """
+
+    def __init__(self):
+        self.injected = {}  # fault kind -> count
+        self.detected = 0
+        self.retried = 0
+        self.recovered = 0
+        self.aborted = 0
+        self.timeouts = 0
+        self.degradations = 0
+        self.recovery_latency = LogHistogram()
+
+    @property
+    def total_injected(self):
+        """Total faults injected across all kinds."""
+        return sum(self.injected.values())
+
+    @property
+    def active(self):
+        """True once any fault activity has been recorded."""
+        return bool(
+            self.injected
+            or self.detected
+            or self.retried
+            or self.recovered
+            or self.aborted
+            or self.timeouts
+            or self.degradations
+        )
+
+    def record_injected(self, kind):
+        """Count one injected fault of ``kind``."""
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    def record_detected(self):
+        """Count one fault caught by a protocol-level check."""
+        self.detected += 1
+
+    def record_retried(self):
+        """Count one error-completed transfer scheduled for retry."""
+        self.retried += 1
+
+    def record_recovered(self, latency_cycles):
+        """Count one retried transfer that finally completed."""
+        self.recovered += 1
+        if latency_cycles > 0:
+            self.recovery_latency.record(latency_cycles)
+
+    def record_aborted(self):
+        """Count one transfer abandoned after exhausting retries."""
+        self.aborted += 1
+
+    def record_timeout(self):
+        """Count one watchdog expiry (request or bus timeout)."""
+        self.timeouts += 1
+
+    def record_degradation(self):
+        """Count one non-fatal graceful-degradation event."""
+        self.degradations += 1
+
+    def summary(self):
+        """A plain-dict summary (merged into the collector's summary)."""
+        p50, p95, p99, peak = self.recovery_latency.summary()
+        return {
+            "injected": dict(self.injected),
+            "injected_total": self.total_injected,
+            "detected": self.detected,
+            "retried": self.retried,
+            "recovered": self.recovered,
+            "aborted": self.aborted,
+            "timeouts": self.timeouts,
+            "degradations": self.degradations,
+            "recovery_latency_p50": p50,
+            "recovery_latency_p95": p95,
+            "recovery_latency_p99": p99,
+            "recovery_latency_max": peak,
+        }
+
+    def __repr__(self):
+        return (
+            "FaultStats(injected={}, detected={}, retried={}, recovered={}, "
+            "aborted={})".format(
+                self.total_injected,
+                self.detected,
+                self.retried,
+                self.recovered,
+                self.aborted,
+            )
+        )
 
 
 class MasterStats:
@@ -35,6 +134,7 @@ class MetricsCollector:
         self.busy_cycles = 0
         self.idle_cycles = 0
         self.stall_cycles = 0
+        self.faults = FaultStats()
 
     def reset(self):
         self.__init__(self.num_masters)
@@ -114,4 +214,5 @@ class MetricsCollector:
             "word_latencies": self.word_latencies(),
             "words": [stats.words for stats in self.masters],
             "grants": [stats.grants for stats in self.masters],
+            "faults": self.faults.summary(),
         }

@@ -71,15 +71,20 @@ class Simulator:
     def run_until(self, predicate, max_cycles=1_000_000):
         """Run until ``predicate(cycle)`` is true or ``max_cycles`` elapse.
 
-        The predicate is evaluated after each cycle.  Returns the cycle
-        count at which it first held, or raises :class:`SimulationError`
-        if the bound is exhausted.
+        The predicate is evaluated once on entry — a condition already
+        true at the current cycle returns immediately without burning a
+        cycle — and again after each cycle.  Returns the cycle count at
+        which it first held, or raises :class:`SimulationError` if the
+        bound is exhausted.
         """
         start = self.cycle
+        if predicate(self.cycle):
+            return self.cycle
         while self.cycle - start < max_cycles:
             self.run(1)
             if predicate(self.cycle):
                 return self.cycle
         raise SimulationError(
-            "predicate not satisfied within {} cycles".format(max_cycles)
+            "predicate not satisfied within {} cycles "
+            "(started at cycle {})".format(max_cycles, start)
         )

@@ -83,3 +83,85 @@ def test_validation():
     bus = SharedBus("bus", masters, StaticPriorityArbiter([1]))
     with pytest.raises(ValueError):
         BusChecker("chk", bus, starvation_bound=0)
+
+
+def test_busy_cycles_overflow_checked():
+    masters = [MasterInterface("m", 0)]
+    bus = SharedBus("bus", masters, StaticPriorityArbiter([1]))
+    checker = BusChecker("chk", bus)
+    sim = Simulator()
+    sim.add(bus)
+    sim.add(checker)
+    sim.run(5)
+    # More words carried than cycles elapsed is physically impossible on
+    # a one-word-per-cycle bus.  (+2: the bus observes one more cycle
+    # before the checker's next tick.)
+    bus.metrics.busy_cycles = bus.metrics.cycles + 2
+    with pytest.raises(CheckerViolation, match="more words than cycles"):
+        sim.run(1)
+
+
+def test_sub_physical_latency_checked():
+    masters = [MasterInterface("m", 0)]
+    bus = SharedBus("bus", masters, StaticPriorityArbiter([1]))
+    checker = BusChecker("chk", bus)
+    sim = Simulator()
+    sim.add(bus)
+    sim.add(checker)
+    request = masters[0].submit(4, 0)
+    sim.run(10)
+    assert request.complete
+    # Replaying the completion with an impossible timestamp must trip
+    # the latency check (4 words cannot complete in 2 cycles).
+    request.completion_cycle = request.arrival_cycle + 1
+    with pytest.raises(CheckerViolation, match="faster than one word"):
+        checker._on_completion(request, request.completion_cycle)
+
+
+def test_checker_hook_registration_is_idempotent():
+    masters = [MasterInterface("m", 0)]
+    bus = SharedBus("bus", masters, StaticPriorityArbiter([1]))
+    checker = BusChecker("chk", bus)
+    checker.reset()  # re-registers under the same key
+    stacked = BusChecker("chk2", bus)  # same key: replaces, never stacks
+    assert bus._completion_hooks.count(checker._on_completion) == 0
+    assert bus._completion_hooks.count(stacked._on_completion) == 1
+
+
+def test_unkeyed_hook_registration_is_idempotent():
+    masters = [MasterInterface("m", 0)]
+    bus = SharedBus("bus", masters, StaticPriorityArbiter([1]))
+    seen = []
+
+    def hook(request, cycle):
+        seen.append(request)
+
+    bus.add_completion_hook(hook)
+    bus.add_completion_hook(hook)  # no-op
+    sim = Simulator()
+    sim.add(bus)
+    masters[0].submit(2, 0)
+    sim.run(5)
+    assert len(seen) == 1
+
+
+def test_remove_completion_hook_by_callable_and_key():
+    masters = [MasterInterface("m", 0)]
+    bus = SharedBus("bus", masters, StaticPriorityArbiter([1]))
+
+    def hook(request, cycle):
+        pass
+
+    bus.add_completion_hook(hook)
+    assert bus.remove_completion_hook(hook)
+    assert not bus.remove_completion_hook(hook)  # already gone
+
+    bus.add_completion_hook(hook, key="k")
+    assert bus.remove_completion_hook("k")
+    assert "k" not in bus._hook_keys
+    assert hook not in bus._completion_hooks
+
+    # Removing a keyed hook by callable also drops its key slot.
+    bus.add_completion_hook(hook, key="k")
+    assert bus.remove_completion_hook(hook)
+    assert "k" not in bus._hook_keys

@@ -52,6 +52,28 @@ def test_run_all_subset_and_report():
     assert "[hardware]" in report
 
 
+def test_faultsweep_cli_with_fault_rate(capsys):
+    assert main(["faultsweep", "--scale", "0.05", "--fault-rate", "0.005"]) == 0
+    out = capsys.readouterr().out
+    assert "Fault sweep" in out
+    assert "no-retry control" in out
+
+
+def test_fault_rate_rejected_for_other_experiments(capsys):
+    assert main(["figure8", "--fault-rate", "0.01"]) == 2
+    assert "faultsweep" in capsys.readouterr().err
+
+
+def test_fault_rate_rejected_for_all(capsys):
+    assert main(["all", "--fault-rate", "0.01"]) == 2
+    assert "faultsweep" in capsys.readouterr().err
+
+
+def test_run_experiment_rejects_stray_options():
+    with pytest.raises(ValueError):
+        run_experiment("figure8", fault_rates=(0.0, 0.1))
+
+
 def test_experiment_names_cover_all_paper_artifacts():
     names = experiment_names()
     for artifact in (

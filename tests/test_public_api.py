@@ -25,6 +25,7 @@ def test_all_names_resolve():
         "repro.core",
         "repro.traffic",
         "repro.metrics",
+        "repro.faults",
         "repro.atm",
         "repro.soc",
         "repro.experiments",
@@ -44,8 +45,8 @@ def test_docstring_coverage_of_public_modules():
 
     packages = [
         "repro.sim", "repro.bus", "repro.arbiters", "repro.core",
-        "repro.traffic", "repro.metrics", "repro.atm", "repro.soc",
-        "repro.experiments",
+        "repro.traffic", "repro.metrics", "repro.faults", "repro.atm",
+        "repro.soc", "repro.experiments",
     ]
     for module_name in packages:
         package = importlib.import_module(module_name)

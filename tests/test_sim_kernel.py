@@ -91,6 +91,25 @@ def test_run_until_bound_exhausted():
         sim.run_until(lambda cycle: False, max_cycles=10)
 
 
+def test_run_until_evaluates_predicate_on_entry():
+    # A condition already true at the current cycle returns immediately
+    # without burning a cycle.
+    sim = Simulator()
+    counter = sim.add(Counter())
+    sim.run(5)
+    assert sim.run_until(lambda cycle: cycle >= 3) == 5
+    assert sim.cycle == 5
+    assert counter.ticks == [0, 1, 2, 3, 4]  # no extra ticks
+
+
+def test_run_until_error_reports_starting_cycle():
+    sim = Simulator()
+    sim.add(Counter())
+    sim.run(7)
+    with pytest.raises(SimulationError, match="started at cycle 7"):
+        sim.run_until(lambda cycle: False, max_cycles=3)
+
+
 def test_components_view_is_readonly_tuple():
     sim = Simulator()
     counter = sim.add(Counter())
