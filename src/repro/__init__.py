@@ -52,7 +52,13 @@ from repro.core import (
 )
 from repro.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.metrics import MetricsCollector
-from repro.sim import Component, RandomStream, Simulator
+from repro.sim import (
+    CheckpointError,
+    Component,
+    RandomStream,
+    Simulator,
+    Snapshottable,
+)
 
 __version__ = "1.0.0"
 
@@ -84,8 +90,10 @@ __all__ = [
     "access_probability",
     "scale_to_power_of_two",
     "MetricsCollector",
+    "CheckpointError",
     "Component",
     "RandomStream",
     "Simulator",
+    "Snapshottable",
     "__version__",
 ]

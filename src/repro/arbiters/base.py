@@ -1,7 +1,9 @@
 """The arbiter interface."""
 
+from repro.sim.snapshot import Snapshottable
 
-class Arbiter:
+
+class Arbiter(Snapshottable):
     """Decides which pending master owns the bus next.
 
     The bus calls :meth:`arbitrate` once per cycle while it is free,
@@ -10,6 +12,11 @@ class Arbiter:
     for an idle cycle.  Arbiters with internal clocked state (the TDMA
     timing wheel, a token) advance that state per call, which the bus
     guarantees happens exactly once per free cycle.
+
+    Arbiters carry the checkpoint protocol (see
+    :mod:`repro.sim.snapshot`): clocked state is declared in
+    ``state_attrs``/``state_children`` so the owning bus can include the
+    arbiter in a simulation checkpoint.
     """
 
     name = "abstract"

@@ -20,6 +20,8 @@ class FlowLotteryArbiter(Arbiter):
 
     name = "lottery-flow"
 
+    state_children = ("manager", "usage")
+
     def __init__(self, num_masters, flows, default_tickets=1, lfsr_seed=1,
                  random_source=None):
         super().__init__(num_masters)

@@ -8,6 +8,9 @@ from repro.core.lottery_manager import DynamicLotteryManager, StaticLotteryManag
 class _LotteryArbiter(Arbiter):
     """Common arbitration path: request map -> lottery -> grant."""
 
+    state_attrs = ("last_outcome",)
+    state_children = ("manager",)
+
     def __init__(self, manager):
         super().__init__(manager.num_masters)
         self.manager = manager

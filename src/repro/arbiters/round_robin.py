@@ -14,6 +14,8 @@ class RoundRobinArbiter(Arbiter):
 
     name = "round-robin"
 
+    state_attrs = ("_last",)
+
     def __init__(self, num_masters):
         super().__init__(num_masters)
         self._last = num_masters - 1

@@ -41,6 +41,14 @@ class TdmaArbiter(Arbiter):
 
     _RECLAIM_POLICIES = ("scan", "single", "none")
 
+    state_attrs = (
+        "_position",
+        "_rr",
+        "level_one_grants",
+        "level_two_grants",
+        "wasted_slots",
+    )
+
     def __init__(self, num_masters, slots, reclaim="scan"):
         super().__init__(num_masters)
         slots = [int(s) for s in slots]

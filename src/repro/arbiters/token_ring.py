@@ -21,6 +21,8 @@ class TokenRingArbiter(Arbiter):
 
     name = "token-ring"
 
+    state_attrs = ("_holder", "_consecutive", "token_passes")
+
     def __init__(self, num_masters, hold_limit=None):
         super().__init__(num_masters)
         if hold_limit is not None and hold_limit < 1:

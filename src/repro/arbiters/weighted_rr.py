@@ -24,6 +24,8 @@ class WeightedRoundRobinArbiter(Arbiter):
 
     name = "weighted-rr"
 
+    state_attrs = ("_deficits", "_current")
+
     def __init__(self, weights, quantum_scale=4):
         super().__init__(len(weights))
         weights = [int(w) for w in weights]

@@ -38,6 +38,13 @@ class OutputPort(Component):
         self.cell_latency = LatencyStats()
         self.total_switch_latency = 0
 
+    # The port owns its queue's snapshot (the interface and memory are
+    # snapshotted by the bus they sit on).  The in-flight cell is also
+    # the tag of a request in the interface queue; the simulator-level
+    # pickle pass keeps that a single shared object.
+    state_attrs = ("_inflight", "cells_forwarded", "total_switch_latency")
+    state_children = ("cell_latency", "queue")
+
     def reset(self):
         self._inflight = None
         self.cells_forwarded = 0

@@ -2,8 +2,10 @@
 
 from collections import deque
 
+from repro.sim.snapshot import Snapshottable
 
-class OutputQueue:
+
+class OutputQueue(Snapshottable):
     """FIFO of queued cells for one output port.
 
     Models the port's dedicated local memory that "stores queued cell
@@ -21,6 +23,11 @@ class OutputQueue:
         self.enqueued = 0
         self.dropped = 0
         self.max_depth = 0
+
+    # Queued cells are shared with the arrival scheduler's accounting
+    # and (once dequeued) the owning port; the simulator-level pickle
+    # pass preserves those identities.  Snapshotted by the owning port.
+    state_attrs = ("_cells", "enqueued", "dropped", "max_depth")
 
     def reset(self):
         self._cells.clear()

@@ -7,6 +7,11 @@ and the cell's starting address onto the destination output queue.
 
 from repro.atm.cell import ATMCell
 from repro.sim.component import Component
+from repro.sim.snapshot import (
+    CheckpointError,
+    default_load_state_dict,
+    default_state_dict,
+)
 
 
 class CellArrivalScheduler(Component):
@@ -25,6 +30,43 @@ class CellArrivalScheduler(Component):
         self._sequence = [0] * workload.num_ports
         for port, process in enumerate(workload.processes):
             process.bind(seed, port)
+
+    state_attrs = ("cells_arrived", "cells_dropped", "_sequence")
+
+    def state_dict(self):
+        # The scheduler is the snapshot root for the arrival processes
+        # (it binds their RNG streams); processes without hooks are
+        # treated as stateless.
+        state = default_state_dict(self)
+        state["processes"] = [
+            process.state_dict() if hasattr(process, "state_dict") else None
+            for process in self.workload.processes
+        ]
+        return state
+
+    def load_state_dict(self, state):
+        state = dict(state)
+        try:
+            process_states = state.pop("processes")
+        except KeyError:
+            raise CheckpointError(
+                "scheduler snapshot for {!r} lacks arrival processes".format(
+                    self.name
+                )
+            ) from None
+        if len(process_states) != len(self.workload.processes):
+            raise CheckpointError(
+                "scheduler snapshot has {} arrival processes, workload "
+                "has {}".format(
+                    len(process_states), len(self.workload.processes)
+                )
+            )
+        default_load_state_dict(self, state)
+        for process, process_state in zip(
+            self.workload.processes, process_states
+        ):
+            if process_state is not None:
+                process.load_state_dict(process_state)
 
     def reset(self):
         self.cells_arrived = 0

@@ -26,6 +26,9 @@ class SharedCellMemory(Slave):
         self.reads = 0
         self.write_failures = 0
 
+    # Extends Slave's served counters (merged across the MRO).
+    state_attrs = ("_free", "_occupied", "writes", "reads", "write_failures")
+
     def reset(self):
         super().reset()
         self._free = list(range(self.num_cells - 1, -1, -1))

@@ -6,9 +6,10 @@ observable) and bursty real-time traffic on the latency-critical port.
 """
 
 from repro.sim.rng import RandomStream
+from repro.sim.snapshot import Snapshottable
 
 
-class ArrivalProcess:
+class ArrivalProcess(Snapshottable):
     """Base: per-cycle decision whether a cell arrives for a port."""
 
     def bind(self, seed, port):
@@ -30,6 +31,8 @@ class BernoulliArrivals(ArrivalProcess):
             raise ValueError("rate must lie in [0, 1]")
         self.rate = rate
         self._rng = None
+
+    state_children = ("_rng",)
 
     def bind(self, seed, port):
         self._rng = RandomStream(seed, "arrivals:bernoulli:{}".format(port))
@@ -61,6 +64,9 @@ class OnOffArrivals(ArrivalProcess):
         self._rng = None
         self._on = False
         self._dwell = 0
+
+    state_attrs = ("_on", "_dwell")
+    state_children = ("_rng",)
 
     def bind(self, seed, port):
         self._rng = RandomStream(seed, "arrivals:onoff:{}".format(port))
@@ -108,6 +114,9 @@ class PeriodicBurstArrivals(ArrivalProcess):
         self._on = False
         self._dwell = 0
         self._countdown = 0
+
+    state_attrs = ("_on", "_dwell", "_countdown")
+    state_children = ("_rng",)
 
     def bind(self, seed, port):
         self._rng = RandomStream(seed, "arrivals:pburst:{}".format(port))

@@ -9,6 +9,11 @@ bursts.
 
 from repro.metrics.collector import MetricsCollector
 from repro.sim.component import Component
+from repro.sim.snapshot import (
+    CheckpointError,
+    default_load_state_dict,
+    default_state_dict,
+)
 
 
 class BusProtocolError(RuntimeError):
@@ -158,6 +163,75 @@ class SharedBus(Component):
         self.metrics.reset()
         if hasattr(self.arbiter, "reset"):
             self.arbiter.reset()
+
+    # -- checkpoint / restore (see repro.sim.snapshot) -------------------
+    #
+    # The bus snapshots its masters and slaves itself: they are wired to
+    # the bus at construction and usually not registered with the
+    # simulator, so the bus is their snapshot root.  The active burst is
+    # stored as (request, words left) — the request object is shared
+    # with its master's queue, an identity the simulator-level pickle
+    # pass preserves — and its slave is re-derived from the request.
+
+    state_attrs = ("_stall", "_stall_run")
+    state_children = ("arbiter", "metrics")
+
+    def state_dict(self):
+        state = default_state_dict(self)
+        state["masters"] = [
+            master.state_dict() if hasattr(master, "state_dict") else None
+            for master in self.masters
+        ]
+        state["slaves"] = [
+            slave.state_dict() if hasattr(slave, "state_dict") else None
+            for slave in self.slaves
+        ]
+        burst = self._burst
+        state["burst"] = (
+            None
+            if burst is None
+            else {"request": burst.request, "words_left": burst.words_left}
+        )
+        return state
+
+    def load_state_dict(self, state):
+        state = dict(state)
+        try:
+            master_states = state.pop("masters")
+            slave_states = state.pop("slaves")
+            burst_state = state.pop("burst")
+        except KeyError as error:
+            raise CheckpointError(
+                "bus snapshot for {!r} lacks section {}".format(
+                    self.name, error
+                )
+            ) from None
+        if len(master_states) != len(self.masters):
+            raise CheckpointError(
+                "bus snapshot has {} masters, bus {!r} has {}".format(
+                    len(master_states), self.name, len(self.masters)
+                )
+            )
+        if len(slave_states) != len(self.slaves):
+            raise CheckpointError(
+                "bus snapshot has {} slaves, bus {!r} has {}".format(
+                    len(slave_states), self.name, len(self.slaves)
+                )
+            )
+        default_load_state_dict(self, state)
+        for master, master_state in zip(self.masters, master_states):
+            if master_state is not None:
+                master.load_state_dict(master_state)
+        for slave, slave_state in zip(self.slaves, slave_states):
+            if slave_state is not None:
+                slave.load_state_dict(slave_state)
+        if burst_state is None:
+            self._burst = None
+        else:
+            request = burst_state["request"]
+            self._burst = _ActiveBurst(
+                request, burst_state["words_left"], self.slaves[request.slave]
+            )
 
     @property
     def busy(self):

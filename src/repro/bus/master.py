@@ -4,6 +4,11 @@ from collections import deque
 
 from repro.bus.transaction import Request
 from repro.sim.component import Component
+from repro.sim.snapshot import (
+    CheckpointError,
+    default_load_state_dict,
+    default_state_dict,
+)
 
 
 class MasterInterface(Component):
@@ -42,6 +47,42 @@ class MasterInterface(Component):
         self.retried_requests = 0
         self.aborted_requests = 0
         self.timeout_requests = 0
+
+    state_attrs = (
+        "_queue",
+        "_retry_pending",
+        "submitted_requests",
+        "rejected_requests",
+        "retried_requests",
+        "aborted_requests",
+        "timeout_requests",
+    )
+
+    def state_dict(self):
+        state = default_state_dict(self)
+        # The backoff RNG is created lazily on first error, so it is
+        # snapshotted by hand: absent means "not created yet" and a
+        # resumed run will re-create it at the same deterministic point.
+        state["retry_rng"] = (
+            None if self._retry_rng is None else self._retry_rng.state_dict()
+        )
+        return state
+
+    def load_state_dict(self, state):
+        state = dict(state)
+        try:
+            rng_state = state.pop("retry_rng")
+        except KeyError:
+            raise CheckpointError(
+                "interface snapshot for {!r} lacks the retry RNG".format(
+                    self.name
+                )
+            ) from None
+        default_load_state_dict(self, state)
+        if rng_state is None:
+            self._retry_rng = None
+        else:
+            self._rng().load_state_dict(rng_state)
 
     def reset(self):
         self._queue.clear()

@@ -25,6 +25,8 @@ class Slave(Component):
         self.words_served = 0
         self.bursts_served = 0
 
+    state_attrs = ("words_served", "bursts_served")
+
     def reset(self):
         self.words_served = 0
         self.bursts_served = 0

@@ -63,6 +63,17 @@ class BusSystem:
         self._finalize()
         self.simulator.reset()
 
+    def save_checkpoint(self, path):
+        """Checkpoint the whole system (see Simulator.save_checkpoint)."""
+        self._finalize()
+        return self.simulator.save_checkpoint(path)
+
+    def load_checkpoint(self, path):
+        """Restore the whole system; registration happens first, so this
+        works on a freshly built (never-run) system too."""
+        self._finalize()
+        return self.simulator.load_checkpoint(path)
+
     @property
     def metrics(self):
         """Metrics of the first (usually only) bus."""

@@ -6,18 +6,27 @@ Examples::
     lotterybus table1
     lotterybus figure12a --scale 0.25 --seed 7
     lotterybus all --scale 0.1
+    lotterybus all --jobs 4 --timeout 3600 --checkpoint-dir ckpt
+    lotterybus all --jobs 4 --checkpoint-dir ckpt --resume
     python -m repro figure5
+
+Exit codes: 0 success, 1 one or more experiments failed, 2 bad usage,
+130 interrupted (^C).
 """
 
 import argparse
 import sys
 
 from repro.experiments.runner import (
+    checkpoint_aware_experiments,
     experiment_names,
     format_full_report,
     run_all,
     run_experiment,
 )
+
+DEFAULT_CHECKPOINT_DIR = ".lotterybus-checkpoints"
+DEFAULT_CHECKPOINT_EVERY = 50_000
 
 
 def build_parser():
@@ -51,36 +60,180 @@ def build_parser():
         "--output",
         help="also write the report to this file",
     )
+    supervision = parser.add_argument_group(
+        "supervised execution (checkpoint/resume)"
+    )
+    supervision.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help='worker processes for "all" (default 1; >1 implies supervision)',
+    )
+    supervision.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-experiment wall-clock limit in seconds (default unlimited)",
+    )
+    supervision.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retries after a crash or timeout (default 1)",
+    )
+    supervision.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip work already recorded in the checkpoint directory",
+    )
+    supervision.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help=(
+            "cycles between mid-run simulator checkpoints "
+            "(default {}; implies checkpointing)".format(
+                DEFAULT_CHECKPOINT_EVERY
+            )
+        ),
+    )
+    supervision.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help=(
+            "directory for checkpoints and the campaign result store "
+            "(default {}; implies checkpointing)".format(
+                DEFAULT_CHECKPOINT_DIR
+            )
+        ),
+    )
     return parser
+
+
+def _usage_error(message):
+    print("lotterybus: error: {}".format(message), file=sys.stderr)
+    return 2
+
+
+def _validate(args):
+    """One-line usage errors instead of tracebacks; None when valid."""
+    if args.scale <= 0:
+        return "--scale must be positive (got {})".format(args.scale)
+    if args.seed < 0:
+        return "--seed must be non-negative (got {})".format(args.seed)
+    if args.jobs < 1:
+        return "--jobs must be >= 1 (got {})".format(args.jobs)
+    if args.retries < 0:
+        return "--retries must be >= 0 (got {})".format(args.retries)
+    if args.timeout is not None and args.timeout <= 0:
+        return "--timeout must be positive (got {})".format(args.timeout)
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        return "--checkpoint-every must be >= 1 cycle (got {})".format(
+            args.checkpoint_every
+        )
+    return None
+
+
+def _wants_supervision(args):
+    return (
+        args.jobs > 1
+        or args.resume
+        or args.timeout is not None
+        or args.checkpoint_every is not None
+        or args.checkpoint_dir is not None
+    )
+
+
+def _run_all_supervised(args):
+    from repro.experiments.supervisor import run_campaign
+
+    campaign = run_campaign(
+        scale=args.scale,
+        seed=args.seed,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        resume=args.resume,
+        checkpoint_dir=args.checkpoint_dir or DEFAULT_CHECKPOINT_DIR,
+        checkpoint_every=args.checkpoint_every or DEFAULT_CHECKPOINT_EVERY,
+        on_event=lambda message: print(message, file=sys.stderr),
+    )
+    if args.resume and not campaign.skipped:
+        print("nothing to resume: no completed tasks on record",
+              file=sys.stderr)
+    return campaign.format_report(), (0 if campaign.ok else 1)
+
+
+def _run_one_checkpointed(args, options):
+    from repro.experiments.checkpoint import ExperimentCheckpointer
+
+    checkpointer = ExperimentCheckpointer(
+        args.checkpoint_dir or DEFAULT_CHECKPOINT_DIR,
+        every=args.checkpoint_every or DEFAULT_CHECKPOINT_EVERY,
+        resume=args.resume,
+        on_event=lambda message: print(message, file=sys.stderr),
+    )
+    result = run_experiment(
+        args.experiment,
+        scale=args.scale,
+        seed=args.seed,
+        checkpointer=checkpointer,
+        **options
+    )
+    return result.format_report()
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    problem = _validate(args)
+    if problem is not None:
+        return _usage_error(problem)
     options = {}
     if args.fault_rate is not None:
         options["fault_rates"] = (0.0, args.fault_rate)
-    if args.experiment == "list":
-        report = "\n".join(experiment_names())
-    elif args.experiment == "all":
-        if options:
-            print("--fault-rate applies only to faultsweep", file=sys.stderr)
-            return 2
-        results = run_all(scale=args.scale, seed=args.seed)
-        report = format_full_report(results)
-    else:
-        try:
-            result = run_experiment(
-                args.experiment, scale=args.scale, seed=args.seed, **options
-            )
-        except ValueError as error:
-            print(str(error), file=sys.stderr)
-            return 2
-        report = result.format_report()
+    exit_code = 0
+    try:
+        if args.experiment == "list":
+            report = "\n".join(experiment_names())
+        elif args.experiment == "all":
+            if options:
+                return _usage_error("--fault-rate applies only to faultsweep")
+            if _wants_supervision(args):
+                report, exit_code = _run_all_supervised(args)
+            else:
+                results = run_all(scale=args.scale, seed=args.seed)
+                report = format_full_report(results)
+        else:
+            try:
+                if (
+                    _wants_supervision(args)
+                    and args.experiment in checkpoint_aware_experiments()
+                ):
+                    report = _run_one_checkpointed(args, options)
+                else:
+                    if _wants_supervision(args):
+                        print(
+                            "note: {!r} does not support checkpointing; "
+                            "running it unsupervised".format(args.experiment),
+                            file=sys.stderr,
+                        )
+                    result = run_experiment(
+                        args.experiment,
+                        scale=args.scale,
+                        seed=args.seed,
+                        **options
+                    )
+                    report = result.format_report()
+            except ValueError as error:
+                return _usage_error(str(error))
+    except KeyboardInterrupt:
+        print("lotterybus: interrupted", file=sys.stderr)
+        return 130
     print(report)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(report + "\n")
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

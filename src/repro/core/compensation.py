@@ -19,9 +19,10 @@ ticket port.
 
 from repro.core.lottery_manager import DynamicLotteryManager
 from repro.core.tickets import TicketAssignment
+from repro.sim.snapshot import Snapshottable
 
 
-class CompensationPolicy:
+class CompensationPolicy(Snapshottable):
     """Computes per-master inflated holdings from observed burst sizes.
 
     :param base_tickets: the designer's intended proportions.
@@ -39,6 +40,8 @@ class CompensationPolicy:
         self.max_burst = max_burst
         self.cap = cap
         self._factors = [1.0] * base.num_masters
+
+    state_attrs = ("_factors",)
 
     @property
     def num_masters(self):
@@ -71,7 +74,7 @@ class CompensationPolicy:
         self._factors = [1.0] * self.num_masters
 
 
-class CompensatedLotteryManager:
+class CompensatedLotteryManager(Snapshottable):
     """A dynamic lottery manager driven by a CompensationPolicy.
 
     Drop-in compatible with the managers consumed by
@@ -88,6 +91,8 @@ class CompensatedLotteryManager:
             random_source=random_source,
             lfsr_seed=lfsr_seed,
         )
+
+    state_children = ("policy", "_manager")
 
     @property
     def num_masters(self):

@@ -14,6 +14,7 @@ whose real-time stream outranks its own bulk transfers.
 from repro.core.adder_tree import prefix_sums
 from repro.core.lfsr import LFSR
 from repro.core.lottery_manager import select_winner
+from repro.sim.snapshot import Snapshottable
 
 
 class FlowTicketTable:
@@ -50,12 +51,15 @@ class FlowTicketTable:
         return "FlowTicketTable({})".format(self._tickets)
 
 
-class FlowLotteryManager:
+class FlowLotteryManager(Snapshottable):
     """Holds lotteries weighted by head-of-queue flow tickets.
 
     Unlike the per-master managers, the ticket vector is recomputed
     every drawing from the flow labels the caller supplies.
     """
+
+    state_attrs = ("lotteries_held",)
+    state_children = ("random_source",)
 
     def __init__(self, table, random_source=None, lfsr_seed=1):
         self.table = table
@@ -91,13 +95,15 @@ class FlowLotteryManager:
         return select_winner(value, sums)
 
 
-class FlowUsage:
+class FlowUsage(Snapshottable):
     """Per-flow word accounting over a bus's completion stream.
 
     Attach with ``bus.add_completion_hook(usage.on_completion)`` (or let
     :class:`~repro.arbiters.flow_lottery.FlowLotteryArbiter` do it) and
     read back each flow's carried words and share.
     """
+
+    state_attrs = ("words", "messages")
 
     def __init__(self):
         self.words = {}

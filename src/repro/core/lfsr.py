@@ -52,7 +52,10 @@ MAXIMAL_TAPS = {
 }
 
 
-class LFSR:
+from repro.sim.snapshot import Snapshottable
+
+
+class LFSR(Snapshottable):
     """A Fibonacci LFSR of the given bit width.
 
     :param width: register width in bits (2..32 for maximal taps).
@@ -92,6 +95,10 @@ class LFSR:
         self.steps_per_draw = steps_per_draw
         self.seed = seed
         self.state = seed
+
+    # The register's runtime state is exactly its current word (the seed
+    # rides along so a restored LFSR still resets correctly).
+    state_attrs = ("seed", "state")
 
     def reset(self):
         self.state = self.seed

@@ -34,12 +34,15 @@ from repro.core.lfsr import LFSR
 from repro.core.lookup_table import LotteryLookupTable
 from repro.core.scaling import is_power_of_two, next_power_of_two, scale_to_power_of_two
 from repro.core.tickets import TicketAssignment
+from repro.sim.snapshot import Snapshottable
 
 _DRAW_POLICIES = ("reduce", "rejection")
 
 
-class SoftwareRandomSource:
+class SoftwareRandomSource(Snapshottable):
     """Ideal uniform source backed by a seeded software RNG."""
+
+    state_children = ("_stream",)
 
     def __init__(self, stream):
         self._stream = stream
@@ -66,6 +69,21 @@ class LotteryOutcome:
     def granted(self):
         return self.winner is not None
 
+    def __eq__(self, other):
+        # Value equality, so a checkpoint-restored outcome compares
+        # equal to the live one it snapshotted.
+        if not isinstance(other, LotteryOutcome):
+            return NotImplemented
+        return (
+            self.winner == other.winner
+            and self.draw == other.draw
+            and self.total == other.total
+            and self.partial_sums == other.partial_sums
+        )
+
+    def __hash__(self):
+        return hash((self.winner, self.draw, self.total, self.partial_sums))
+
     def __repr__(self):
         return "LotteryOutcome(winner={}, draw={}, total={})".format(
             self.winner, self.draw, self.total
@@ -85,7 +103,7 @@ def select_winner(draw, partial_sums):
     return None
 
 
-class StaticLotteryManager:
+class StaticLotteryManager(Snapshottable):
     """Lottery manager with statically assigned tickets (Section 4.3).
 
     :param tickets: requested holdings, one per master.
@@ -134,6 +152,9 @@ class StaticLotteryManager:
         self.lotteries_held = 0
         self.rejected_draws = 0
 
+    state_attrs = ("lotteries_held", "rejected_draws")
+    state_children = ("random_source",)
+
     @property
     def num_masters(self):
         return self.tickets.num_masters
@@ -164,7 +185,7 @@ class StaticLotteryManager:
         return LotteryOutcome(winner, value, total, partial_sums)
 
 
-class DynamicLotteryManager:
+class DynamicLotteryManager(Snapshottable):
     """Lottery manager with run-time ticket holdings (Section 4.4).
 
     Masters update their holdings through :meth:`set_tickets`; each
@@ -206,6 +227,16 @@ class DynamicLotteryManager:
         self.ticket_channel_up = True
         self.degradation_events = 0
         self.dropped_updates = 0
+
+    state_attrs = (
+        "_tickets",
+        "lotteries_held",
+        "ticket_updates",
+        "ticket_channel_up",
+        "degradation_events",
+        "dropped_updates",
+    )
+    state_children = ("random_source",)
 
     def _clamp(self, value):
         value = int(value)

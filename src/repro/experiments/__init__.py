@@ -6,6 +6,10 @@ one code path.  Experiment parameters default to the values recorded in
 EXPERIMENTS.md; cycle counts can be reduced for smoke tests.
 """
 
+from repro.experiments.checkpoint import (
+    ExperimentCheckpointer,
+    StageCheckpoint,
+)
 from repro.experiments.fault_sweep import build_fault_testbed, run_fault_sweep
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.figure5 import run_figure5
@@ -20,10 +24,22 @@ from repro.experiments.replication import run_replicated_testbed
 from repro.experiments.starvation import run_starvation
 from repro.experiments.sweep import run_sweep
 from repro.experiments.system import run_testbed
+from repro.experiments.supervisor import (
+    ResultStore,
+    Supervisor,
+    TaskSpec,
+    run_campaign,
+)
 from repro.experiments.table1 import run_table1
 
 __all__ = [
+    "ExperimentCheckpointer",
+    "ResultStore",
+    "StageCheckpoint",
+    "Supervisor",
+    "TaskSpec",
     "build_fault_testbed",
+    "run_campaign",
     "run_fault_sweep",
     "run_figure4",
     "run_figure5",

@@ -5,6 +5,8 @@ and figure of the paper in one pass; individual experiments are exposed
 through the same registry for the CLI and the benchmarks.
 """
 
+import warnings
+
 from repro.experiments.fault_sweep import run_fault_sweep
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.figure5 import run_figure5
@@ -42,8 +44,8 @@ _EXPERIMENTS = {
     "figure12c": lambda scale, seed: run_figure12_latency(
         "lottery-static", cycles=int(400_000 * scale), seed=seed
     ),
-    "table1": lambda scale, seed: run_table1(
-        cycles=int(500_000 * scale), seed=seed
+    "table1": lambda scale, seed, **extra: run_table1(
+        cycles=int(500_000 * scale), seed=seed, **extra
     ),
     "hardware": lambda scale, seed: run_hardware_comparison(),
     "hwscale": lambda scale, seed: run_hardware_scaling(),
@@ -59,14 +61,36 @@ _EXPERIMENTS = {
 # ``--fault-rate``); passing options to any other experiment is an error.
 _OPTION_AWARE = {"faultsweep"}
 
+# Deterministic/analytic experiments whose lambdas take no cycle count
+# or RNG: --scale/--seed cannot change their result, so passing
+# non-default values draws a warning instead of being silently ignored.
+_SEEDLESS = {"figure8", "hardware", "hwscale"}
+
+# Experiments that accept a ``checkpointer``/``progress`` pair (see
+# repro.experiments.checkpoint) for interruptible, resumable execution.
+_CHECKPOINT_AWARE = {"table1"}
+
 
 def experiment_names():
     """All runnable experiment ids, in paper order."""
     return list(_EXPERIMENTS)
 
 
-def run_experiment(name, scale=1.0, seed=1, **options):
-    """Run one experiment by id; returns its result object."""
+def checkpoint_aware_experiments():
+    """Experiment ids that support stage checkpointing / resume."""
+    return set(_CHECKPOINT_AWARE)
+
+
+def run_experiment(name, scale=1.0, seed=1, checkpointer=None,
+                   progress=None, _warn_seedless=True, **options):
+    """Run one experiment by id; returns its result object.
+
+    :param checkpointer: optional
+        :class:`~repro.experiments.checkpoint.ExperimentCheckpointer`
+        for checkpoint-aware experiments (a ValueError for others).
+    :param progress: optional ``progress(stage, cycle, total)`` callback
+        driven by checkpoint-aware experiments as they advance.
+    """
     try:
         runner = _EXPERIMENTS[name]
     except KeyError:
@@ -75,6 +99,23 @@ def run_experiment(name, scale=1.0, seed=1, **options):
                 name, experiment_names()
             )
         )
+    if _warn_seedless and name in _SEEDLESS and (scale != 1.0 or seed != 1):
+        warnings.warn(
+            "experiment {!r} is deterministic; --scale/--seed have no "
+            "effect on it".format(name),
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    extra = {}
+    if checkpointer is not None:
+        if name not in _CHECKPOINT_AWARE:
+            raise ValueError(
+                "experiment {!r} does not support checkpointing "
+                "(only {} do)".format(name, sorted(_CHECKPOINT_AWARE))
+            )
+        extra["checkpointer"] = checkpointer
+        if progress is not None:
+            extra["progress"] = progress
     if options:
         if name not in _OPTION_AWARE:
             raise ValueError(
@@ -82,15 +123,27 @@ def run_experiment(name, scale=1.0, seed=1, **options):
                     name, sorted(options), sorted(_OPTION_AWARE)
                 )
             )
-        return runner(scale, seed, **options)
+        return runner(scale, seed, **options, **extra)
+    if extra:
+        return runner(scale, seed, **extra)
     return runner(scale, seed)
 
 
 def run_all(scale=1.0, seed=1, names=None):
-    """Run experiments and return {name: result}."""
+    """Run experiments and return {name: result}.
+
+    Campaign-wide --scale/--seed legitimately cover the deterministic
+    experiments too, so the per-experiment seedless warning stays quiet
+    on this path.
+    """
     if names is None:
         names = experiment_names()
-    return {name: run_experiment(name, scale=scale, seed=seed) for name in names}
+    return {
+        name: run_experiment(
+            name, scale=scale, seed=seed, _warn_seedless=False
+        )
+        for name in names
+    }
 
 
 def format_full_report(results):

@@ -1,0 +1,419 @@
+"""Supervised, crash-safe parallel execution of experiment campaigns.
+
+``lotterybus all`` runs every registry experiment.  At paper scale that
+is hours of simulation, so the campaign must survive worker crashes,
+hangs, and outright loss of the supervising process:
+
+* every experiment runs in its **own** worker process (one process per
+  task rather than a shared pool, so a dying worker can only take its
+  own task down, never the campaign);
+* each task has a wall-clock **timeout** — an expired worker is
+  terminated and the task treated like a crash;
+* crashed and timed-out tasks are **retried** a bounded number of times
+  with exponential backoff, and checkpoint-aware experiments resume
+  their retries from their own stage checkpoints instead of starting
+  over;
+* finished reports land in an append-only **JSONL result store** whose
+  records are flushed and fsynced, so a SIGKILL between tasks loses at
+  most the task in flight and ``--resume`` skips everything recorded.
+
+Experiments are deterministic given (name, scale, seed), so a resumed
+campaign's combined report is byte-identical to an uninterrupted one.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+from collections import deque
+
+from repro.experiments.runner import experiment_names, run_experiment
+
+
+class TaskOutcome:
+    """What the supervisor concluded about one task."""
+
+    def __init__(self, name, status, report=None, error=None, attempts=1):
+        self.name = name
+        self.status = status  # "done" | "failed"
+        self.report = report
+        self.error = error
+        self.attempts = attempts
+
+    def record(self):
+        return {
+            "name": self.name,
+            "status": self.status,
+            "report": self.report,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+
+class ResultStore:
+    """Append-only JSONL store of per-task outcomes.
+
+    Appends are flushed and fsynced so a completed task survives any
+    later crash.  :meth:`load` tolerates a torn final line (the one
+    write a SIGKILL can interrupt) by skipping lines that do not parse.
+    """
+
+    def __init__(self, path):
+        self.path = path
+
+    def load(self):
+        """{name: record} for every successfully recorded task."""
+        completed = {}
+        try:
+            handle = open(self.path, "r")
+        except OSError:
+            return completed
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue  # torn tail line from a crash mid-append
+                if (
+                    isinstance(record, dict)
+                    and record.get("status") == "done"
+                    and isinstance(record.get("name"), str)
+                ):
+                    completed[record["name"]] = record
+        return completed
+
+    def append(self, record):
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def clear(self):
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+class TaskSpec:
+    """One supervised unit of work: a single registry experiment."""
+
+    def __init__(self, name, scale=1.0, seed=1, options=None,
+                 checkpoint_dir=None, checkpoint_every=None, resume=False):
+        self.name = name
+        self.scale = scale
+        self.seed = seed
+        self.options = dict(options or {})
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        self.resume = resume
+
+
+def _worker_main(conn, spec, resume):
+    """Run one experiment and send ("ok", report) or ("error", message).
+
+    Runs in a child process; the parent interprets silence plus a
+    nonzero exit code as a crash.
+    """
+    try:
+        kwargs = dict(spec.options)
+        if spec.checkpoint_dir is not None:
+            from repro.experiments.checkpoint import ExperimentCheckpointer
+
+            kwargs["checkpointer"] = ExperimentCheckpointer(
+                spec.checkpoint_dir,
+                every=spec.checkpoint_every or 50_000,
+                resume=resume,
+            )
+        result = run_experiment(
+            spec.name, scale=spec.scale, seed=spec.seed,
+            _warn_seedless=False, **kwargs
+        )
+        conn.send(("ok", result.format_report()))
+    except BaseException as error:  # the parent needs the reason, always
+        try:
+            conn.send(
+                ("error", "{}: {}".format(type(error).__name__, error))
+            )
+        except (OSError, ValueError):
+            pass
+        raise
+    finally:
+        conn.close()
+
+
+class _RunningTask:
+    def __init__(self, spec, process, conn, deadline, attempt):
+        self.spec = spec
+        self.process = process
+        self.conn = conn
+        self.deadline = deadline
+        self.attempt = attempt
+
+
+class Supervisor:
+    """Runs task specs in supervised worker processes.
+
+    :param jobs: maximum concurrently running workers.
+    :param timeout: per-task wall-clock seconds (``None`` = unlimited).
+    :param retries: extra attempts after the first (0 = fail fast).
+    :param backoff: base seconds of delay before retry ``n`` (doubled
+        each further attempt).
+    :param poll_interval: supervisor loop sleep between health checks.
+    :param worker: the worker entry point (injectable for tests).
+    """
+
+    def __init__(self, jobs=1, timeout=None, retries=1, backoff=0.5,
+                 poll_interval=0.05, worker=_worker_main):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive when given")
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.poll_interval = poll_interval
+        self.worker = worker
+        self._context = multiprocessing.get_context()
+
+    def run(self, specs, store=None, on_event=None):
+        """Run every spec; returns {name: TaskOutcome}.
+
+        Completed tasks are appended to ``store`` as they finish.  A
+        KeyboardInterrupt terminates all workers before propagating, so
+        ^C never leaves orphaned simulations running.
+        """
+
+        def emit(message):
+            if on_event is not None:
+                on_event(message)
+
+        pending = deque((spec, 1, 0.0) for spec in specs)  # spec, attempt, not-before
+        running = []
+        outcomes = {}
+
+        def settle(task, status, report=None, error=None):
+            outcome = TaskOutcome(
+                task.spec.name, status, report=report, error=error,
+                attempts=task.attempt,
+            )
+            outcomes[task.spec.name] = outcome
+            if store is not None:
+                store.append(outcome.record())
+
+        def retry_or_fail(task, error):
+            if task.attempt <= self.retries:
+                delay = self.backoff * (2 ** (task.attempt - 1))
+                emit(
+                    "task {}: {}; retrying in {:.1f}s (attempt {}/{})".format(
+                        task.spec.name, error, delay, task.attempt + 1,
+                        self.retries + 1,
+                    )
+                )
+                pending.append(
+                    (task.spec, task.attempt + 1, time.monotonic() + delay)
+                )
+            else:
+                emit("task {}: {}; giving up".format(task.spec.name, error))
+                settle(task, "failed", error=error)
+
+        try:
+            while pending or running:
+                now = time.monotonic()
+                # Launch whatever is due and fits.
+                blocked = []
+                while pending and len(running) < self.jobs:
+                    spec, attempt, not_before = pending.popleft()
+                    if not_before > now:
+                        blocked.append((spec, attempt, not_before))
+                        continue
+                    running.append(self._launch(spec, attempt, emit))
+                pending.extendleft(reversed(blocked))
+
+                still_running = []
+                for task in running:
+                    finished = self._collect(task, settle, retry_or_fail, emit)
+                    if not finished:
+                        still_running.append(task)
+                running = still_running
+                if pending or running:
+                    time.sleep(self.poll_interval)
+        except KeyboardInterrupt:
+            for task in running:
+                self._terminate(task)
+            raise
+        return outcomes
+
+    def _launch(self, spec, attempt, emit):
+        parent_conn, child_conn = self._context.Pipe(duplex=False)
+        # Retries resume from the task's own checkpoints instead of
+        # redoing completed stages; a resumed campaign resumes even on
+        # the first attempt.
+        resume = spec.resume or attempt > 1
+        process = self._context.Process(
+            target=self.worker, args=(child_conn, spec, resume), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        deadline = (
+            None if self.timeout is None
+            else time.monotonic() + self.timeout
+        )
+        emit(
+            "task {}: started (attempt {}/{})".format(
+                spec.name, attempt, self.retries + 1
+            )
+        )
+        return _RunningTask(spec, process, parent_conn, deadline, attempt)
+
+    def _collect(self, task, settle, retry_or_fail, emit):
+        """Check one running task; True when it left the running set."""
+        if task.conn.poll():
+            try:
+                status, payload = task.conn.recv()
+            except (EOFError, OSError):
+                status, payload = None, None
+            task.process.join()
+            task.conn.close()
+            if status == "ok":
+                emit("task {}: done".format(task.spec.name))
+                settle(task, "done", report=payload)
+            elif status == "error":
+                retry_or_fail(task, payload)
+            else:
+                retry_or_fail(
+                    task,
+                    "worker crashed (exit code {})".format(
+                        task.process.exitcode
+                    ),
+                )
+            return True
+        if task.deadline is not None and time.monotonic() > task.deadline:
+            self._terminate(task)
+            task.conn.close()
+            retry_or_fail(
+                task, "timed out after {:.0f}s".format(self.timeout)
+            )
+            return True
+        if not task.process.is_alive():
+            task.process.join()
+            task.conn.close()
+            retry_or_fail(
+                task,
+                "worker crashed (exit code {})".format(task.process.exitcode),
+            )
+            return True
+        return False
+
+    def _terminate(self, task):
+        if not task.process.is_alive():
+            return
+        task.process.terminate()
+        task.process.join(timeout=2.0)
+        if task.process.is_alive():
+            task.process.kill()
+            task.process.join()
+
+
+class CampaignReport:
+    """The assembled outcome of a supervised campaign."""
+
+    def __init__(self, sections, skipped, failed):
+        self.sections = sections  # [(name, report_text or None)]
+        self.skipped = skipped  # names reused from the result store
+        self.failed = failed  # {name: error}
+
+    @property
+    def ok(self):
+        return not self.failed
+
+    def format_report(self):
+        lines = []
+        for name, report in self.sections:
+            lines.append("=" * 72)
+            lines.append("[{}]".format(name))
+            if report is None:
+                lines.append(
+                    "FAILED: {}".format(self.failed.get(name, "unknown"))
+                )
+            else:
+                lines.append(report)
+            lines.append("")
+        return "\n".join(lines)
+
+
+def run_campaign(names=None, scale=1.0, seed=1, jobs=1, timeout=None,
+                 retries=1, resume=False, checkpoint_dir=None,
+                 checkpoint_every=None, on_event=None, supervisor=None):
+    """Run a supervised experiment campaign; returns a CampaignReport.
+
+    ``checkpoint_dir`` hosts both the JSONL result store
+    (``results.jsonl``) and one sub-directory per checkpoint-aware
+    experiment.  With ``resume=True``, tasks recorded in the store are
+    skipped outright and interrupted checkpoint-aware tasks restart
+    from their stage checkpoints.
+    """
+    from repro.experiments.runner import checkpoint_aware_experiments
+
+    if names is None:
+        names = experiment_names()
+    if checkpoint_dir is None:
+        raise ValueError("a campaign needs a checkpoint directory")
+    os.makedirs(checkpoint_dir, exist_ok=True)
+    store = ResultStore(os.path.join(checkpoint_dir, "results.jsonl"))
+    if not resume:
+        store.clear()
+    completed = store.load()
+    skipped = [name for name in names if name in completed]
+    for name in skipped:
+        if on_event is not None:
+            on_event("task {}: already complete, skipping".format(name))
+
+    aware = checkpoint_aware_experiments()
+    specs = []
+    for name in names:
+        if name in completed:
+            continue
+        specs.append(
+            TaskSpec(
+                name,
+                scale=scale,
+                seed=seed,
+                checkpoint_dir=(
+                    os.path.join(checkpoint_dir, name)
+                    if name in aware
+                    else None
+                ),
+                checkpoint_every=checkpoint_every,
+                resume=resume,
+            )
+        )
+
+    if supervisor is None:
+        supervisor = Supervisor(jobs=jobs, timeout=timeout, retries=retries)
+    outcomes = supervisor.run(specs, store=store, on_event=on_event)
+
+    sections, failed = [], {}
+    for name in names:
+        if name in completed:
+            sections.append((name, completed[name]["report"]))
+        elif name in outcomes and outcomes[name].status == "done":
+            sections.append((name, outcomes[name].report))
+        else:
+            error = (
+                outcomes[name].error
+                if name in outcomes
+                else "never completed"
+            )
+            failed[name] = error
+            sections.append((name, None))
+    return CampaignReport(sections, skipped, failed)

@@ -89,10 +89,26 @@ def run_table1(
     weights=TABLE1_WEIGHTS,
     queue_capacity=64,
     memory_cells=8192,
+    checkpointer=None,
+    progress=None,
 ):
-    """Run the switch under each architecture; returns Table1Result."""
+    """Run the switch under each architecture; returns Table1Result.
+
+    Each architecture is one checkpoint *stage* (see
+    :mod:`repro.experiments.checkpoint`): with a ``checkpointer`` the
+    per-architecture run is chunked with periodic simulator
+    checkpoints, finished architectures record their result row, and a
+    resumed run reuses both — producing a report bit-identical to an
+    uninterrupted one.
+    """
     rows = []
     for label, name, kwargs in ARCHITECTURES:
+        stage = None if checkpointer is None else checkpointer.stage(label)
+        if stage is not None:
+            row = stage.completed_result()
+            if row is not None:
+                rows.append(tuple(row))
+                continue
         arbiter = make_arbiter(name, len(weights), list(weights), **kwargs)
         switch = OutputQueuedSwitch(
             arbiter,
@@ -101,7 +117,14 @@ def run_table1(
             memory_cells=memory_cells,
             seed=seed,
         )
-        report = switch.run(cycles)
+        if stage is None:
+            switch.simulator.run(cycles)
+        else:
+            stage.run(switch.simulator, cycles, progress=progress)
+        report = switch.report()
         port1_latency = report.switch_latencies[0] / CELL_WORDS
-        rows.append((label, report.bandwidth_fractions, port1_latency))
+        row = (label, report.bandwidth_fractions, port1_latency)
+        if stage is not None:
+            stage.complete(row)
+        rows.append(row)
     return Table1Result(rows)

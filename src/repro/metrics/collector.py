@@ -2,9 +2,15 @@
 
 from repro.metrics.histogram import LogHistogram
 from repro.metrics.latency import LatencyStats
+from repro.sim.snapshot import (
+    CheckpointError,
+    Snapshottable,
+    default_load_state_dict,
+    default_state_dict,
+)
 
 
-class FaultStats:
+class FaultStats(Snapshottable):
     """Fault-injection and recovery accounting (see :mod:`repro.faults`).
 
     One instance lives on every :class:`MetricsCollector` as its
@@ -22,6 +28,17 @@ class FaultStats:
         self.timeouts = 0
         self.degradations = 0
         self.recovery_latency = LogHistogram()
+
+    state_attrs = (
+        "injected",
+        "detected",
+        "retried",
+        "recovered",
+        "aborted",
+        "timeouts",
+        "degradations",
+    )
+    state_children = ("recovery_latency",)
 
     @property
     def total_injected(self):
@@ -102,8 +119,11 @@ class FaultStats:
         )
 
 
-class MasterStats:
+class MasterStats(Snapshottable):
     """Everything observed about one master on one bus."""
+
+    state_attrs = ("words", "grants")
+    state_children = ("latency",)
 
     def __init__(self, master_id):
         self.master_id = master_id
@@ -117,7 +137,7 @@ class MasterStats:
         )
 
 
-class MetricsCollector:
+class MetricsCollector(Snapshottable):
     """Accumulates bus activity; one instance per bus per run.
 
     The bus calls :meth:`observe_cycle` exactly once per simulated cycle
@@ -135,6 +155,30 @@ class MetricsCollector:
         self.idle_cycles = 0
         self.stall_cycles = 0
         self.faults = FaultStats()
+
+    state_attrs = ("cycles", "busy_cycles", "idle_cycles", "stall_cycles")
+    state_children = ("faults",)
+
+    def state_dict(self):
+        state = default_state_dict(self)
+        state["masters"] = [stats.state_dict() for stats in self.masters]
+        return state
+
+    def load_state_dict(self, state):
+        state = dict(state)
+        master_states = state.pop("masters", None)
+        if (
+            not isinstance(master_states, list)
+            or len(master_states) != len(self.masters)
+        ):
+            raise CheckpointError(
+                "collector snapshot does not match {} masters".format(
+                    len(self.masters)
+                )
+            )
+        default_load_state_dict(self, state)
+        for stats, master_state in zip(self.masters, master_states):
+            stats.load_state_dict(master_state)
 
     def reset(self):
         self.__init__(self.num_masters)

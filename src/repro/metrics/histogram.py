@@ -9,8 +9,10 @@ O(bins) with fixed memory regardless of run length.
 
 import math
 
+from repro.sim.snapshot import Snapshottable
 
-class LogHistogram:
+
+class LogHistogram(Snapshottable):
     """Geometric-bin histogram for positive values.
 
     :param low: lower edge of the first bin (values below clamp into it).
@@ -33,6 +35,8 @@ class LogHistogram:
         self.total = 0
         self.min_value = None
         self.max_value = None
+
+    state_attrs = ("counts", "total", "min_value", "max_value")
 
     def _bin_index(self, value):
         if value <= self.low:

@@ -1,7 +1,9 @@
 """Latency statistics for completed bus transactions."""
 
+from repro.sim.snapshot import Snapshottable
 
-class LatencyStats:
+
+class LatencyStats(Snapshottable):
     """Accumulates the paper's latency metric for one master.
 
     The paper reports "the average number of bus cycles spent in
@@ -21,6 +23,16 @@ class LatencyStats:
         self.total_word_latency = 0
         self.max_latency_per_word = 0.0
         self.max_wait_cycles = 0
+
+    state_attrs = (
+        "messages",
+        "words",
+        "total_cycles",
+        "total_wait_cycles",
+        "total_word_latency",
+        "max_latency_per_word",
+        "max_wait_cycles",
+    )
 
     def record(self, request):
         """Fold one completed :class:`~repro.bus.transaction.Request` in."""

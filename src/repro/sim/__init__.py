@@ -10,5 +10,20 @@ reproducible from its seed.
 from repro.sim.component import Component
 from repro.sim.kernel import SimulationError, Simulator
 from repro.sim.rng import RandomStream
+from repro.sim.snapshot import (
+    CheckpointError,
+    Snapshottable,
+    read_checkpoint,
+    write_checkpoint,
+)
 
-__all__ = ["Component", "SimulationError", "Simulator", "RandomStream"]
+__all__ = [
+    "Component",
+    "SimulationError",
+    "Simulator",
+    "RandomStream",
+    "CheckpointError",
+    "Snapshottable",
+    "read_checkpoint",
+    "write_checkpoint",
+]

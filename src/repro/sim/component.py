@@ -1,7 +1,9 @@
 """Base class for everything that participates in the cycle loop."""
 
+from repro.sim.snapshot import Snapshottable
 
-class Component:
+
+class Component(Snapshottable):
     """A synchronous hardware block driven by the simulator clock.
 
     Subclasses override :meth:`tick`, which the simulator calls exactly
@@ -10,6 +12,12 @@ class Component:
     generators feeding master interfaces feeding the bus) should simply be
     registered in dataflow order; the kernel makes no attempt at
     delta-cycle evaluation.
+
+    Components also carry the checkpoint protocol (see
+    :mod:`repro.sim.snapshot`): declare runtime state in ``state_attrs``
+    / ``state_children`` and the inherited :meth:`state_dict` /
+    :meth:`load_state_dict` hooks snapshot and restore it, which is what
+    :meth:`repro.sim.kernel.Simulator.save_checkpoint` aggregates.
     """
 
     def __init__(self, name):

@@ -1,6 +1,13 @@
 """The synchronous simulation kernel."""
 
 from repro.sim.component import Component
+from repro.sim.snapshot import (
+    CheckpointError,
+    read_checkpoint,
+    write_checkpoint,
+)
+
+_PAYLOAD_KIND = "lotterybus-simulator"
 
 
 class SimulationError(RuntimeError):
@@ -66,6 +73,88 @@ class Simulator:
                 self.cycle = now + 1
         finally:
             self._running = False
+        return self.cycle
+
+    # -- checkpoint / restore (see repro.sim.snapshot) -------------------
+
+    def state_dict(self):
+        """Snapshot the simulation: cycle count plus every component's
+        :meth:`~repro.sim.component.Component.state_dict`.
+
+        The returned mapping holds live references into the running
+        simulation; callers serialize it immediately (as
+        :meth:`save_checkpoint` does) rather than keeping it across
+        further ``run`` calls.
+        """
+        if self._running:
+            raise SimulationError("cannot snapshot while running")
+        return {
+            "kind": _PAYLOAD_KIND,
+            "cycle": self.cycle,
+            "components": {
+                component.name: component.state_dict()
+                for component in self._components
+            },
+        }
+
+    def load_state_dict(self, state):
+        """Restore a snapshot produced by :meth:`state_dict`.
+
+        The payload is validated in full — shape, kind, and an exact
+        match between its component names and the registered ones —
+        before any component is touched, so a mismatched or corrupted
+        payload raises :class:`~repro.sim.snapshot.CheckpointError`
+        without leaving a half-restored simulator.
+        """
+        if self._running:
+            raise SimulationError("cannot restore while running")
+        if not isinstance(state, dict) or state.get("kind") != _PAYLOAD_KIND:
+            raise CheckpointError("payload is not a simulator snapshot")
+        cycle = state.get("cycle")
+        if not isinstance(cycle, int) or cycle < 0:
+            raise CheckpointError(
+                "invalid cycle count {!r} in snapshot".format(cycle)
+            )
+        component_states = state.get("components")
+        if not isinstance(component_states, dict):
+            raise CheckpointError("snapshot has no component state map")
+        if set(component_states) != self._names:
+            missing = self._names - set(component_states)
+            unknown = set(component_states) - self._names
+            raise CheckpointError(
+                "snapshot does not match the registered components: "
+                "missing {}, unknown {}".format(sorted(missing), sorted(unknown))
+            )
+        for component in self._components:
+            if not isinstance(component_states[component.name], dict):
+                raise CheckpointError(
+                    "state of component {!r} is not a dict".format(
+                        component.name
+                    )
+                )
+        for component in self._components:
+            component.load_state_dict(component_states[component.name])
+        self.cycle = cycle
+
+    def save_checkpoint(self, path):
+        """Write a versioned, checksummed checkpoint of the simulation.
+
+        The file is written atomically (temp + rename); a crash mid-save
+        leaves any previous checkpoint at ``path`` intact.  Returns
+        ``path``.
+        """
+        return write_checkpoint(path, self.state_dict())
+
+    def load_checkpoint(self, path):
+        """Restore the simulation from a file written by
+        :meth:`save_checkpoint`.
+
+        Corruption (bad magic, truncation, CRC mismatch) and component
+        mismatches raise :class:`~repro.sim.snapshot.CheckpointError`
+        before any component state is modified.  Returns the restored
+        cycle count.
+        """
+        self.load_state_dict(read_checkpoint(path))
         return self.cycle
 
     def run_until(self, predicate, max_cycles=1_000_000):

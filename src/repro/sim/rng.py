@@ -33,6 +33,20 @@ class RandomStream:
         """Rewind the stream to its initial state."""
         self._rng = random.Random(self.seed)
 
+    def state_dict(self):
+        """Snapshot the stream (identity plus generator position)."""
+        return {
+            "seed": self.seed,
+            "purpose": self.purpose,
+            "random": self._rng.getstate(),
+        }
+
+    def load_state_dict(self, state):
+        """Restore a snapshot, resuming the stream mid-sequence."""
+        self.seed = state["seed"]
+        self.purpose = state["purpose"]
+        self._rng.setstate(state["random"])
+
     def randint(self, low, high):
         """Uniform integer in ``[low, high]`` inclusive."""
         return self._rng.randint(low, high)

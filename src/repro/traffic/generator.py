@@ -27,6 +27,10 @@ class TrafficGenerator(Component):
         self.messages_emitted = 0
         self.words_emitted = 0
 
+    # The interface is snapshotted by the bus it is wired to; subclasses
+    # extend these with their own RNG stream and pacing state.
+    state_attrs = ("messages_emitted", "words_emitted")
+
     def _emit(self, words, cycle):
         request = self.interface.submit(
             words, cycle, slave=self.slave, flow=self.flow
@@ -58,6 +62,8 @@ class SaturatingGenerator(TrafficGenerator):
         self.words = words
         self.depth = depth
         self._rng = RandomStream(seed, "saturating:" + name)
+
+    state_children = ("_rng",)
 
     def reset(self):
         super().reset()
@@ -92,6 +98,9 @@ class ClosedLoopGenerator(TrafficGenerator):
         self.mean_think = mean_think
         self._rng = RandomStream(seed, "closedloop:" + name)
         self._think = 0
+
+    state_attrs = ("_think",)
+    state_children = ("_rng",)
 
     def reset(self):
         super().reset()
@@ -130,6 +139,8 @@ class PoissonGenerator(TrafficGenerator):
         self.rate = rate
         self._rng = RandomStream(seed, "poisson:" + name)
 
+    state_children = ("_rng",)
+
     def reset(self):
         super().reset()
         self._rng.reset()
@@ -162,6 +173,8 @@ class PeriodicGenerator(TrafficGenerator):
         self.period = period
         self.phase = phase
         self._rng = RandomStream(seed, "periodic:" + name)
+
+    state_children = ("_rng",)
 
     def reset(self):
         super().reset()
@@ -211,6 +224,9 @@ class OnOffGenerator(TrafficGenerator):
         self._rng = RandomStream(seed, "onoff:" + name)
         self._on = start_on
         self._dwell = self._draw_dwell()
+
+    state_attrs = ("_on", "_dwell")
+    state_children = ("_rng",)
 
     def _draw_dwell(self):
         mean = self.mean_on if self._on else self.mean_off

@@ -74,6 +74,71 @@ def test_run_experiment_rejects_stray_options():
         run_experiment("figure8", fault_rates=(0.0, 0.1))
 
 
+def test_bad_scale_rejected_with_one_line_error(capsys):
+    assert main(["table1", "--scale", "-1"]) == 2
+    err = capsys.readouterr().err
+    assert "--scale" in err
+    assert "Traceback" not in err
+
+
+def test_bad_seed_rejected_with_one_line_error(capsys):
+    assert main(["table1", "--seed", "-3"]) == 2
+    err = capsys.readouterr().err
+    assert "--seed" in err
+
+
+def test_bad_jobs_and_supervision_flags_rejected(capsys):
+    assert main(["all", "--jobs", "0"]) == 2
+    assert "--jobs" in capsys.readouterr().err
+    assert main(["all", "--timeout", "0"]) == 2
+    assert "--timeout" in capsys.readouterr().err
+    assert main(["all", "--retries", "-1"]) == 2
+    assert "--retries" in capsys.readouterr().err
+    assert main(["all", "--checkpoint-every", "0"]) == 2
+    assert "--checkpoint-every" in capsys.readouterr().err
+
+
+def test_keyboard_interrupt_exits_130(monkeypatch, capsys):
+    def interrupted(**kwargs):
+        raise KeyboardInterrupt()
+
+    monkeypatch.setattr("repro.cli.run_all", interrupted)
+    assert main(["all"]) == 130
+    err = capsys.readouterr().err
+    assert "interrupted" in err
+    assert "Traceback" not in err
+
+
+def test_seedless_experiments_warn_on_scale_or_seed():
+    with pytest.warns(RuntimeWarning, match="deterministic"):
+        run_experiment("figure8", scale=0.5)
+    with pytest.warns(RuntimeWarning, match="deterministic"):
+        run_experiment("hardware", seed=9)
+
+
+def test_checkpointed_table1_resume_prints_skipped(tmp_path, capsys):
+    directory = str(tmp_path / "ck")
+    args = [
+        "table1",
+        "--scale", "0.01",
+        "--checkpoint-dir", directory,
+        "--checkpoint-every", "1000",
+    ]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args + ["--resume"]) == 0
+    captured = capsys.readouterr()
+    assert captured.out == first
+    assert "skipping stage" in captured.err
+
+
+def test_checkpoint_flags_on_unaware_experiment_note_and_run(capsys):
+    assert main(["figure8", "--checkpoint-every", "1000"]) == 0
+    captured = capsys.readouterr()
+    assert "does not support checkpointing" in captured.err
+    assert "winner" in captured.out
+
+
 def test_experiment_names_cover_all_paper_artifacts():
     names = experiment_names()
     for artifact in (

@@ -1,0 +1,226 @@
+"""Tests for the checkpoint container format and the snapshot protocol."""
+
+import struct
+
+import pytest
+
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+from repro.sim.snapshot import (
+    CHECKPOINT_MAGIC,
+    CheckpointError,
+    Snapshottable,
+    default_load_state_dict,
+    default_state_dict,
+    read_checkpoint,
+    write_checkpoint,
+)
+
+
+class Counter(Component):
+    state_attrs = ("value", "history")
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.value = 0
+        self.history = []
+
+    def reset(self):
+        self.value = 0
+        self.history = []
+
+    def tick(self, cycle):
+        self.value += 1
+        self.history.append(cycle)
+
+
+# -- container format -----------------------------------------------------
+
+
+def test_write_read_round_trip(tmp_path):
+    path = tmp_path / "x.ckpt"
+    payload = {"hello": [1, 2, 3], "nested": {"a": (4, 5)}}
+    write_checkpoint(str(path), payload)
+    assert read_checkpoint(str(path)) == payload
+
+
+def test_no_temp_file_left_behind(tmp_path):
+    path = tmp_path / "x.ckpt"
+    write_checkpoint(str(path), {"k": 1})
+    assert [p.name for p in tmp_path.iterdir()] == ["x.ckpt"]
+
+
+def test_missing_file_raises(tmp_path):
+    with pytest.raises(CheckpointError):
+        read_checkpoint(str(tmp_path / "nope.ckpt"))
+
+
+def test_bad_magic_raises(tmp_path):
+    path = tmp_path / "x.ckpt"
+    write_checkpoint(str(path), {"k": 1})
+    blob = path.read_bytes()
+    path.write_bytes(b"XXXXXXXX" + blob[8:])
+    with pytest.raises(CheckpointError, match="magic"):
+        read_checkpoint(str(path))
+
+
+def test_truncated_header_raises(tmp_path):
+    path = tmp_path / "x.ckpt"
+    path.write_bytes(CHECKPOINT_MAGIC[:4])
+    with pytest.raises(CheckpointError):
+        read_checkpoint(str(path))
+
+
+def test_truncated_payload_raises(tmp_path):
+    path = tmp_path / "x.ckpt"
+    write_checkpoint(str(path), {"k": list(range(100))})
+    blob = path.read_bytes()
+    path.write_bytes(blob[:-10])
+    with pytest.raises(CheckpointError):
+        read_checkpoint(str(path))
+
+
+def test_trailing_garbage_raises(tmp_path):
+    path = tmp_path / "x.ckpt"
+    write_checkpoint(str(path), {"k": 1})
+    path.write_bytes(path.read_bytes() + b"junk")
+    with pytest.raises(CheckpointError):
+        read_checkpoint(str(path))
+
+
+def test_flipped_payload_byte_fails_crc(tmp_path):
+    path = tmp_path / "x.ckpt"
+    write_checkpoint(str(path), {"k": list(range(100))})
+    blob = bytearray(path.read_bytes())
+    blob[-1] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    with pytest.raises(CheckpointError, match="CRC"):
+        read_checkpoint(str(path))
+
+
+def test_unsupported_version_raises(tmp_path):
+    path = tmp_path / "x.ckpt"
+    write_checkpoint(str(path), {"k": 1})
+    blob = bytearray(path.read_bytes())
+    struct.pack_into(">I", blob, 8, 999)
+    path.write_bytes(bytes(blob))
+    with pytest.raises(CheckpointError, match="version"):
+        read_checkpoint(str(path))
+
+
+# -- snapshot protocol ----------------------------------------------------
+
+
+def test_default_state_dict_shallow_copies_containers():
+    counter = Counter("c")
+    counter.history.append(7)
+    state = counter.state_dict()
+    counter.history.append(8)
+    assert state["history"] == [7]
+
+
+def test_default_load_rejects_unknown_and_missing_keys():
+    counter = Counter("c")
+    with pytest.raises(CheckpointError):
+        counter.load_state_dict({"value": 1})  # missing "history"
+    with pytest.raises(CheckpointError):
+        counter.load_state_dict(
+            {"value": 1, "history": [], "bogus": 2}
+        )
+
+
+def test_state_attrs_merge_across_inheritance():
+    class Derived(Counter):
+        state_attrs = ("extra",)
+
+        def __init__(self, name):
+            super().__init__(name)
+            self.extra = "x"
+
+    derived = Derived("d")
+    state = derived.state_dict()
+    assert set(state) == {"value", "history", "extra"}
+    derived.value, derived.extra = 9, "y"
+    derived.load_state_dict(state)
+    assert derived.value == 0 and derived.extra == "x"
+
+
+def test_children_without_hooks_are_stateless():
+    class Holder(Snapshottable):
+        state_children = ("child",)
+
+        def __init__(self, child):
+            self.child = child
+
+    holder = Holder(object())
+    state = default_state_dict(holder)
+    assert state["child"] is None
+    default_load_state_dict(holder, state)  # no-op, no error
+
+
+# -- simulator save/load --------------------------------------------------
+
+
+def test_simulator_checkpoint_round_trip(tmp_path):
+    path = str(tmp_path / "sim.ckpt")
+    sim = Simulator()
+    counter = sim.add(Counter("c"))
+    sim.run(5)
+    sim.save_checkpoint(path)
+    sim.run(5)
+    assert counter.value == 10
+
+    sim2 = Simulator()
+    counter2 = sim2.add(Counter("c"))
+    assert sim2.load_checkpoint(path) == 5
+    assert sim2.cycle == 5 and counter2.value == 5
+    sim2.run(5)
+    assert counter2.value == counter.value
+    assert counter2.history == counter.history
+
+
+def test_component_mismatch_leaves_simulator_untouched(tmp_path):
+    path = str(tmp_path / "sim.ckpt")
+    sim = Simulator()
+    sim.add(Counter("c"))
+    sim.run(5)
+    sim.save_checkpoint(path)
+
+    other = Simulator()
+    counter = other.add(Counter("different-name"))
+    other.run(2)
+    with pytest.raises(CheckpointError):
+        other.load_checkpoint(path)
+    assert other.cycle == 2 and counter.value == 2
+
+
+def test_corrupted_checkpoint_leaves_simulator_untouched(tmp_path):
+    path = tmp_path / "sim.ckpt"
+    sim = Simulator()
+    counter = sim.add(Counter("c"))
+    sim.run(5)
+    sim.save_checkpoint(str(path))
+    blob = bytearray(path.read_bytes())
+    blob[-3] ^= 0x55
+    path.write_bytes(bytes(blob))
+
+    sim.run(3)
+    with pytest.raises(CheckpointError):
+        sim.load_checkpoint(str(path))
+    assert sim.cycle == 8 and counter.value == 8
+
+
+def test_non_simulator_payload_rejected(tmp_path):
+    path = str(tmp_path / "x.ckpt")
+    write_checkpoint(path, {"kind": "something-else"})
+    sim = Simulator()
+    sim.add(Counter("c"))
+    with pytest.raises(CheckpointError):
+        sim.load_checkpoint(path)
+
+
+def test_atomic_overwrite_keeps_previous_on_success(tmp_path):
+    path = str(tmp_path / "x.ckpt")
+    write_checkpoint(path, {"generation": 1})
+    write_checkpoint(path, {"generation": 2})
+    assert read_checkpoint(path) == {"generation": 2}
