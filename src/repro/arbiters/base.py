@@ -21,6 +21,15 @@ class Arbiter(Snapshottable):
 
     name = "abstract"
 
+    #: Whether idle arbitration rounds (no pending request anywhere) can
+    #: be replayed arithmetically by :meth:`skip_idle` instead of one
+    #: :meth:`arbitrate` call per cycle.  Arbiters setting this to True
+    #: promise that ``skip_idle(k)`` leaves them in exactly the state
+    #: ``k`` consecutive idle ``arbitrate`` calls would; the bus's fast
+    #: path (see :meth:`repro.bus.bus.SharedBus.next_activity`) refuses
+    #: to skip over arbiters that keep the default False.
+    supports_idle_skip = False
+
     def __init__(self, num_masters):
         if num_masters < 1:
             raise ValueError("need at least one master")
@@ -28,6 +37,13 @@ class Arbiter(Snapshottable):
 
     def arbitrate(self, cycle, pending):
         raise NotImplementedError
+
+    def skip_idle(self, cycles):
+        """Fast-forward through ``cycles`` idle arbitration rounds.
+
+        Default no-op, correct for arbiters whose idle rounds leave no
+        trace; arbiters with clocked idle state (a rotating TDMA wheel,
+        a hopping token) override it."""
 
     def reset(self):
         """Return clocked arbiter state to power-on; default no-op."""

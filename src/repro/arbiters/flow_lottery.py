@@ -20,6 +20,10 @@ class FlowLotteryArbiter(Arbiter):
 
     name = "lottery-flow"
 
+    # An idle round offers the manager an all-idle flow vector, which it
+    # rejects before consuming randomness — no trace left.
+    supports_idle_skip = True
+
     state_children = ("manager", "usage")
 
     def __init__(self, num_masters, flows, default_tickets=1, lfsr_seed=1,

@@ -11,6 +11,11 @@ class _LotteryArbiter(Arbiter):
     state_attrs = ("last_outcome",)
     state_children = ("manager",)
 
+    # An idle round draws no lottery (the manager bails on an empty
+    # request map before touching counters or the random source); the
+    # only trace is last_outcome becoming None.
+    supports_idle_skip = True
+
     def __init__(self, manager):
         super().__init__(manager.num_masters)
         self.manager = manager
@@ -18,6 +23,9 @@ class _LotteryArbiter(Arbiter):
 
     def reset(self):
         self.manager.reset()
+        self.last_outcome = None
+
+    def skip_idle(self, cycles):
         self.last_outcome = None
 
     def arbitrate(self, cycle, pending):

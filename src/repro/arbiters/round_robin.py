@@ -14,6 +14,9 @@ class RoundRobinArbiter(Arbiter):
 
     name = "round-robin"
 
+    # Idle rounds scan, find nothing and leave the pointer untouched.
+    supports_idle_skip = True
+
     state_attrs = ("_last",)
 
     def __init__(self, num_masters):

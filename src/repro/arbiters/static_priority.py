@@ -19,6 +19,9 @@ class StaticPriorityArbiter(Arbiter):
 
     name = "static-priority"
 
+    # Stateless: idle rounds are pure no-ops.
+    supports_idle_skip = True
+
     def __init__(self, priorities):
         super().__init__(len(priorities))
         priorities = [int(p) for p in priorities]

@@ -93,6 +93,16 @@ class TdmaArbiter(Arbiter):
         self.level_two_grants = 0
         self.wasted_slots = 0
 
+    # Idle rounds rotate the wheel and waste the slot; "single" reclaim
+    # also advances the rr probe — all arithmetic, replayed by skip_idle.
+    supports_idle_skip = True
+
+    def skip_idle(self, cycles):
+        self._position = (self._position + cycles) % len(self.slots)
+        self.wasted_slots += cycles
+        if self.reclaim == "single":
+            self._rr = (self._rr + cycles) % self.num_masters
+
     def slot_counts(self):
         """Reserved slots per master."""
         counts = [0] * self.num_masters

@@ -21,6 +21,10 @@ class TokenRingArbiter(Arbiter):
 
     name = "token-ring"
 
+    # Each idle round hops the token one station; skip_idle replays the
+    # hops arithmetically.
+    supports_idle_skip = True
+
     state_attrs = ("_holder", "_consecutive", "token_passes")
 
     def __init__(self, num_masters, hold_limit=None):
@@ -40,6 +44,11 @@ class TokenRingArbiter(Arbiter):
     @property
     def holder(self):
         return self._holder
+
+    def skip_idle(self, cycles):
+        self._holder = (self._holder + cycles) % self.num_masters
+        self._consecutive = 0
+        self.token_passes += cycles
 
     def _pass_token(self):
         self._holder = (self._holder + 1) % self.num_masters

@@ -24,6 +24,9 @@ class WeightedRoundRobinArbiter(Arbiter):
 
     name = "weighted-rr"
 
+    # Idle rounds bail out before touching deficits or the pointer.
+    supports_idle_skip = True
+
     state_attrs = ("_deficits", "_current")
 
     def __init__(self, weights, quantum_scale=4):

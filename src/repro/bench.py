@@ -1,0 +1,289 @@
+"""Kernel performance benchmarks (``python -m repro.bench``).
+
+Times the paper's workloads under the dense reference kernel and the
+activity-driven fast path, verifies that both produce bit-identical
+results, and writes the measurements to ``benchmarks/perf/BENCH_kernel.json``.
+
+Scenarios:
+
+* ``table1_lowutil`` — the four Table 1 architectures under light
+  Poisson load (~1.5% offered utilisation).  The idle-heavy sweep the
+  fast path exists for; target is a >= 5x cycles/sec speedup.
+* ``table1_saturated`` — the same architectures with saturating
+  generators.  There is nothing to skip, so this guards the fast
+  path's overhead on busy systems (target: within 2% of dense).
+* ``figure8_lottery`` — the Figure 8 ticket assignment (1:2:3:4) on a
+  saturated lottery bus.
+* ``atm_switch`` — the Table 1 output-queued ATM switch.  Bernoulli
+  cell arrivals draw their RNG every cycle, so this runs dense-
+  equivalent by design and measures pure kernel overhead.
+
+Every scenario is run once per mode and fingerprinted: the metrics
+summary and the full kernel ``state_dict`` are pickled and compared
+byte-for-byte.  Any divergence fails the benchmark (exit status 1) —
+speed without equivalence is a bug, not a result.
+"""
+
+import argparse
+import json
+import os
+import pickle
+import platform
+import sys
+import time
+
+from repro.arbiters.registry import make_arbiter
+from repro.atm.switch import OutputQueuedSwitch
+from repro.bus.topology import build_single_bus_system
+from repro.experiments.table1 import ARCHITECTURES, TABLE1_WEIGHTS, table1_workload
+from repro.traffic.generator import PoissonGenerator, SaturatingGenerator
+from repro.traffic.message import FixedWords
+
+NUM_MASTERS = 4
+DEFAULT_OUTPUT = os.path.join("benchmarks", "perf", "BENCH_kernel.json")
+
+
+def _fingerprint(simulator, summary):
+    return pickle.dumps(
+        (summary, simulator.state_dict()), protocol=pickle.HIGHEST_PROTOCOL
+    )
+
+
+def _lowutil_factory(index, master):
+    return PoissonGenerator(
+        "gen{}".format(index),
+        master,
+        FixedWords(4),
+        0.001,
+        seed=17 + index,
+    )
+
+
+def _saturating_factory(index, master):
+    return SaturatingGenerator(
+        "gen{}".format(index), master, FixedWords(8), seed=7 + index
+    )
+
+
+def _run_architectures(mode, cycles, generator_factory, architectures):
+    """One testbed run per architecture; returns (fingerprints, counters)."""
+    blobs = []
+    ticked = skipped = 0
+    for label, arb_name, kwargs in architectures:
+        arbiter = make_arbiter(
+            arb_name, NUM_MASTERS, list(TABLE1_WEIGHTS), **kwargs
+        )
+        system, bus = build_single_bus_system(
+            NUM_MASTERS, arbiter, generator_factory=generator_factory
+        )
+        system.simulator.mode = mode
+        system.run(cycles)
+        blobs.append(
+            (label, _fingerprint(system.simulator, bus.metrics.summary()))
+        )
+        ticked += system.simulator.ticked_cycles
+        skipped += system.simulator.skipped_cycles
+    return pickle.dumps(blobs), ticked, skipped
+
+
+def _run_table1_lowutil(mode, cycles):
+    return _run_architectures(mode, cycles, _lowutil_factory, ARCHITECTURES)
+
+
+def _run_table1_saturated(mode, cycles):
+    return _run_architectures(mode, cycles, _saturating_factory, ARCHITECTURES)
+
+
+def _run_figure8(mode, cycles):
+    arbiter = make_arbiter("lottery-static", NUM_MASTERS, [1, 2, 3, 4])
+    system, bus = build_single_bus_system(
+        NUM_MASTERS, arbiter, generator_factory=_saturating_factory
+    )
+    system.simulator.mode = mode
+    system.run(cycles)
+    sim = system.simulator
+    blob = _fingerprint(sim, bus.metrics.summary())
+    return blob, sim.ticked_cycles, sim.skipped_cycles
+
+
+def _run_atm_switch(mode, cycles):
+    arbiter = make_arbiter(
+        "lottery-static", NUM_MASTERS, list(TABLE1_WEIGHTS)
+    )
+    switch = OutputQueuedSwitch(arbiter, table1_workload(), seed=1)
+    switch.simulator.mode = mode
+    switch.run(cycles)
+    sim = switch.simulator
+    blob = _fingerprint(sim, switch.bus.metrics.summary())
+    return blob, sim.ticked_cycles, sim.skipped_cycles
+
+
+# (name, runner, systems, full cycles, quick cycles, description)
+SCENARIOS = (
+    (
+        "table1_lowutil",
+        _run_table1_lowutil,
+        len(ARCHITECTURES),
+        150000,
+        20000,
+        "Table 1 architectures, ~1.5% utilisation Poisson load",
+    ),
+    (
+        "table1_saturated",
+        _run_table1_saturated,
+        len(ARCHITECTURES),
+        40000,
+        8000,
+        "Table 1 architectures, saturating generators",
+    ),
+    (
+        "figure8_lottery",
+        _run_figure8,
+        1,
+        120000,
+        24000,
+        "Figure 8 ticket ratios (1:2:3:4), saturated lottery bus",
+    ),
+    (
+        "atm_switch",
+        _run_atm_switch,
+        1,
+        30000,
+        6000,
+        "Table 1 output-queued ATM switch (dense-equivalent workload)",
+    ),
+)
+
+
+def _time_once(runner, mode, cycles, best):
+    """One timed run folded into ``best``; runs are deterministic, so
+    every repeat must reproduce the same fingerprint."""
+    start = time.perf_counter()
+    blob, ticked, skipped = runner(mode, cycles)
+    elapsed = time.perf_counter() - start
+    if best["blob"] is not None and blob != best["blob"]:
+        raise AssertionError(
+            "{} mode is non-deterministic across repeats".format(mode)
+        )
+    best["blob"] = blob
+    best["ticked"] = ticked
+    best["skipped"] = skipped
+    if best["wall"] is None or elapsed < best["wall"]:
+        best["wall"] = elapsed
+    return best
+
+
+def run_benchmarks(quick=False, repeats=3):
+    """Run every scenario in both modes; returns the results document."""
+    scenarios = []
+    all_match = True
+    for name, runner, systems, full_cycles, quick_cycles, description in (
+        SCENARIOS
+    ):
+        cycles = quick_cycles if quick else full_cycles
+        total_cycles = cycles * systems
+        # Repeats are interleaved dense/fast so slow drift in machine
+        # load biases both modes equally instead of whichever ran last.
+        dense = {"blob": None, "ticked": None, "skipped": None, "wall": None}
+        fast = {"blob": None, "ticked": None, "skipped": None, "wall": None}
+        for _ in range(repeats):
+            _time_once(runner, "dense", cycles, dense)
+            _time_once(runner, "fast", cycles, fast)
+        match = dense["blob"] == fast["blob"]
+        all_match = all_match and match
+        entry = {
+            "name": name,
+            "description": description,
+            "systems": systems,
+            "cycles_per_system": cycles,
+            "dense": {
+                "wall_seconds": round(dense["wall"], 4),
+                "cycles_per_second": round(total_cycles / dense["wall"], 1),
+            },
+            "fast": {
+                "wall_seconds": round(fast["wall"], 4),
+                "cycles_per_second": round(total_cycles / fast["wall"], 1),
+                "skipped_fraction": round(
+                    fast["skipped"] / float(total_cycles), 4
+                ),
+            },
+            "speedup": round(dense["wall"] / fast["wall"], 2),
+            "identical": match,
+        }
+        scenarios.append(entry)
+    return {
+        "benchmark": "repro.bench",
+        "quick": quick,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "scenarios": scenarios,
+        "all_identical": all_match,
+    }
+
+
+def _print_table(results):
+    header = "{:<18} {:>10} {:>12} {:>12} {:>8} {:>8} {:>6}".format(
+        "scenario", "cycles", "dense c/s", "fast c/s", "skip%", "speedup",
+        "match",
+    )
+    print(header)
+    print("-" * len(header))
+    for entry in results["scenarios"]:
+        print(
+            "{:<18} {:>10} {:>12} {:>12} {:>7.1f}% {:>7.2f}x {:>6}".format(
+                entry["name"],
+                entry["cycles_per_system"] * entry["systems"],
+                entry["dense"]["cycles_per_second"],
+                entry["fast"]["cycles_per_second"],
+                entry["fast"]["skipped_fraction"] * 100.0,
+                entry["speedup"],
+                "yes" if entry["identical"] else "NO",
+            )
+        )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark the fast-path kernel against the dense "
+        "reference and verify bit-identical results.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shortened cycle counts for CI smoke runs",
+    )
+    parser.add_argument(
+        "--output",
+        default=DEFAULT_OUTPUT,
+        help="where to write the JSON report (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed repeats per mode; best wall time is kept "
+        "(default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(quick=args.quick, repeats=args.repeats)
+    _print_table(results)
+
+    out_dir = os.path.dirname(args.output)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print("\nwrote {}".format(args.output))
+
+    if not results["all_identical"]:
+        print("FAIL: fast path diverged from the dense reference",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -88,6 +88,13 @@ class Bridge(Slave):
             cycle + self.forwarding_delay, request.words, remote_slave, payload
         )
 
+    def next_activity(self, cycle):
+        # The FIFO is ordered by ready cycle: nothing forwards before its
+        # head is due, and ticks in between are pure no-ops.
+        if self._inflight:
+            return max(cycle, self._inflight[0][0])
+        return None
+
     def tick(self, cycle):
         while self._inflight and self._inflight[0][0] <= cycle:
             _, _, words, remote_slave, payload = self._inflight.pop(0)

@@ -254,6 +254,41 @@ class SharedBus(Component):
             pending.append(words)
         return pending
 
+    def next_activity(self, cycle):
+        """Wakeup contract: the bus is quiescent only when nothing is in
+        flight, no stall is draining, the arbiter can replay idle rounds
+        arithmetically (``supports_idle_skip``) and every master is
+        quiet.  A master in retry backoff bounds the jump to its release
+        cycle rather than blocking the skip."""
+        if self._burst is not None or self._stall > 0:
+            return cycle
+        if not getattr(self.arbiter, "supports_idle_skip", False):
+            return cycle
+        horizon = None
+        for master in self.masters:
+            if hasattr(master, "next_activity"):
+                nxt = master.next_activity(cycle)
+            elif master.pending_words:  # duck-typed master
+                nxt = cycle
+            else:
+                nxt = None
+            if nxt is None:
+                continue
+            if nxt <= cycle:
+                return cycle
+            if horizon is None or nxt < horizon:
+                horizon = nxt
+        return horizon
+
+    def skip_quiet(self, cycle, span):
+        """Replay ``span`` idle bus cycles: the metrics see the cycles as
+        idle and the arbiter fast-forwards its clocked idle behaviour
+        (TDMA wheel, token rotation).  Master ``service`` calls and
+        ``filter_grant(None)`` are no-ops on idle cycles, so nothing else
+        needs replaying."""
+        self.metrics.observe_idle_gap(span)
+        self.arbiter.skip_idle(span)
+
     def tick(self, cycle):
         self.metrics.observe_cycle()
         for master in self._serviced_masters:

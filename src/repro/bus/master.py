@@ -156,6 +156,20 @@ class MasterInterface(Component):
             except ValueError:
                 pass
 
+    def next_activity(self, cycle):
+        """Wakeup contract (consulted by the owning bus, and by the
+        kernel when an interface is registered directly).
+
+        A queued request keeps the master (and therefore the bus) dense;
+        with only backoff retries pending, the next observable work is
+        the earliest release cycle — :meth:`service` calls in between
+        are pure no-ops."""
+        if self._queue:
+            return cycle
+        if self._retry_pending:
+            return max(cycle, min(entry[0] for entry in self._retry_pending))
+        return None
+
     # -- error-response path (see repro.faults) --------------------------
 
     def _rng(self):

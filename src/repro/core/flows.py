@@ -61,12 +61,19 @@ class FlowLotteryManager(Snapshottable):
     state_attrs = ("lotteries_held",)
     state_children = ("random_source",)
 
+    # Flow vectors recur heavily (the same few masters contend with the
+    # same head flows), and the ticket table is immutable, so the prefix
+    # sums per distinct vector are cached.  Bounded so adversarial label
+    # churn cannot grow it without limit.
+    _CACHE_LIMIT = 1024
+
     def __init__(self, table, random_source=None, lfsr_seed=1):
         self.table = table
         if random_source is None:
             random_source = LFSR(16, seed=lfsr_seed)
         self.random_source = random_source
         self.lotteries_held = 0
+        self._sums_cache = {}
 
     def reset(self):
         if hasattr(self.random_source, "reset"):
@@ -82,11 +89,16 @@ class FlowLotteryManager(Snapshottable):
             as the empty string so it is distinguishable from idle.)
         :returns: winning master index, or ``None`` with no requests.
         """
-        masked = [
-            0 if flow is None else self.table.tickets_for(flow or None)
-            for flow in flows
-        ]
-        sums = prefix_sums(masked)
+        key = tuple(flows)
+        sums = self._sums_cache.get(key)
+        if sums is None:
+            masked = [
+                0 if flow is None else self.table.tickets_for(flow or None)
+                for flow in flows
+            ]
+            sums = prefix_sums(masked)
+            if len(self._sums_cache) < self._CACHE_LIMIT:
+                self._sums_cache[key] = sums
         total = sums[-1] if sums else 0
         if total == 0:
             return None

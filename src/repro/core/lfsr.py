@@ -54,6 +54,16 @@ MAXIMAL_TAPS = {
 
 from repro.sim.snapshot import Snapshottable
 
+if hasattr(int, "bit_count"):  # Python >= 3.10
+
+    def _parity(value):
+        return value.bit_count() & 1
+
+else:
+
+    def _parity(value):
+        return bin(value).count("1") & 1
+
 
 class LFSR(Snapshottable):
     """A Fibonacci LFSR of the given bit width.
@@ -95,6 +105,7 @@ class LFSR(Snapshottable):
         self.steps_per_draw = steps_per_draw
         self.seed = seed
         self.state = seed
+        self._jump_masks = self._compute_jump_masks()
 
     # The register's runtime state is exactly its current word (the seed
     # rides along so a restored LFSR still resets correctly).
@@ -111,11 +122,33 @@ class LFSR(Snapshottable):
         self.state = ((self.state << 1) | feedback) & self._mask
         return self.state
 
-    def sample(self):
-        """Clock ``steps_per_draw`` times and return the new state."""
+    def _compute_jump_masks(self):
+        # The register update is linear over GF(2), so ``steps_per_draw``
+        # clocks collapse into one precomputed linear map: output bit i
+        # is the XOR (parity) of the input bits selected by mask i.
+        # Iterating the single-step symbolic update builds the masks:
+        # after a clock, bit 0 is the XOR of the tap masks and bit i
+        # inherits bit i-1's mask.
+        masks = [1 << i for i in range(self.width)]
         for _ in range(self.steps_per_draw):
-            self.step()
-        return self.state
+            feedback = 0
+            for tap in self.taps:
+                feedback ^= masks[tap - 1]
+            masks = [feedback] + masks[:-1]
+        return tuple(masks)
+
+    def sample(self):
+        """Advance ``steps_per_draw`` clocks in one jump; returns the new
+        state — bit-identical to that many :meth:`step` calls."""
+        state = self.state
+        result = 0
+        bit = 1
+        for mask in self._jump_masks:
+            if _parity(state & mask):
+                result |= bit
+            bit <<= 1
+        self.state = result
+        return result
 
     def draw(self):
         """Sample a fresh word; value in ``[0, 2**width - 1)``."""

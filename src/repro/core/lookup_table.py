@@ -47,6 +47,12 @@ class LotteryLookupTable:
         """The stored partial sums for this request map."""
         return self._rows[request_map_to_index(request_map)]
 
+    def partial_sums_at(self, index):
+        """The stored partial sums for a pre-packed request-map index —
+        the hot-path variant of :meth:`partial_sums` for callers that
+        already hold the packed map."""
+        return self._rows[index]
+
     def total_for(self, request_map):
         """Total contending tickets for this request map."""
         return self._rows[request_map_to_index(request_map)][-1]

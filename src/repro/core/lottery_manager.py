@@ -31,7 +31,7 @@ The hardware has two realizable behaviours, both modelled here:
 
 from repro.core.adder_tree import AdderTree
 from repro.core.lfsr import LFSR
-from repro.core.lookup_table import LotteryLookupTable
+from repro.core.lookup_table import LotteryLookupTable, request_map_to_index
 from repro.core.scaling import is_power_of_two, next_power_of_two, scale_to_power_of_two
 from repro.core.tickets import TicketAssignment
 from repro.sim.snapshot import Snapshottable
@@ -167,7 +167,9 @@ class StaticLotteryManager(Snapshottable):
 
     def draw(self, request_map):
         """Hold one lottery; returns a LotteryOutcome or None if no requests."""
-        partial_sums = self.table.partial_sums(request_map)
+        partial_sums = self.table.partial_sums_at(
+            request_map_to_index(request_map)
+        )
         total = partial_sums[-1]
         if total == 0:
             return None
@@ -215,6 +217,9 @@ class DynamicLotteryManager(Snapshottable):
         self.max_ticket = (1 << ticket_bits) - 1
         self._tickets = [self._clamp(t) for t in initial.tickets]
         self.adder_tree = AdderTree(len(self._tickets), ticket_bits)
+        # Partial sums per packed request map, valid for the current
+        # ticket table; rebuilt lazily, dropped on any ticket change.
+        self._sums_cache = {}
         if random_source is None:
             random_source = LFSR(16, seed=lfsr_seed)
         self.random_source = random_source
@@ -264,7 +269,10 @@ class DynamicLotteryManager(Snapshottable):
         if not self.ticket_channel_up:
             self.dropped_updates += 1
             return
-        self._tickets[master] = self._clamp(count)
+        count = self._clamp(count)
+        if count != self._tickets[master]:
+            self._tickets[master] = count
+            self._sums_cache.clear()
         self.ticket_updates += 1
 
     def disable_ticket_channel(self):
@@ -286,6 +294,7 @@ class DynamicLotteryManager(Snapshottable):
 
     def reset(self):
         self._tickets = list(self._initial)
+        self._sums_cache.clear()
         if hasattr(self.random_source, "reset"):
             self.random_source.reset()
         self.lotteries_held = 0
@@ -294,11 +303,23 @@ class DynamicLotteryManager(Snapshottable):
         self.degradation_events = 0
         self.dropped_updates = 0
 
+    def load_state_dict(self, state):
+        super().load_state_dict(state)
+        # The restored ticket table may differ from the live one the
+        # cache was built against.
+        self._sums_cache.clear()
+
     def draw(self, request_map):
         """Hold one lottery; returns a LotteryOutcome or None if no requests."""
         if len(request_map) != len(self._tickets):
             raise ValueError("request map size mismatch")
-        partial_sums = self.adder_tree.compute(request_map, self._tickets)
+        key = request_map_to_index(request_map)
+        partial_sums = self._sums_cache.get(key)
+        if partial_sums is None:
+            partial_sums = tuple(
+                self.adder_tree.compute(request_map, self._tickets)
+            )
+            self._sums_cache[key] = partial_sums
         total = partial_sums[-1]
         if total == 0:
             return None

@@ -202,6 +202,16 @@ class FaultInjector(Component):
                 self.stats.record_degradation()
                 bus.metrics.faults.record_degradation()
 
+    def next_activity(self, cycle):
+        # Window-fault scheduling (stuck LFSRs, ticket outages) draws the
+        # RNG every tick, so those schedules force dense ticking.  The
+        # pull-side hooks (word/grant/stall/bridge faults) fire only
+        # during transfers, when the bus keeps the kernel dense anyway,
+        # and consume no RNG on idle cycles — skip-compatible.
+        if self._sources or self._managers:
+            return cycle
+        return None
+
     def reset(self):
         from repro.metrics.collector import FaultStats
 

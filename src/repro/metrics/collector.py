@@ -186,6 +186,13 @@ class MetricsCollector(Snapshottable):
     def observe_cycle(self):
         self.cycles += 1
 
+    def observe_idle_gap(self, cycles):
+        """Account ``cycles`` consecutive idle bus cycles in one step —
+        the fast path's replay of that many ``observe_cycle`` +
+        ``record_idle`` pairs."""
+        self.cycles += cycles
+        self.idle_cycles += cycles
+
     def record_idle(self):
         self.idle_cycles += 1
 

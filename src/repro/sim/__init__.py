@@ -8,7 +8,7 @@ reproducible from its seed.
 """
 
 from repro.sim.component import Component
-from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.kernel import KernelDivergenceError, SimulationError, Simulator
 from repro.sim.rng import RandomStream
 from repro.sim.snapshot import (
     CheckpointError,
@@ -19,6 +19,7 @@ from repro.sim.snapshot import (
 
 __all__ = [
     "Component",
+    "KernelDivergenceError",
     "SimulationError",
     "Simulator",
     "RandomStream",

@@ -18,16 +18,67 @@ class Component(Snapshottable):
     / ``state_children`` and the inherited :meth:`state_dict` /
     :meth:`load_state_dict` hooks snapshot and restore it, which is what
     :meth:`repro.sim.kernel.Simulator.save_checkpoint` aggregates.
+
+    **The wakeup contract.**  The kernel's activity-driven fast path
+    (``Simulator(mode="fast")``, the default) asks each component when it
+    can next do observable work via :meth:`next_activity` and, when every
+    component agrees the stretch up to some cycle is quiescent, replays
+    the whole stretch in one jump through :meth:`skip_quiet` instead of
+    ticking through it.  The default implementation answers "this very
+    cycle", so a component that does not opt in is simply ticked densely
+    and can never be skipped past — correctness never depends on a
+    component implementing the contract.  Components that do opt in must
+    guarantee that for every cycle in ``[cycle, next_activity(cycle))``
+    their :meth:`tick` would have been a pure no-op except for the state
+    replayed by :meth:`skip_quiet`.
     """
 
     def __init__(self, name):
         self.name = name
+        self._wake_pending = False
 
     def tick(self, cycle):
         """Advance the component by one clock cycle.
 
         :param cycle: the current cycle number, starting at 0.
         """
+
+    def next_activity(self, cycle):
+        """The next cycle (``>= cycle``) at which this component may do
+        observable work, given no external stimulus in between.
+
+        Returning ``cycle`` (the default) means "tick me this cycle" and
+        keeps the component on the dense path.  Returning a later cycle
+        declares every cycle before it quiescent; returning ``None``
+        declares the component idle indefinitely (it will only run again
+        when some other component's activity makes the kernel tick, or
+        after an explicit :meth:`wake`).
+        """
+        return cycle
+
+    def skip_quiet(self, cycle, span):
+        """Replay ``span`` quiescent cycles ``[cycle, cycle + span)`` in
+        one step.
+
+        Called by the fast path instead of ``span`` individual
+        :meth:`tick` calls, and only when every registered component
+        reported (via :meth:`next_activity`) that the stretch is
+        quiescent.  Implementations must leave the component in exactly
+        the state ``span`` dense ticks would have produced — e.g. a
+        countdown decrements by ``span``, an idle bus accounts ``span``
+        idle cycles.  The default does nothing, matching components
+        whose quiescent ticks are pure no-ops.
+        """
+
+    def wake(self):
+        """Request a tick at the next cycle boundary.
+
+        For externally triggered components: marks the component so the
+        fast path will not skip past the next cycle.  The flag is
+        consumed by the kernel; calling it outside a fast-mode run is
+        harmless.
+        """
+        self._wake_pending = True
 
     def reset(self):
         """Return the component to its power-on state.

@@ -73,6 +73,13 @@ class SaturatingGenerator(TrafficGenerator):
         while self.interface.queue_depth < self.depth:
             self._emit(self.words.sample(self._rng), cycle)
 
+    def next_activity(self, cycle):
+        # Backlogged up to depth: nothing to do until the bus drains a
+        # transaction, which only happens while the bus itself is active.
+        if self.interface.queue_depth < self.depth:
+            return cycle
+        return None
+
 
 class ClosedLoopGenerator(TrafficGenerator):
     """A blocking component: request, wait for completion, think, repeat.
@@ -122,6 +129,19 @@ class ClosedLoopGenerator(TrafficGenerator):
         if self.mean_think > 0:
             self._think = self._rng.geometric(1.0 / self.mean_think)
 
+    def next_activity(self, cycle):
+        if self.interface.queue_depth > 0:
+            # Blocked on the bus; it will keep the kernel ticking (or,
+            # during a retry backoff, bound the jump) until completion.
+            return None
+        # Thinking: the only per-cycle work is the countdown, replayed
+        # arithmetically by skip_quiet; the emit lands `_think` cycles out.
+        return cycle + self._think
+
+    def skip_quiet(self, cycle, span):
+        if self.interface.queue_depth == 0 and self._think > 0:
+            self._think -= span
+
 
 class PoissonGenerator(TrafficGenerator):
     """Memoryless arrivals: each cycle a message arrives w.p. ``rate``.
@@ -138,20 +158,40 @@ class PoissonGenerator(TrafficGenerator):
         self.words = words
         self.rate = rate
         self._rng = RandomStream(seed, "poisson:" + name)
+        self._next_arrival = None
 
+    state_attrs = ("_next_arrival",)
     state_children = ("_rng",)
 
     def reset(self):
         super().reset()
         self._rng.reset()
+        self._next_arrival = None
 
     def offered_load(self):
         """Expected words per cycle this source injects."""
         return self.rate * self.words.mean()
 
+    def _arrival_cycle(self, cycle):
+        # Pre-draw the arrival by running the identical per-cycle
+        # Bernoulli trials dense ticking would: one draw per simulated
+        # cycle, failure after failure until the hit.  The RNG stream
+        # therefore stays bit-identical to cycle-by-cycle evaluation and
+        # checkpoints agree regardless of simulator mode.
+        if self._next_arrival is None:
+            gap = 0
+            while self._rng.random() >= self.rate:
+                gap += 1
+            self._next_arrival = cycle + gap
+        return self._next_arrival
+
     def tick(self, cycle):
-        if self._rng.random() < self.rate:
+        if self._arrival_cycle(cycle) <= cycle:
             self._emit(self.words.sample(self._rng), cycle)
+            self._next_arrival = None
+
+    def next_activity(self, cycle):
+        return self._arrival_cycle(cycle)
 
 
 class PeriodicGenerator(TrafficGenerator):
@@ -186,6 +226,15 @@ class PeriodicGenerator(TrafficGenerator):
     def tick(self, cycle):
         if cycle >= self.phase and (cycle - self.phase) % self.period == 0:
             self._emit(self.words.sample(self._rng), cycle)
+
+    def next_activity(self, cycle):
+        # Off-beat ticks are pure no-ops, so the schedule is arithmetic.
+        if cycle <= self.phase:
+            return self.phase
+        offset = (cycle - self.phase) % self.period
+        if offset == 0:
+            return cycle
+        return cycle + self.period - offset
 
 
 class OnOffGenerator(TrafficGenerator):
@@ -249,3 +298,15 @@ class OnOffGenerator(TrafficGenerator):
         if self._dwell <= 0:
             self._on = not self._on
             self._dwell = self._draw_dwell()
+
+    def next_activity(self, cycle):
+        if self._on:
+            # ON state draws the arrival RNG every cycle: stay dense.
+            return cycle
+        # OFF ticks only count the dwell down; the tick that reaches zero
+        # toggles state and draws a fresh dwell, so it must run densely.
+        return cycle + self._dwell - 1
+
+    def skip_quiet(self, cycle, span):
+        if not self._on:
+            self._dwell -= span

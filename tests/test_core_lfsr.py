@@ -91,3 +91,27 @@ def test_all_tap_tables_are_maximal_width():
 def test_draw_below_rejects_bad_bound():
     with pytest.raises(ValueError):
         LFSR(8).draw_below(0)
+
+
+@pytest.mark.parametrize("width", sorted(MAXIMAL_TAPS))
+def test_sample_jump_matches_sequential_steps(width):
+    # sample() applies a precomputed GF(2) jump map; it must be
+    # bit-identical to clocking the register steps_per_draw times.
+    jumped = LFSR(width, seed=1)
+    stepped = LFSR(width, seed=1)
+    for _ in range(50):
+        expected = None
+        for _ in range(stepped.steps_per_draw):
+            expected = stepped.step()
+        assert jumped.sample() == expected
+    assert jumped.state == stepped.state
+
+
+def test_sample_jump_matches_steps_with_custom_taps_and_stride():
+    kwargs = {"width": 8, "seed": 77, "taps": (8, 6, 5, 4), "steps_per_draw": 5}
+    jumped = LFSR(**kwargs)
+    stepped = LFSR(**kwargs)
+    for _ in range(200):
+        for _ in range(5):
+            stepped.step()
+        assert jumped.sample() == stepped.state

@@ -159,3 +159,34 @@ def test_outcome_repr_and_granted():
     outcome = manager.draw([True, True])
     assert outcome.granted
     assert "LotteryOutcome" in repr(outcome)
+
+
+def test_dynamic_sums_cache_tracks_ticket_updates():
+    manager = DynamicLotteryManager([1, 2, 3], random_source=ScriptedSource([0]))
+    before = manager.draw([True, True, True])
+    assert before.partial_sums == (1, 3, 6)
+    # A cached map must not survive a ticket change.
+    manager.set_tickets(0, 5)
+    after = manager.draw([True, True, True])
+    assert after.partial_sums == (5, 7, 10)
+    # Re-setting the same value keeps the (now valid) cache coherent.
+    manager.set_tickets(0, 5)
+    assert manager.draw([True, True, True]).partial_sums == (5, 7, 10)
+
+
+def test_dynamic_sums_cache_ignores_dropped_updates():
+    manager = DynamicLotteryManager([1, 2, 3], random_source=ScriptedSource([0]))
+    assert manager.draw([True, True, True]).partial_sums == (1, 3, 6)
+    manager.disable_ticket_channel()
+    manager.set_tickets(0, 5)  # dropped: channel is down
+    assert manager.dropped_updates == 1
+    assert manager.draw([True, True, True]).partial_sums == (1, 3, 6)
+
+
+def test_dynamic_sums_cache_cleared_on_restore():
+    manager = DynamicLotteryManager([1, 2, 3], random_source=ScriptedSource([0]))
+    snapshot = manager.state_dict()
+    manager.set_tickets(0, 7)
+    manager.draw([True, False, True])
+    manager.load_state_dict(snapshot)
+    assert manager.draw([True, False, True]).partial_sums == (1, 1, 4)

@@ -1,0 +1,95 @@
+"""Registration-error coverage for the simulation kernel.
+
+One module covering every way :meth:`Simulator.add` can refuse a
+component: wrong type, duplicate name, and registration attempted while
+the simulation is running.
+"""
+
+import pytest
+
+from repro.sim import Component, SimulationError, Simulator
+
+
+class Counter(Component):
+    def __init__(self, name="counter"):
+        super().__init__(name)
+        self.ticks = 0
+
+    def tick(self, cycle):
+        self.ticks += 1
+
+
+class MidRunRegistrar(Component):
+    """Misbehaving component that tries to register a peer from tick."""
+
+    def __init__(self, name, simulator):
+        super().__init__(name)
+        self.simulator = simulator
+
+    def tick(self, cycle):
+        self.simulator.add(Counter("late-arrival"))
+
+
+@pytest.mark.parametrize("bogus", [object(), None, 42, "component"])
+def test_non_component_rejected(bogus):
+    sim = Simulator()
+    with pytest.raises(SimulationError, match="expected a Component"):
+        sim.add(bogus)
+
+
+def test_duplicate_name_rejected():
+    sim = Simulator()
+    sim.add(Counter("a"))
+    with pytest.raises(SimulationError, match="duplicate component name"):
+        sim.add(Counter("a"))
+
+
+def test_duplicate_rejection_leaves_registry_intact():
+    sim = Simulator()
+    first = sim.add(Counter("a"))
+    with pytest.raises(SimulationError):
+        sim.add(Counter("a"))
+    assert sim.components == (first,)
+    sim.run(3)
+    assert first.ticks == 3
+
+
+@pytest.mark.parametrize("mode", ["fast", "dense", "strict"])
+def test_add_while_running_rejected(mode):
+    sim = Simulator(mode=mode)
+    sim.add(MidRunRegistrar("registrar", sim))
+    with pytest.raises(SimulationError, match="while the simulation is running"):
+        sim.run(1)
+
+
+def test_add_while_running_does_not_register():
+    sim = Simulator()
+    registrar = sim.add(MidRunRegistrar("registrar", sim))
+    with pytest.raises(SimulationError):
+        sim.run(1)
+    assert sim.components == (registrar,)
+    # The failed run still released the re-entrancy latch.
+    ok = sim.add(Counter("post-run"))
+    assert ok in sim.components
+
+
+def test_add_while_run_until_rejected():
+    sim = Simulator()
+    sim.add(MidRunRegistrar("registrar", sim))
+    with pytest.raises(SimulationError, match="while the simulation is running"):
+        sim.run_until(lambda cycle: cycle >= 5)
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(SimulationError, match="unknown simulator mode"):
+        Simulator(mode="turbo")
+
+
+def test_mode_change_applies_between_runs():
+    sim = Simulator(mode="dense")
+    sim.add(Counter())
+    sim.run(2)
+    sim.mode = "fast"
+    assert sim.mode == "fast"
+    sim.run(2)
+    assert sim.cycle == 4
