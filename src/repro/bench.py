@@ -29,7 +29,9 @@ import json
 import os
 import pickle
 import platform
+import shutil
 import sys
+import tempfile
 import time
 
 from repro.arbiters.registry import make_arbiter
@@ -41,6 +43,9 @@ from repro.traffic.message import FixedWords
 
 NUM_MASTERS = 4
 DEFAULT_OUTPUT = os.path.join("benchmarks", "perf", "BENCH_kernel.json")
+DEFAULT_CAMPAIGN_OUTPUT = os.path.join(
+    "benchmarks", "perf", "BENCH_campaign.json"
+)
 
 
 def _fingerprint(simulator, summary):
@@ -221,6 +226,154 @@ def run_benchmarks(quick=False, repeats=3):
     }
 
 
+# -- campaign benchmark ----------------------------------------------------
+#
+# Times the same Table 1 point campaign three ways: serial in-process,
+# fanned over the persistent worker pool, and replayed against a warm
+# content-addressed result cache.  All three must produce identical
+# campaign results; the JSON report records the walls, speedups and
+# cache accounting.
+
+
+def _campaign_calls(quick):
+    """The benchmark campaign: Table 1 architectures x two seeds."""
+    cycles = 6_000 if quick else 60_000
+    calls = []
+    for seed in (1, 2):
+        for label, arb_name, kwargs in ARCHITECTURES:
+            calls.append(
+                ("{} seed{}".format(label, seed), arb_name, kwargs, cycles,
+                 seed)
+            )
+    return calls
+
+
+def _campaign_point_key(call):
+    from repro.experiments.cache import cache_key
+
+    label, arb_name, kwargs, cycles, seed = call
+    return cache_key(
+        "table1-point",
+        {"label": label, "arbiter": arb_name, "kwargs": kwargs,
+         "cycles": cycles},
+        seed,
+    )
+
+
+def _run_campaign_cached(calls, cache):
+    from repro.experiments.table1 import run_table1_point
+
+    rows = []
+    for call in calls:
+        key = _campaign_point_key(call)
+        record = cache.get(key)
+        if record is None:
+            row = run_table1_point(*call)
+            cache.put(key, {"row": row})
+        else:
+            row = record["row"]
+        rows.append(row)
+    return rows
+
+
+def _canonical_rows(rows):
+    """Rows normalized through JSON so cached (list) and fresh (tuple)
+    results compare by value, not container type."""
+    return json.loads(json.dumps(rows))
+
+
+def run_campaign_benchmark(quick=False, jobs=4, cache_dir=None):
+    """Serial vs pooled vs warm-cache campaign; returns the results doc."""
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.supervisor import default_jobs, pool_map
+    from repro.experiments.table1 import run_table1_point
+
+    calls = _campaign_calls(quick)
+
+    start = time.perf_counter()
+    serial_rows = [run_table1_point(*call) for call in calls]
+    serial_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pooled_rows = pool_map(run_table1_point, calls, jobs=jobs)
+    pooled_wall = time.perf_counter() - start
+    pooled_identical = serial_rows == pooled_rows
+
+    own_cache_dir = cache_dir is None
+    if own_cache_dir:
+        cache_dir = tempfile.mkdtemp(prefix="bench-campaign-cache-")
+    try:
+        cold_cache = ResultCache(cache_dir)
+        start = time.perf_counter()
+        cold_rows = _run_campaign_cached(calls, cold_cache)
+        cold_wall = time.perf_counter() - start
+
+        warm_cache = ResultCache(cache_dir)
+        start = time.perf_counter()
+        warm_rows = _run_campaign_cached(calls, warm_cache)
+        warm_wall = time.perf_counter() - start
+    finally:
+        if own_cache_dir:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+
+    warm_identical = (
+        _canonical_rows(serial_rows)
+        == _canonical_rows(cold_rows)
+        == _canonical_rows(warm_rows)
+    )
+    all_identical = pooled_identical and warm_identical
+    return {
+        "benchmark": "repro.bench --campaign",
+        "quick": quick,
+        "python": platform.python_version(),
+        "cpus": default_jobs(),
+        "tasks": len(calls),
+        "cycles_per_task": calls[0][3],
+        "jobs": jobs,
+        "serial": {"wall_seconds": round(serial_wall, 4)},
+        "pooled": {
+            "wall_seconds": round(pooled_wall, 4),
+            "speedup_vs_serial": round(serial_wall / pooled_wall, 2),
+            "identical": pooled_identical,
+        },
+        "cache_cold": {
+            "wall_seconds": round(cold_wall, 4),
+            "stats": cold_cache.stats.as_dict(),
+        },
+        "cache_warm": {
+            "wall_seconds": round(warm_wall, 4),
+            "fraction_of_cold": round(warm_wall / cold_wall, 4),
+            "stats": warm_cache.stats.as_dict(),
+            "identical": warm_identical,
+        },
+        "all_identical": all_identical,
+    }
+
+
+def _print_campaign(results):
+    print("campaign: {} tasks x {} cycles (jobs={}, {} cpus)".format(
+        results["tasks"], results["cycles_per_task"], results["jobs"],
+        results["cpus"],
+    ))
+    print("  serial      {:>8.3f}s".format(
+        results["serial"]["wall_seconds"]))
+    print("  pooled      {:>8.3f}s  {:>5.2f}x  identical={}".format(
+        results["pooled"]["wall_seconds"],
+        results["pooled"]["speedup_vs_serial"],
+        "yes" if results["pooled"]["identical"] else "NO",
+    ))
+    print("  cache cold  {:>8.3f}s  ({} stores)".format(
+        results["cache_cold"]["wall_seconds"],
+        results["cache_cold"]["stats"]["stores"],
+    ))
+    print("  cache warm  {:>8.3f}s  ({:.1%} of cold, {} hits) identical={}".format(
+        results["cache_warm"]["wall_seconds"],
+        results["cache_warm"]["fraction_of_cold"],
+        results["cache_warm"]["stats"]["hits"],
+        "yes" if results["cache_warm"]["identical"] else "NO",
+    ))
+
+
 def _print_table(results):
     header = "{:<18} {:>10} {:>12} {:>12} {:>8} {:>8} {:>6}".format(
         "scenario", "cycles", "dense c/s", "fast c/s", "skip%", "speedup",
@@ -265,22 +418,47 @@ def main(argv=None):
         help="timed repeats per mode; best wall time is kept "
         "(default: %(default)s)",
     )
+    parser.add_argument(
+        "--campaign",
+        action="store_true",
+        help="benchmark the campaign engine (serial vs pooled vs "
+        "warm-cache) instead of the kernel",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        help="worker pool size for --campaign (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--campaign-output",
+        default=DEFAULT_CAMPAIGN_OUTPUT,
+        help="where --campaign writes its JSON report "
+        "(default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
-    results = run_benchmarks(quick=args.quick, repeats=args.repeats)
-    _print_table(results)
+    if args.campaign:
+        results = run_campaign_benchmark(quick=args.quick, jobs=args.jobs)
+        _print_campaign(results)
+        output = args.campaign_output
+        failure = "FAIL: pooled or cached campaign diverged from serial"
+    else:
+        results = run_benchmarks(quick=args.quick, repeats=args.repeats)
+        _print_table(results)
+        output = args.output
+        failure = "FAIL: fast path diverged from the dense reference"
 
-    out_dir = os.path.dirname(args.output)
+    out_dir = os.path.dirname(output)
     if out_dir:
         os.makedirs(out_dir, exist_ok=True)
-    with open(args.output, "w") as handle:
+    with open(output, "w") as handle:
         json.dump(results, handle, indent=2, sort_keys=False)
         handle.write("\n")
-    print("\nwrote {}".format(args.output))
+    print("\nwrote {}".format(output))
 
     if not results["all_identical"]:
-        print("FAIL: fast path diverged from the dense reference",
-              file=sys.stderr)
+        print(failure, file=sys.stderr)
         return 1
     return 0
 

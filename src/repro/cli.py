@@ -17,6 +17,7 @@ Exit codes: 0 success, 1 one or more experiments failed, 2 bad usage,
 import argparse
 import sys
 
+from repro.experiments.checkpoint import DEFAULT_CHECKPOINT_EVERY
 from repro.experiments.runner import (
     checkpoint_aware_experiments,
     experiment_names,
@@ -26,7 +27,14 @@ from repro.experiments.runner import (
 )
 
 DEFAULT_CHECKPOINT_DIR = ".lotterybus-checkpoints"
-DEFAULT_CHECKPOINT_EVERY = 50_000
+DEFAULT_CACHE_DIR = ".lotterybus-cache"
+
+
+def _emit(message):
+    # Progress must survive `lotterybus all ... | tee log` and cron
+    # captures: when stdout is not a tty stderr may be block-buffered
+    # under some wrappers, so flush every line explicitly.
+    print(message, file=sys.stderr, flush=True)
 
 
 def build_parser():
@@ -66,8 +74,11 @@ def build_parser():
     supervision.add_argument(
         "--jobs",
         type=int,
-        default=1,
-        help='worker processes for "all" (default 1; >1 implies supervision)',
+        default=None,
+        help=(
+            'worker processes for "all" (default: all CPUs once '
+            "supervision engages; passing >1 implies supervision)"
+        ),
     )
     supervision.add_argument(
         "--timeout",
@@ -107,6 +118,21 @@ def build_parser():
             )
         ),
     )
+    cache = parser.add_argument_group("result cache (campaigns)")
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "content-addressed result cache for supervised campaigns "
+            "(default {}; unchanged points are served from it for "
+            "free)".format(DEFAULT_CACHE_DIR)
+        ),
+    )
+    cache.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the campaign result cache entirely",
+    )
     return parser
 
 
@@ -121,8 +147,10 @@ def _validate(args):
         return "--scale must be positive (got {})".format(args.scale)
     if args.seed < 0:
         return "--seed must be non-negative (got {})".format(args.seed)
-    if args.jobs < 1:
+    if args.jobs is not None and args.jobs < 1:
         return "--jobs must be >= 1 (got {})".format(args.jobs)
+    if args.no_cache and args.cache_dir is not None:
+        return "--no-cache and --cache-dir are mutually exclusive"
     if args.retries < 0:
         return "--retries must be >= 0 (got {})".format(args.retries)
     if args.timeout is not None and args.timeout <= 0:
@@ -136,7 +164,7 @@ def _validate(args):
 
 def _wants_supervision(args):
     return (
-        args.jobs > 1
+        (args.jobs is not None and args.jobs > 1)
         or args.resume
         or args.timeout is not None
         or args.checkpoint_every is not None
@@ -145,33 +173,38 @@ def _wants_supervision(args):
 
 
 def _run_all_supervised(args):
-    from repro.experiments.supervisor import run_campaign
+    from repro.experiments.supervisor import default_jobs, run_campaign
 
+    jobs = args.jobs if args.jobs is not None else default_jobs()
     campaign = run_campaign(
         scale=args.scale,
         seed=args.seed,
-        jobs=args.jobs,
+        jobs=jobs,
         timeout=args.timeout,
         retries=args.retries,
         resume=args.resume,
         checkpoint_dir=args.checkpoint_dir or DEFAULT_CHECKPOINT_DIR,
         checkpoint_every=args.checkpoint_every or DEFAULT_CHECKPOINT_EVERY,
-        on_event=lambda message: print(message, file=sys.stderr),
+        use_cache=not args.no_cache,
+        cache_dir=(
+            None if args.no_cache
+            else (args.cache_dir or DEFAULT_CACHE_DIR)
+        ),
+        on_event=_emit,
     )
     if args.resume and not campaign.skipped:
-        print("nothing to resume: no completed tasks on record",
-              file=sys.stderr)
+        _emit("nothing to resume: no completed tasks on record")
     return campaign.format_report(), (0 if campaign.ok else 1)
 
 
 def _run_one_checkpointed(args, options):
-    from repro.experiments.checkpoint import ExperimentCheckpointer
+    from repro.experiments.checkpoint import task_checkpointer
 
-    checkpointer = ExperimentCheckpointer(
+    checkpointer = task_checkpointer(
         args.checkpoint_dir or DEFAULT_CHECKPOINT_DIR,
         every=args.checkpoint_every or DEFAULT_CHECKPOINT_EVERY,
         resume=args.resume,
-        on_event=lambda message: print(message, file=sys.stderr),
+        on_event=_emit,
     )
     result = run_experiment(
         args.experiment,
@@ -212,10 +245,9 @@ def main(argv=None):
                     report = _run_one_checkpointed(args, options)
                 else:
                     if _wants_supervision(args):
-                        print(
+                        _emit(
                             "note: {!r} does not support checkpointing; "
-                            "running it unsupervised".format(args.experiment),
-                            file=sys.stderr,
+                            "running it unsupervised".format(args.experiment)
                         )
                     result = run_experiment(
                         args.experiment,
@@ -227,9 +259,9 @@ def main(argv=None):
             except ValueError as error:
                 return _usage_error(str(error))
     except KeyboardInterrupt:
-        print("lotterybus: interrupted", file=sys.stderr)
+        _emit("lotterybus: interrupted")
         return 130
-    print(report)
+    print(report, flush=True)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(report + "\n")

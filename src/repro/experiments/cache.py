@@ -1,0 +1,216 @@
+"""Content-addressed cache of finished experiment results.
+
+A paper campaign is a large cross product of configurations, and most
+reruns repeat points that have not changed.  This cache makes such
+reruns free: every task is addressed by a canonical hash of
+
+* the **experiment id** (registry name),
+* the **full configuration** (scale, extra options — anything that can
+  change the result),
+* the **seed**, and
+* the **code-schema version** (:data:`SCHEMA_VERSION`, bumped whenever
+  a code change legitimately alters results),
+
+so any change to any of these produces a different key — stale results
+can never be served.  Entries are self-verifying JSON files: the stored
+record is accompanied by a SHA-256 digest of its canonical form, and a
+sidecar-style envelope records the key and schema version.  Writes are
+atomic (temp file + ``os.replace``); a corrupted, truncated or
+mismatched entry is treated as a **miss**, counted as an invalidation,
+and removed — never a crash.
+
+Accounting (hits / misses / stores / invalidations) is kept per
+:class:`ResultCache` and surfaces in the campaign metrics report and on
+the CLI's stderr summary line.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+
+# Bump whenever experiment code changes in a way that alters results
+# (new metrics, RNG stream changes, workload fixes).  Old entries then
+# hash to different keys and are recomputed instead of served stale.
+SCHEMA_VERSION = 1
+
+_ENVELOPE_KIND = "lotterybus-result-cache"
+
+
+def canonical_json(payload):
+    """The canonical serialized form hashed into cache keys.
+
+    Sorted keys, no whitespace, explicit unicode — byte-stable across
+    Python versions and hosts for JSON-representable payloads.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def cache_key(experiment, config, seed, schema_version=SCHEMA_VERSION):
+    """SHA-256 key addressing one (experiment, config, seed, schema).
+
+    ``config`` must be JSON-representable; non-JSON configurations are
+    a :class:`TypeError` at key time rather than a silent wrong hit.
+    """
+    blob = canonical_json(
+        {
+            "experiment": experiment,
+            "config": config,
+            "seed": seed,
+            "schema": schema_version,
+        }
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def experiment_key(name, scale=1.0, seed=1, options=None,
+                   schema_version=SCHEMA_VERSION):
+    """The campaign engine's key for one registry experiment task."""
+    return cache_key(
+        name,
+        {"scale": scale, "options": dict(options or {})},
+        seed,
+        schema_version=schema_version,
+    )
+
+
+class CacheStats:
+    """Hit/miss/store/invalidation counters for one cache instance."""
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.invalidated = 0
+
+    @property
+    def lookups(self):
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self):
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self):
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidated": self.invalidated,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def format_line(self):
+        """One grep-friendly line for progress streams and CI asserts."""
+        return (
+            "campaign cache: hits={} misses={} stores={} invalidated={} "
+            "hit_rate={:.1%}".format(
+                self.hits, self.misses, self.stores, self.invalidated,
+                self.hit_rate,
+            )
+        )
+
+    def __repr__(self):
+        return "CacheStats({})".format(self.format_line())
+
+
+class ResultCache:
+    """Content-addressed store of finished task records.
+
+    :param directory: cache root; entries live in two-level fan-out
+        subdirectories (``ab/abcdef….json``) so huge campaigns do not
+        pile thousands of files into one directory.
+    """
+
+    def __init__(self, directory):
+        self.directory = directory
+        self.stats = CacheStats()
+        os.makedirs(directory, exist_ok=True)
+
+    def entry_path(self, key):
+        return os.path.join(self.directory, key[:2], key + ".json")
+
+    def get(self, key):
+        """The record stored under ``key``, or ``None`` on a miss.
+
+        Any defect — unreadable file, bad JSON, wrong envelope, digest
+        mismatch — counts as an invalidation plus a miss, and the bad
+        entry is deleted so the slot heals on the next store.
+        """
+        path = self.entry_path(key)
+        try:
+            with open(path, "r") as handle:
+                envelope = json.load(handle)
+        except OSError:
+            self.stats.misses += 1
+            return None
+        except ValueError:
+            self._invalidate(path)
+            return None
+        if not self._envelope_ok(envelope, key):
+            self._invalidate(path)
+            return None
+        self.stats.hits += 1
+        return envelope["record"]
+
+    def put(self, key, record):
+        """Atomically store ``record`` (JSON-representable) under ``key``."""
+        envelope = {
+            "kind": _ENVELOPE_KIND,
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "sha256": hashlib.sha256(
+                canonical_json(record).encode("utf-8")
+            ).hexdigest(),
+            "record": record,
+        }
+        path = self.entry_path(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=".cache-", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(envelope, handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def _envelope_ok(self, envelope, key):
+        if not isinstance(envelope, dict):
+            return False
+        if envelope.get("kind") != _ENVELOPE_KIND:
+            return False
+        if envelope.get("key") != key:
+            return False
+        if "record" not in envelope:
+            return False
+        digest = hashlib.sha256(
+            canonical_json(envelope["record"]).encode("utf-8")
+        ).hexdigest()
+        return envelope.get("sha256") == digest
+
+    def _invalidate(self, path):
+        self.stats.invalidated += 1
+        self.stats.misses += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def __repr__(self):
+        return "ResultCache({!r}, {})".format(
+            self.directory, self.stats.format_line()
+        )

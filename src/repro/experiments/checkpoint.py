@@ -35,6 +35,22 @@ _RESULT_KIND = "lotterybus-stage-result"
 DEFAULT_CHECKPOINT_EVERY = 50_000
 
 
+def task_checkpointer(directory, every=None, resume=False, on_event=None):
+    """Build the checkpointer a campaign worker attaches to its task.
+
+    The one construction path shared by the CLI, the legacy per-task
+    worker and every pool worker, so a task checkpoints identically no
+    matter which execution mode ran it.  ``every=None`` means
+    :data:`DEFAULT_CHECKPOINT_EVERY`.
+    """
+    return ExperimentCheckpointer(
+        directory,
+        every=every or DEFAULT_CHECKPOINT_EVERY,
+        resume=resume,
+        on_event=on_event,
+    )
+
+
 def stage_slug(label):
     """A filesystem-safe stage name derived from a human label."""
     slug = re.sub(r"[^a-z0-9]+", "-", label.lower()).strip("-")

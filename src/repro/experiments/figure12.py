@@ -69,14 +69,28 @@ class Figure12aResult:
         return table + "\n\n" + chart
 
 
-def run_figure12a(cycles=200_000, seed=1, weights=(1, 2, 3, 4)):
-    """Bandwidth allocation across all nine classes."""
-    fractions = []
-    for name in BANDWIDTH_CLASSES:
-        result = run_testbed(
-            "lottery-static", name, list(weights), cycles=cycles, seed=seed
-        )
-        fractions.append(result.bandwidth_fractions)
+def _figure12a_point(name, weights, cycles, seed):
+    """One traffic class's bandwidth fractions (pool fan-out unit)."""
+    result = run_testbed(
+        "lottery-static", name, list(weights), cycles=cycles, seed=seed
+    )
+    return result.bandwidth_fractions
+
+
+def run_figure12a(cycles=200_000, seed=1, weights=(1, 2, 3, 4), jobs=None):
+    """Bandwidth allocation across all nine classes.
+
+    Each class is an independent simulation, so ``jobs`` > 1 spreads
+    the classes over the worker pool; fractions keep class order and
+    the result is identical to the serial run.
+    """
+    from repro.experiments.supervisor import pool_map
+
+    fractions = pool_map(
+        _figure12a_point,
+        [(name, weights, cycles, seed) for name in BANDWIDTH_CLASSES],
+        jobs=jobs,
+    )
     return Figure12aResult(list(BANDWIDTH_CLASSES), fractions, weights)
 
 
@@ -104,31 +118,49 @@ class Figure12LatencyResult:
         )
 
 
+def _figure12_latency_point(
+    architecture, name, weights, cycles, seed, arbiter_kwargs
+):
+    """One (architecture, class) latency row (pool fan-out unit)."""
+    result = run_testbed(
+        architecture,
+        name,
+        list(weights),
+        cycles=cycles,
+        seed=seed,
+        **arbiter_kwargs
+    )
+    return result.latencies_per_word
+
+
 def run_figure12_latency(
     architecture,
     cycles=400_000,
     seed=1,
     weights=(1, 2, 3, 4),
     class_names=LATENCY_CLASSES,
+    jobs=None,
     **arbiter_kwargs
 ):
     """One latency surface (Figure 12(b) for TDMA, 12(c) for lottery).
 
     :param architecture: ``"tdma"`` or ``"lottery-static"`` (any registry
         name works); extra kwargs reach the arbiter (e.g. ``reclaim``).
+    :param jobs: fan the per-class simulations over the worker pool;
+        the surface keeps class order, identical to the serial run.
     """
-    surface = []
+    from repro.experiments.supervisor import pool_map
+
     for name in class_names:
         get_traffic_class(name)  # validate early
-        result = run_testbed(
-            architecture,
-            name,
-            list(weights),
-            cycles=cycles,
-            seed=seed,
-            **arbiter_kwargs
-        )
-        surface.append(result.latencies_per_word)
+    surface = pool_map(
+        _figure12_latency_point,
+        [
+            (architecture, name, weights, cycles, seed, arbiter_kwargs)
+            for name in class_names
+        ],
+        jobs=jobs,
+    )
     return Figure12LatencyResult(
         architecture, list(class_names), weights, surface
     )

@@ -129,19 +129,31 @@ def run_experiment(name, scale=1.0, seed=1, checkpointer=None,
     return runner(scale, seed)
 
 
-def run_all(scale=1.0, seed=1, names=None):
+def _run_named(name, scale, seed):
+    """Module-level pool entry: one registry experiment, warnings off."""
+    return run_experiment(name, scale=scale, seed=seed, _warn_seedless=False)
+
+
+def run_all(scale=1.0, seed=1, names=None, jobs=None):
     """Run experiments and return {name: result}.
 
     Campaign-wide --scale/--seed legitimately cover the deterministic
     experiments too, so the per-experiment seedless warning stays quiet
-    on this path.
+    on this path.  ``jobs`` > 1 fans the experiments out over the
+    persistent worker pool; results are keyed and ordered by name
+    exactly as the serial path produces them.
     """
     if names is None:
         names = experiment_names()
-    return {
-        name: run_experiment(
-            name, scale=scale, seed=seed, _warn_seedless=False
+    if jobs is not None and jobs > 1:
+        from repro.experiments.supervisor import pool_map
+
+        results = pool_map(
+            _run_named, [(name, scale, seed) for name in names], jobs=jobs
         )
+        return dict(zip(names, results))
+    return {
+        name: _run_named(name, scale, seed)
         for name in names
     }
 

@@ -1,24 +1,47 @@
 """Supervised, crash-safe parallel execution of experiment campaigns.
 
 ``lotterybus all`` runs every registry experiment.  At paper scale that
-is hours of simulation, so the campaign must survive worker crashes,
-hangs, and outright loss of the supervising process:
+is hours of simulation, so the campaign must saturate the machine and
+survive worker crashes, hangs, and outright loss of the supervising
+process:
 
-* every experiment runs in its **own** worker process (one process per
-  task rather than a shared pool, so a dying worker can only take its
-  own task down, never the campaign);
+* tasks run on a **persistent, preloaded worker pool**: each worker
+  process imports the ``repro`` experiment stack once, then serves any
+  number of tasks over a duplex pipe, so per-task cost is one pickle
+  round-trip instead of a fresh interpreter + import per task;
+* dispatch is **deterministic**: tasks are independent, seeded points
+  dispatched in submission order and assembled in campaign order, so
+  ``--jobs N`` produces bit-identical campaign results to ``--jobs 1``
+  regardless of which worker ran what when;
 * each task has a wall-clock **timeout** — an expired worker is
-  terminated and the task treated like a crash;
+  terminated (and replaced) and the task treated like a crash;
 * crashed and timed-out tasks are **retried** a bounded number of times
   with exponential backoff, and checkpoint-aware experiments resume
   their retries from their own stage checkpoints instead of starting
-  over;
+  over.  A worker that merely *reports* an error (an exception inside
+  the task) stays alive and keeps serving tasks; only a dying process
+  costs a respawn;
 * finished reports land in an append-only **JSONL result store** whose
   records are flushed and fsynced, so a SIGKILL between tasks loses at
-  most the task in flight and ``--resume`` skips everything recorded.
+  most the task in flight and ``--resume`` skips everything recorded;
+* finished reports are also published to a **content-addressed result
+  cache** (:mod:`repro.experiments.cache`) keyed by (experiment id,
+  config, seed, schema version), so rerunning an unchanged point in a
+  *later* campaign is a cache hit instead of a simulation.
 
-Experiments are deterministic given (name, scale, seed), so a resumed
-campaign's combined report is byte-identical to an uninterrupted one.
+Experiments are deterministic given (name, scale, seed), so a resumed,
+cached, or differently-parallel campaign's combined report is
+byte-identical to a serial uninterrupted one.
+
+:func:`pool_map` exposes the same pool to intra-experiment fan-out
+(sweep points, figure surfaces, replication chunks): call a module-level
+function over a list of argument tuples and get results back in
+submission order.
+
+Legacy note: constructing a :class:`Supervisor` with a custom
+``worker=`` entry point (the pre-pool injection seam) still runs one
+process per task with the injected function; the pool engages for the
+default worker, where reuse is safe by construction.
 """
 
 import json
@@ -26,19 +49,36 @@ import multiprocessing
 import os
 import time
 from collections import deque
+from multiprocessing.connection import wait as _wait_connections
 
+from repro.experiments.cache import ResultCache, experiment_key
 from repro.experiments.runner import experiment_names, run_experiment
+
+
+def default_jobs():
+    """CPU-count-aware worker default.
+
+    Prefers ``os.process_cpu_count()`` (Python 3.13+, respects CPU
+    affinity) and falls back to ``os.cpu_count()``; never below 1.
+    """
+    counter = getattr(os, "process_cpu_count", None)
+    count = counter() if counter is not None else None
+    if not count:
+        count = os.cpu_count()
+    return count or 1
 
 
 class TaskOutcome:
     """What the supervisor concluded about one task."""
 
-    def __init__(self, name, status, report=None, error=None, attempts=1):
+    def __init__(self, name, status, report=None, error=None, attempts=1,
+                 cached=False):
         self.name = name
         self.status = status  # "done" | "failed"
         self.report = report
         self.error = error
         self.attempts = attempts
+        self.cached = cached
 
     def record(self):
         return {
@@ -115,27 +155,36 @@ class TaskSpec:
         self.resume = resume
 
 
+def run_task_spec(spec, resume):
+    """Execute one task spec in-process; returns the report text.
+
+    Shared by the per-task legacy worker and every pool worker, so both
+    execution modes produce byte-identical reports.
+    """
+    kwargs = dict(spec.options)
+    if spec.checkpoint_dir is not None:
+        from repro.experiments.checkpoint import task_checkpointer
+
+        kwargs["checkpointer"] = task_checkpointer(
+            spec.checkpoint_dir,
+            every=spec.checkpoint_every,
+            resume=resume,
+        )
+    result = run_experiment(
+        spec.name, scale=spec.scale, seed=spec.seed,
+        _warn_seedless=False, **kwargs
+    )
+    return result.format_report()
+
+
 def _worker_main(conn, spec, resume):
     """Run one experiment and send ("ok", report) or ("error", message).
 
-    Runs in a child process; the parent interprets silence plus a
-    nonzero exit code as a crash.
+    The legacy process-per-task entry point; the parent interprets
+    silence plus a nonzero exit code as a crash.
     """
     try:
-        kwargs = dict(spec.options)
-        if spec.checkpoint_dir is not None:
-            from repro.experiments.checkpoint import ExperimentCheckpointer
-
-            kwargs["checkpointer"] = ExperimentCheckpointer(
-                spec.checkpoint_dir,
-                every=spec.checkpoint_every or 50_000,
-                resume=resume,
-            )
-        result = run_experiment(
-            spec.name, scale=spec.scale, seed=spec.seed,
-            _warn_seedless=False, **kwargs
-        )
-        conn.send(("ok", result.format_report()))
+        conn.send(("ok", run_task_spec(spec, resume)))
     except BaseException as error:  # the parent needs the reason, always
         try:
             conn.send(
@@ -148,6 +197,219 @@ def _worker_main(conn, spec, resume):
         conn.close()
 
 
+def _pool_worker_main(conn, task_runner):
+    """A persistent pool worker: preload once, serve tasks until told
+    to stop.
+
+    Protocol (parent -> worker): ``("task", spec, resume)``,
+    ``("call", func, args, kwargs)``, ``("stop",)``.
+    Worker -> parent: ``("ok", payload)`` or ``("error", message)``.
+
+    An exception inside a task is *reported*, not fatal — the worker
+    stays warm for the next task.  Only process death (os._exit, OOM
+    kill, signal) costs the supervisor a respawn.
+    """
+    # The expensive part of a fresh worker is importing the experiment
+    # stack; do it exactly once, before the first task arrives.
+    import repro.experiments.runner  # noqa: F401  (preload)
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "stop":
+            break
+        try:
+            if kind == "task":
+                _, spec, resume = message
+                conn.send(("ok", task_runner(spec, resume)))
+            elif kind == "call":
+                _, func, args, kwargs = message
+                conn.send(("ok", func(*args, **(kwargs or {}))))
+            else:
+                conn.send(("error", "unknown message {!r}".format(kind)))
+        except KeyboardInterrupt:
+            break
+        except BaseException as error:
+            try:
+                conn.send(
+                    ("error", "{}: {}".format(type(error).__name__, error))
+                )
+            except (OSError, ValueError):
+                break
+    conn.close()
+
+
+class _PoolWorker:
+    """Parent-side handle for one persistent worker process."""
+
+    _next_id = 0
+
+    def __init__(self, context, task_runner):
+        _PoolWorker._next_id += 1
+        self.id = _PoolWorker._next_id
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        self.conn = parent_conn
+        self.process = context.Process(
+            target=_pool_worker_main,
+            args=(child_conn, task_runner),
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.tasks_done = 0
+
+    def send(self, message):
+        self.conn.send(message)
+
+    def alive(self):
+        return self.process.is_alive()
+
+    def stop(self, grace=2.0):
+        """Ask the worker to exit; escalate to terminate/kill."""
+        if self.process.is_alive():
+            try:
+                self.conn.send(("stop",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.process.join(timeout=grace)
+        self.terminate()
+
+    def terminate(self):
+        if not self.process.is_alive():
+            self.process.join(timeout=0.1)
+            return
+        self.process.terminate()
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join()
+
+
+class WorkerPool:
+    """A set of persistent worker processes sharing one task protocol.
+
+    :param jobs: maximum concurrent workers (spawned lazily).
+    :param task_runner: the in-worker task executor (injectable for
+        tests); must be a module-level callable.
+    """
+
+    def __init__(self, jobs=None, task_runner=run_task_spec, context=None):
+        if jobs is None:
+            jobs = default_jobs()
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.task_runner = task_runner
+        self._context = context or multiprocessing.get_context()
+        self.idle = []
+        self.spawned = 0
+
+    def checkout(self, active):
+        """An idle worker, or a fresh one if under the jobs cap.
+
+        ``active`` is the number of workers currently busy; returns
+        ``None`` when the pool is saturated.
+        """
+        while self.idle:
+            worker = self.idle.pop(0)
+            if worker.alive():
+                return worker
+            worker.terminate()
+        if active + len(self.idle) < self.jobs:
+            self.spawned += 1
+            return _PoolWorker(self._context, self.task_runner)
+        return None
+
+    def checkin(self, worker):
+        """Return a worker after a served task (alive workers only)."""
+        worker.tasks_done += 1
+        if worker.alive():
+            self.idle.append(worker)
+        else:
+            worker.terminate()
+
+    def discard(self, worker):
+        """Drop a crashed / timed-out worker permanently."""
+        worker.terminate()
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+
+    def stop(self):
+        for worker in self.idle:
+            worker.stop()
+        self.idle = []
+
+    def terminate_all(self, extra=()):
+        for worker in list(self.idle) + list(extra):
+            worker.terminate()
+        self.idle = []
+
+
+def pool_map(func, calls, jobs=None, task_runner=run_task_spec):
+    """Apply a module-level ``func`` over argument tuples, in parallel.
+
+    The intra-experiment fan-out primitive: sweep points, figure
+    surface cells and replication chunks are pure functions of their
+    arguments, so results depend only on ``calls`` — never on ``jobs``
+    or scheduling — and are returned in submission order.  ``jobs`` of
+    ``None`` or 1 runs inline (no processes); errors raise
+    :class:`RuntimeError` with the worker's message.
+    """
+    calls = [tuple(call) for call in calls]
+    if jobs is None or jobs <= 1 or len(calls) <= 1:
+        return [func(*call) for call in calls]
+    pool = WorkerPool(jobs=min(jobs, len(calls)), task_runner=task_runner)
+    results = [None] * len(calls)
+    busy = {}  # worker -> call index
+    next_index = 0
+    try:
+        while next_index < len(calls) or busy:
+            while next_index < len(calls):
+                worker = pool.checkout(len(busy))
+                if worker is None:
+                    break
+                worker.send(("call", func, calls[next_index], None))
+                busy[worker] = next_index
+                next_index += 1
+            ready = _wait_connections(
+                [worker.conn for worker in busy], timeout=0.05
+            )
+            for worker in list(busy):
+                if worker.conn not in ready and worker.alive():
+                    continue
+                index = busy[worker]
+                try:
+                    status, payload = worker.conn.recv()
+                except (EOFError, OSError):
+                    status, payload = None, None
+                del busy[worker]
+                if status == "ok":
+                    results[index] = payload
+                    pool.checkin(worker)
+                    continue
+                pool.discard(worker)
+                raise RuntimeError(
+                    "pool_map call {} failed: {}".format(
+                        index,
+                        payload if status == "error" else "worker crashed",
+                    )
+                )
+    except BaseException:
+        pool.terminate_all(extra=busy)
+        raise
+    pool.stop()
+    return results
+
+
 class _RunningTask:
     def __init__(self, spec, process, conn, deadline, attempt):
         self.spec = spec
@@ -158,19 +420,27 @@ class _RunningTask:
 
 
 class Supervisor:
-    """Runs task specs in supervised worker processes.
+    """Runs task specs on a supervised persistent worker pool.
 
-    :param jobs: maximum concurrently running workers.
+    :param jobs: maximum concurrently running workers (``None`` = all
+        CPUs, via :func:`default_jobs`).
     :param timeout: per-task wall-clock seconds (``None`` = unlimited).
     :param retries: extra attempts after the first (0 = fail fast).
     :param backoff: base seconds of delay before retry ``n`` (doubled
         each further attempt).
     :param poll_interval: supervisor loop sleep between health checks.
-    :param worker: the worker entry point (injectable for tests).
+    :param worker: a legacy process-per-task entry point; passing a
+        custom one disables the pool and runs the injected function in
+        a fresh process per task (the original supervision seam).
+    :param task_runner: in-pool task executor (injectable for tests);
+        must be a module-level callable of ``(spec, resume)``.
     """
 
-    def __init__(self, jobs=1, timeout=None, retries=1, backoff=0.5,
-                 poll_interval=0.05, worker=_worker_main):
+    def __init__(self, jobs=None, timeout=None, retries=1, backoff=0.5,
+                 poll_interval=0.05, worker=_worker_main,
+                 task_runner=run_task_spec):
+        if jobs is None:
+            jobs = default_jobs()
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if retries < 0:
@@ -183,7 +453,10 @@ class Supervisor:
         self.backoff = backoff
         self.poll_interval = poll_interval
         self.worker = worker
+        self.task_runner = task_runner
+        self.pooled = worker is _worker_main
         self._context = multiprocessing.get_context()
+        self.workers_spawned = 0
 
     def run(self, specs, store=None, on_event=None):
         """Run every spec; returns {name: TaskOutcome}.
@@ -192,15 +465,19 @@ class Supervisor:
         KeyboardInterrupt terminates all workers before propagating, so
         ^C never leaves orphaned simulations running.
         """
+        if self.pooled:
+            return self._run_pooled(specs, store, on_event)
+        return self._run_legacy(specs, store, on_event)
 
+    # -- shared bookkeeping ------------------------------------------------
+
+    def _make_emit(self, on_event):
         def emit(message):
             if on_event is not None:
                 on_event(message)
+        return emit
 
-        pending = deque((spec, 1, 0.0) for spec in specs)  # spec, attempt, not-before
-        running = []
-        outcomes = {}
-
+    def _make_settle(self, outcomes, store):
         def settle(task, status, report=None, error=None):
             outcome = TaskOutcome(
                 task.spec.name, status, report=report, error=error,
@@ -209,7 +486,9 @@ class Supervisor:
             outcomes[task.spec.name] = outcome
             if store is not None:
                 store.append(outcome.record())
+        return settle
 
+    def _make_retry_or_fail(self, pending, settle, emit):
         def retry_or_fail(task, error):
             if task.attempt <= self.retries:
                 delay = self.backoff * (2 ** (task.attempt - 1))
@@ -225,6 +504,131 @@ class Supervisor:
             else:
                 emit("task {}: {}; giving up".format(task.spec.name, error))
                 settle(task, "failed", error=error)
+        return retry_or_fail
+
+    # -- pooled execution --------------------------------------------------
+
+    def _run_pooled(self, specs, store, on_event):
+        emit = self._make_emit(on_event)
+        pending = deque((spec, 1, 0.0) for spec in specs)
+        outcomes = {}
+        settle = self._make_settle(outcomes, store)
+        retry_or_fail = self._make_retry_or_fail(pending, settle, emit)
+        pool = WorkerPool(
+            jobs=self.jobs, task_runner=self.task_runner,
+            context=self._context,
+        )
+        busy = {}  # worker -> _PoolTask
+
+        class _PoolTask:
+            def __init__(self, spec, attempt, deadline):
+                self.spec = spec
+                self.attempt = attempt
+                self.deadline = deadline
+
+        try:
+            while pending or busy:
+                now = time.monotonic()
+                # Dispatch whatever is due onto idle/fresh workers, in
+                # deterministic submission order.
+                blocked = []
+                while pending:
+                    spec, attempt, not_before = pending.popleft()
+                    if not_before > now:
+                        blocked.append((spec, attempt, not_before))
+                        continue
+                    worker = pool.checkout(len(busy))
+                    if worker is None:
+                        blocked.append((spec, attempt, not_before))
+                        break
+                    resume = spec.resume or attempt > 1
+                    worker.send(("task", spec, resume))
+                    deadline = (
+                        None if self.timeout is None
+                        else now + self.timeout
+                    )
+                    busy[worker] = _PoolTask(spec, attempt, deadline)
+                    emit(
+                        "task {}: started (attempt {}/{}) on worker {}".format(
+                            spec.name, attempt, self.retries + 1, worker.id
+                        )
+                    )
+                pending.extendleft(reversed(blocked))
+
+                if busy:
+                    _wait_connections(
+                        [worker.conn for worker in busy],
+                        timeout=self.poll_interval,
+                    )
+                elif pending:
+                    time.sleep(self.poll_interval)
+
+                now = time.monotonic()
+                for worker in list(busy):
+                    task = busy[worker]
+                    finished, crashed = self._collect_pooled(
+                        worker, task, settle, retry_or_fail, emit, now
+                    )
+                    if not finished:
+                        continue
+                    del busy[worker]
+                    if crashed:
+                        pool.discard(worker)
+                    else:
+                        pool.checkin(worker)
+        except KeyboardInterrupt:
+            pool.terminate_all(extra=busy)
+            raise
+        pool.stop()
+        self.workers_spawned = pool.spawned
+        return outcomes
+
+    def _collect_pooled(self, worker, task, settle, retry_or_fail, emit,
+                        now):
+        """One health check; returns (finished, worker_crashed)."""
+        if worker.conn.poll():
+            try:
+                status, payload = worker.conn.recv()
+            except (EOFError, OSError):
+                status, payload = None, None
+            if status == "ok":
+                emit("task {}: done".format(task.spec.name))
+                settle(task, "done", report=payload)
+                return True, False
+            if status == "error":
+                retry_or_fail(task, payload)
+                return True, False
+            retry_or_fail(
+                task,
+                "worker crashed (exit code {})".format(
+                    worker.process.exitcode
+                ),
+            )
+            return True, True
+        if task.deadline is not None and now > task.deadline:
+            retry_or_fail(
+                task, "timed out after {:.0f}s".format(self.timeout)
+            )
+            return True, True
+        if not worker.alive():
+            retry_or_fail(
+                task,
+                "worker crashed (exit code {})".format(
+                    worker.process.exitcode
+                ),
+            )
+            return True, True
+        return False, False
+
+    # -- legacy process-per-task execution ---------------------------------
+
+    def _run_legacy(self, specs, store, on_event):
+        emit = self._make_emit(on_event)
+        pending = deque((spec, 1, 0.0) for spec in specs)
+        running = []
+        outcomes = {}
+        settle = self._make_settle(outcomes, store)
+        retry_or_fail = self._make_retry_or_fail(pending, settle, emit)
 
         try:
             while pending or running:
@@ -241,7 +645,7 @@ class Supervisor:
 
                 still_running = []
                 for task in running:
-                    finished = self._collect(task, settle, retry_or_fail, emit)
+                    finished = self._collect(task, settle, retry_or_fail)
                     if not finished:
                         still_running.append(task)
                 running = still_running
@@ -264,6 +668,7 @@ class Supervisor:
         )
         process.start()
         child_conn.close()
+        self.workers_spawned += 1
         deadline = (
             None if self.timeout is None
             else time.monotonic() + self.timeout
@@ -275,7 +680,7 @@ class Supervisor:
         )
         return _RunningTask(spec, process, parent_conn, deadline, attempt)
 
-    def _collect(self, task, settle, retry_or_fail, emit):
+    def _collect(self, task, settle, retry_or_fail):
         """Check one running task; True when it left the running set."""
         if task.conn.poll():
             try:
@@ -285,7 +690,6 @@ class Supervisor:
             task.process.join()
             task.conn.close()
             if status == "ok":
-                emit("task {}: done".format(task.spec.name))
                 settle(task, "done", report=payload)
             elif status == "error":
                 retry_or_fail(task, payload)
@@ -327,10 +731,13 @@ class Supervisor:
 class CampaignReport:
     """The assembled outcome of a supervised campaign."""
 
-    def __init__(self, sections, skipped, failed):
+    def __init__(self, sections, skipped, failed, cached=None,
+                 cache_stats=None):
         self.sections = sections  # [(name, report_text or None)]
         self.skipped = skipped  # names reused from the result store
         self.failed = failed  # {name: error}
+        self.cached = cached or []  # names served by the result cache
+        self.cache_stats = cache_stats  # CacheStats or None
 
     @property
     def ok(self):
@@ -350,10 +757,24 @@ class CampaignReport:
             lines.append("")
         return "\n".join(lines)
 
+    def format_cache_summary(self):
+        """Cache accounting block (empty string without a cache)."""
+        if self.cache_stats is None:
+            return ""
+        from repro.metrics.report import format_kv_section
 
-def run_campaign(names=None, scale=1.0, seed=1, jobs=1, timeout=None,
+        stats = self.cache_stats.as_dict()
+        stats["hit_rate"] = "{:.1%}".format(self.cache_stats.hit_rate)
+        stats["cached_tasks"] = (
+            ", ".join(self.cached) if self.cached else "(none)"
+        )
+        return format_kv_section("campaign result cache", stats)
+
+
+def run_campaign(names=None, scale=1.0, seed=1, jobs=None, timeout=None,
                  retries=1, resume=False, checkpoint_dir=None,
-                 checkpoint_every=None, on_event=None, supervisor=None):
+                 checkpoint_every=None, on_event=None, supervisor=None,
+                 cache=None, cache_dir=None, use_cache=True):
     """Run a supervised experiment campaign; returns a CampaignReport.
 
     ``checkpoint_dir`` hosts both the JSONL result store
@@ -361,6 +782,13 @@ def run_campaign(names=None, scale=1.0, seed=1, jobs=1, timeout=None,
     experiment.  With ``resume=True``, tasks recorded in the store are
     skipped outright and interrupted checkpoint-aware tasks restart
     from their stage checkpoints.
+
+    The result cache sits in front of the supervisor: a task whose
+    (name, scale, seed, options, schema-version) key holds a verified
+    entry is served from the cache without dispatching a worker, and
+    every freshly finished task is published back.  ``cache_dir`` names
+    the cache root (``use_cache=False`` or a pre-built ``cache``
+    override it); accounting lands on ``CampaignReport.cache_stats``.
     """
     from repro.experiments.runner import checkpoint_aware_experiments
 
@@ -369,14 +797,49 @@ def run_campaign(names=None, scale=1.0, seed=1, jobs=1, timeout=None,
     if checkpoint_dir is None:
         raise ValueError("a campaign needs a checkpoint directory")
     os.makedirs(checkpoint_dir, exist_ok=True)
+    if cache is None and use_cache and cache_dir is not None:
+        cache = ResultCache(cache_dir)
     store = ResultStore(os.path.join(checkpoint_dir, "results.jsonl"))
     if not resume:
         store.clear()
     completed = store.load()
+
+    def emit(message):
+        if on_event is not None:
+            on_event(message)
+
     skipped = [name for name in names if name in completed]
     for name in skipped:
-        if on_event is not None:
-            on_event("task {}: already complete, skipping".format(name))
+        emit("task {}: already complete, skipping".format(name))
+
+    keys = {
+        name: experiment_key(name, scale=scale, seed=seed)
+        for name in names
+    }
+    cached = []
+    if cache is not None:
+        for name in names:
+            if name in completed:
+                continue
+            record = cache.get(keys[name])
+            if record is None:
+                continue
+            cached.append(name)
+            completed[name] = {
+                "name": name,
+                "status": "done",
+                "report": record["report"],
+            }
+            store.append(
+                {
+                    "name": name,
+                    "status": "done",
+                    "report": record["report"],
+                    "error": None,
+                    "attempts": 0,
+                }
+            )
+            emit("task {}: cache hit, skipping".format(name))
 
     aware = checkpoint_aware_experiments()
     specs = []
@@ -402,6 +865,11 @@ def run_campaign(names=None, scale=1.0, seed=1, jobs=1, timeout=None,
         supervisor = Supervisor(jobs=jobs, timeout=timeout, retries=retries)
     outcomes = supervisor.run(specs, store=store, on_event=on_event)
 
+    if cache is not None:
+        for name, outcome in outcomes.items():
+            if outcome.status == "done":
+                cache.put(keys[name], {"name": name, "report": outcome.report})
+
     sections, failed = [], {}
     for name in names:
         if name in completed:
@@ -416,4 +884,9 @@ def run_campaign(names=None, scale=1.0, seed=1, jobs=1, timeout=None,
             )
             failed[name] = error
             sections.append((name, None))
-    return CampaignReport(sections, skipped, failed)
+    if cache is not None:
+        emit(cache.stats.format_line())
+    return CampaignReport(
+        sections, skipped, failed, cached=cached,
+        cache_stats=None if cache is None else cache.stats,
+    )

@@ -4,12 +4,23 @@ A downstream user's workhorse: cross a set of arbiters with traffic
 classes (and optionally weight vectors), run every combination, and get
 the results as rows ready for a spreadsheet or pandas — the expanded
 version of Section 5.1's study.
+
+Each point of the cross product derives its own independent seed with
+:func:`repro.sim.rng.child_seed` (``seed_mode="derived"``), so adjacent
+points never share generator streams; ``seed_mode="shared"`` is the
+compatibility shim reproducing the historical behaviour of feeding one
+root seed to every point.  Points are pure functions of their row, so
+``jobs`` > 1 fans them over the persistent worker pool with rows (and
+seeds) identical to the serial run.
 """
 
 import csv
 
 from repro.experiments.system import run_testbed
 from repro.metrics.report import format_table
+from repro.sim.rng import child_seed
+
+SEED_MODES = ("derived", "shared")
 
 
 class SweepResult:
@@ -87,6 +98,43 @@ class SweepResult:
         )
 
 
+def point_seed(seed, arbiter_name, traffic_name, seed_mode="derived"):
+    """The seed one (arbiter, traffic) point actually runs with."""
+    if seed_mode == "derived":
+        return child_seed(seed, arbiter_name, traffic_name)
+    if seed_mode == "shared":
+        return seed
+    raise ValueError(
+        "seed_mode must be one of {}, got {!r}".format(SEED_MODES, seed_mode)
+    )
+
+
+def _sweep_point(
+    arbiter_name, traffic_name, weights, cycles, seed, warmup, kwargs
+):
+    """One cross-product point as a plain row dict (pool fan-out unit)."""
+    result = run_testbed(
+        arbiter_name,
+        traffic_name,
+        list(weights),
+        cycles=cycles,
+        seed=seed,
+        warmup=warmup,
+        **kwargs
+    )
+    row = {
+        "arbiter": arbiter_name,
+        "traffic": traffic_name,
+        "weights": ":".join(str(w) for w in weights),
+        "utilization": result.utilization,
+    }
+    for master, share in enumerate(result.bandwidth_shares):
+        row["share{}".format(master)] = share
+    for master, latency in enumerate(result.latencies_per_word):
+        row["latency{}".format(master)] = latency
+    return row
+
+
 def run_sweep(
     arbiters,
     traffic_classes,
@@ -95,6 +143,8 @@ def run_sweep(
     seed=1,
     warmup=0,
     arbiter_kwargs=None,
+    seed_mode="derived",
+    jobs=None,
 ):
     """Run the full cross product; returns a :class:`SweepResult`.
 
@@ -103,29 +153,27 @@ def run_sweep(
     :param weights: one weight vector applied to every combination.
     :param arbiter_kwargs: optional per-arbiter extras,
         ``{arbiter_name: {kwarg: value}}``.
+    :param seed_mode: ``"derived"`` (default) gives every point an
+        independent :func:`~repro.sim.rng.child_seed`; ``"shared"`` is
+        the legacy shim feeding the root seed to every point.
+    :param jobs: fan points over the worker pool (``None``/1 = inline);
+        row order and values are independent of ``jobs``.
     """
+    from repro.experiments.supervisor import pool_map
+
     arbiter_kwargs = arbiter_kwargs or {}
-    rows = []
+    calls = []
     for arbiter_name in arbiters:
         for traffic_name in traffic_classes:
-            result = run_testbed(
-                arbiter_name,
-                traffic_name,
-                list(weights),
-                cycles=cycles,
-                seed=seed,
-                warmup=warmup,
-                **arbiter_kwargs.get(arbiter_name, {})
+            calls.append(
+                (
+                    arbiter_name,
+                    traffic_name,
+                    tuple(weights),
+                    cycles,
+                    point_seed(seed, arbiter_name, traffic_name, seed_mode),
+                    warmup,
+                    arbiter_kwargs.get(arbiter_name, {}),
+                )
             )
-            row = {
-                "arbiter": arbiter_name,
-                "traffic": traffic_name,
-                "weights": ":".join(str(w) for w in weights),
-                "utilization": result.utilization,
-            }
-            for master, share in enumerate(result.bandwidth_shares):
-                row["share{}".format(master)] = share
-            for master, latency in enumerate(result.latencies_per_word):
-                row["latency{}".format(master)] = latency
-            rows.append(row)
-    return SweepResult(rows)
+    return SweepResult(pool_map(_sweep_point, calls, jobs=jobs))

@@ -83,6 +83,64 @@ class Table1Result:
         )
 
 
+def build_table1_switch(
+    arbiter_name,
+    arbiter_kwargs=None,
+    weights=TABLE1_WEIGHTS,
+    queue_capacity=64,
+    memory_cells=8192,
+    seed=5,
+):
+    """The Table 1 switch for one architecture, ready to run."""
+    arbiter = make_arbiter(
+        arbiter_name, len(weights), list(weights), **(arbiter_kwargs or {})
+    )
+    return OutputQueuedSwitch(
+        arbiter,
+        table1_workload(),
+        queue_capacity=queue_capacity,
+        memory_cells=memory_cells,
+        seed=seed,
+    )
+
+
+def table1_row(label, switch):
+    """The Table 1 result row of a finished switch run."""
+    report = switch.report()
+    port1_latency = report.switch_latencies[0] / CELL_WORDS
+    return (label, report.bandwidth_fractions, port1_latency)
+
+
+def run_table1_point(
+    label,
+    arbiter_name,
+    arbiter_kwargs=None,
+    cycles=500_000,
+    seed=5,
+    weights=TABLE1_WEIGHTS,
+    queue_capacity=64,
+    memory_cells=8192,
+):
+    """One architecture point of Table 1, as a pure function.
+
+    The campaign engine's unit of fan-out: every argument is plain
+    data, the returned row is plain data, and the result depends on
+    nothing else — so points can run on any worker in any order (or be
+    served from the result cache) and still assemble into a Table 1
+    identical to the serial run.
+    """
+    switch = build_table1_switch(
+        arbiter_name,
+        arbiter_kwargs,
+        weights=weights,
+        queue_capacity=queue_capacity,
+        memory_cells=memory_cells,
+        seed=seed,
+    )
+    switch.simulator.run(cycles)
+    return table1_row(label, switch)
+
+
 def run_table1(
     cycles=500_000,
     seed=5,
@@ -91,6 +149,7 @@ def run_table1(
     memory_cells=8192,
     checkpointer=None,
     progress=None,
+    jobs=None,
 ):
     """Run the switch under each architecture; returns Table1Result.
 
@@ -100,7 +159,24 @@ def run_table1(
     checkpoints, finished architectures record their result row, and a
     resumed run reuses both — producing a report bit-identical to an
     uninterrupted one.
+
+    ``jobs`` > 1 (without a checkpointer) fans the architecture points
+    over the worker pool; rows keep architecture order, so the result
+    is identical to the serial run.
     """
+    if jobs is not None and jobs > 1 and checkpointer is None:
+        from repro.experiments.supervisor import pool_map
+
+        rows = pool_map(
+            run_table1_point,
+            [
+                (label, name, kwargs, cycles, seed, weights,
+                 queue_capacity, memory_cells)
+                for label, name, kwargs in ARCHITECTURES
+            ],
+            jobs=jobs,
+        )
+        return Table1Result([tuple(row) for row in rows])
     rows = []
     for label, name, kwargs in ARCHITECTURES:
         stage = None if checkpointer is None else checkpointer.stage(label)
@@ -109,10 +185,10 @@ def run_table1(
             if row is not None:
                 rows.append(tuple(row))
                 continue
-        arbiter = make_arbiter(name, len(weights), list(weights), **kwargs)
-        switch = OutputQueuedSwitch(
-            arbiter,
-            table1_workload(),
+        switch = build_table1_switch(
+            name,
+            kwargs,
+            weights=weights,
             queue_capacity=queue_capacity,
             memory_cells=memory_cells,
             seed=seed,
@@ -121,9 +197,7 @@ def run_table1(
             switch.simulator.run(cycles)
         else:
             stage.run(switch.simulator, cycles, progress=progress)
-        report = switch.report()
-        port1_latency = report.switch_latencies[0] / CELL_WORDS
-        row = (label, report.bandwidth_fractions, port1_latency)
+        row = table1_row(label, switch)
         if stage is not None:
             stage.complete(row)
         rows.append(row)

@@ -88,6 +88,18 @@ class FaultStats(Snapshottable):
         """Count one non-fatal graceful-degradation event."""
         self.degradations += 1
 
+    def merge(self, other):
+        """Fold another FaultStats in (counters add, histograms merge)."""
+        for kind, count in other.injected.items():
+            self.injected[kind] = self.injected.get(kind, 0) + count
+        self.detected += other.detected
+        self.retried += other.retried
+        self.recovered += other.recovered
+        self.aborted += other.aborted
+        self.timeouts += other.timeouts
+        self.degradations += other.degradations
+        self.recovery_latency.merge(other.recovery_latency)
+
     def summary(self):
         """A plain-dict summary (merged into the collector's summary)."""
         p50, p95, p99, peak = self.recovery_latency.summary()
@@ -130,6 +142,12 @@ class MasterStats(Snapshottable):
         self.words = 0
         self.grants = 0
         self.latency = LatencyStats()
+
+    def merge(self, other):
+        """Fold another master's accumulators in (same master id)."""
+        self.words += other.words
+        self.grants += other.grants
+        self.latency.merge(other.latency)
 
     def __repr__(self):
         return "MasterStats(master={}, words={}, grants={})".format(
@@ -208,6 +226,30 @@ class MetricsCollector(Snapshottable):
 
     def record_completion(self, request):
         self.masters[request.master].latency.record(request)
+
+    def merge(self, other):
+        """Fold another collector in — the streaming-aggregation path.
+
+        Shards of a partitioned campaign (or chunks of one long run)
+        each accumulate their own collector; merging adds every counter
+        and folds the per-master latency accumulators and fault
+        histograms, so ratios computed afterwards (utilization, shares,
+        cycles/word) equal those of a single combined run.
+        """
+        if other.num_masters != self.num_masters:
+            raise ValueError(
+                "cannot merge collectors for {} and {} masters".format(
+                    self.num_masters, other.num_masters
+                )
+            )
+        self.cycles += other.cycles
+        self.busy_cycles += other.busy_cycles
+        self.idle_cycles += other.idle_cycles
+        self.stall_cycles += other.stall_cycles
+        for mine, theirs in zip(self.masters, other.masters):
+            mine.merge(theirs)
+        self.faults.merge(other.faults)
+        return self
 
     @property
     def total_words(self):

@@ -38,6 +38,23 @@ def format_table(headers, rows, title=None):
     return "\n".join(lines)
 
 
+def format_kv_section(title, mapping):
+    """Render a mapping as an aligned ``key: value`` block.
+
+    Used for campaign-level accounting (cache hits/misses, worker
+    counts) where a full table is overkill but alignment still helps
+    eyeballs and CI greps.  Keys keep their given order.
+    """
+    keys = [str(key) for key in mapping]
+    width = max((len(key) for key in keys), default=0)
+    lines = [title] if title else []
+    for key, value in mapping.items():
+        if isinstance(value, float):
+            value = "{:.3f}".format(value)
+        lines.append("{}: {}".format(str(key).rjust(width), value))
+    return "\n".join(lines)
+
+
 def format_bar_chart(labels, values, width=50, title=None, unit=""):
     """Render labelled values as a horizontal ASCII bar chart."""
     if len(labels) != len(values):

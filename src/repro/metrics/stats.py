@@ -1,10 +1,18 @@
-"""Replication statistics for simulation experiments.
+"""Replication and streaming statistics for simulation experiments.
 
 Single simulation runs carry stochastic error; the paper reports
 averages "over a long simulation trace".  This module adds the standard
 methodology: replicate an experiment across independent seeds and
 report mean, standard deviation and a Student-t confidence interval per
 metric.
+
+For parallel campaigns the same quantities are computed *streamingly*:
+:class:`RunningStats` keeps Welford's online mean/variance in O(1)
+memory and merges exactly (Chan et al.'s parallel update), and
+:class:`StreamingReplication` bundles one ``RunningStats`` per metric
+with a wire-friendly ``state_dict``.  Workers therefore ship a few
+numbers per metric over the pipe instead of per-transaction samples,
+and the parent folds worker summaries together in deterministic order.
 """
 
 import math
@@ -64,6 +72,190 @@ def confidence_interval(values, level=0.95):
         len(values)
     )
     return mu, halfwidth
+
+
+class RunningStats:
+    """Welford online mean/variance; exactly mergeable.
+
+    ``push`` folds one value in; ``merge`` folds another instance in
+    using the pairwise update, so a statistic computed from partial
+    streams equals the same statistic computed by one long stream up to
+    floating-point rounding — and two *merge trees of the same shape*
+    are bit-identical, which is what the campaign engine relies on for
+    ``--jobs``-independent results (workers always summarize the same
+    chunks; the parent always merges in chunk order).
+    """
+
+    __slots__ = ("n", "mean", "m2", "min_value", "max_value")
+
+    def __init__(self):
+        self.n = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+        self.min_value = None
+        self.max_value = None
+
+    def push(self, value):
+        value = float(value)
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self.m2 += delta * (value - self.mean)
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+
+    def merge(self, other):
+        """Fold ``other`` in (Chan et al. parallel variance update)."""
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.n = other.n
+            self.mean = other.mean
+            self.m2 = other.m2
+            self.min_value = other.min_value
+            self.max_value = other.max_value
+            return self
+        total = self.n + other.n
+        delta = other.mean - self.mean
+        self.mean += delta * other.n / total
+        self.m2 += other.m2 + delta * delta * self.n * other.n / total
+        self.n = total
+        if other.min_value is not None and other.min_value < self.min_value:
+            self.min_value = other.min_value
+        if other.max_value is not None and other.max_value > self.max_value:
+            self.max_value = other.max_value
+        return self
+
+    def variance(self):
+        """Sample variance (n-1 denominator); 0.0 below two samples."""
+        if self.n < 2:
+            return 0.0
+        return self.m2 / (self.n - 1)
+
+    def stddev(self):
+        return math.sqrt(self.variance())
+
+    def interval(self, level=0.95):
+        """(mean, halfwidth) of the two-sided Student-t CI."""
+        if level != 0.95:
+            raise ValueError("only the 95% level is tabulated")
+        if self.n == 0:
+            raise ValueError("need at least one value")
+        if self.n < 2:
+            return self.mean, float("inf")
+        halfwidth = (
+            t_critical_95(self.n - 1) * self.stddev() / math.sqrt(self.n)
+        )
+        return self.mean, halfwidth
+
+    def state_dict(self):
+        """Compact wire form: five numbers, merge-safe on any host."""
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "m2": self.m2,
+            "min": self.min_value,
+            "max": self.max_value,
+        }
+
+    @classmethod
+    def from_state(cls, state):
+        stats = cls()
+        stats.n = int(state["n"])
+        stats.mean = float(state["mean"])
+        stats.m2 = float(state["m2"])
+        stats.min_value = state["min"]
+        stats.max_value = state["max"]
+        return stats
+
+    def __repr__(self):
+        return "RunningStats(n={}, mean={:.6g}, stddev={:.6g})".format(
+            self.n, self.mean, self.stddev()
+        )
+
+
+class StreamingReplication:
+    """Named-metric replication backed by :class:`RunningStats`.
+
+    The streaming counterpart of :class:`Replication`: holds one
+    running summary per metric instead of raw sample lists, so a worker
+    can replicate any number of seeds and ship a fixed-size
+    ``state_dict`` to the parent, which merges summaries in chunk
+    order.  Memory and pipe traffic are O(metrics), not O(samples).
+    """
+
+    def __init__(self):
+        self._stats = {}
+
+    def record(self, metric, value):
+        self._stats.setdefault(metric, RunningStats()).push(value)
+
+    def merge(self, other):
+        """Fold another StreamingReplication (or its state_dict) in."""
+        if isinstance(other, dict):
+            other = StreamingReplication.from_state(other)
+        for metric in sorted(other._stats):
+            mine = self._stats.setdefault(metric, RunningStats())
+            mine.merge(other._stats[metric])
+        return self
+
+    def metrics(self):
+        return sorted(self._stats)
+
+    def count(self, metric):
+        return self._stats[metric].n
+
+    def mean(self, metric):
+        return self._stats[metric].mean
+
+    def stddev(self, metric):
+        return self._stats[metric].stddev()
+
+    def interval(self, metric, level=0.95):
+        return self._stats[metric].interval(level)
+
+    def summary_rows(self):
+        """Rows of (metric, n, mean, halfwidth) for report tables."""
+        rows = []
+        for metric in self.metrics():
+            mu, halfwidth = self.interval(metric)
+            rows.append((metric, self._stats[metric].n, mu, halfwidth))
+        return rows
+
+    def state_dict(self):
+        return {
+            metric: stats.state_dict()
+            for metric, stats in self._stats.items()
+        }
+
+    @classmethod
+    def from_state(cls, state):
+        replication = cls()
+        for metric, stats_state in state.items():
+            replication._stats[metric] = RunningStats.from_state(stats_state)
+        return replication
+
+
+def merge_histogram_states(states, **binning):
+    """Merge worker-shipped :class:`~repro.metrics.histogram.LogHistogram`
+    ``state_dict`` payloads into one histogram.
+
+    All histograms must share ``binning`` (the constructor arguments);
+    counts add bin-wise, so a percentile of the merged histogram equals
+    the percentile of the concatenated streams — the mergeable-summary
+    property that lets workers ship O(bins) instead of per-transaction
+    latencies.
+    """
+    from repro.metrics.histogram import LogHistogram
+
+    merged = LogHistogram(**binning)
+    for state in states:
+        part = LogHistogram(**binning)
+        part.load_state_dict(state)
+        merged.merge(part)
+    return merged
 
 
 class Replication:

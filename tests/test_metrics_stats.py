@@ -4,8 +4,11 @@ import pytest
 
 from repro.metrics.stats import (
     Replication,
+    RunningStats,
+    StreamingReplication,
     confidence_interval,
     mean,
+    merge_histogram_states,
     replicate,
     stddev,
     t_critical_95,
@@ -85,3 +88,102 @@ def test_replicated_simulation_interval_covers_truth():
     rep = replicate(run, seeds=range(1, 7))
     mu, halfwidth = rep.interval("share0")
     assert abs(mu - 0.25) < halfwidth + 0.02
+
+
+# -- streaming statistics -------------------------------------------------
+
+
+def test_running_stats_matches_batch_formulas():
+    values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+    stats = RunningStats()
+    for value in values:
+        stats.push(value)
+    assert stats.n == len(values)
+    assert stats.mean == pytest.approx(mean(values))
+    assert stats.stddev() == pytest.approx(stddev(values))
+    assert stats.min_value == 2.0 and stats.max_value == 9.0
+
+
+def test_running_stats_merge_equals_single_stream():
+    values = [0.5, 1.5, -2.0, 3.25, 8.0, 0.0, 4.5]
+    whole = RunningStats()
+    for value in values:
+        whole.push(value)
+    left, right = RunningStats(), RunningStats()
+    for value in values[:3]:
+        left.push(value)
+    for value in values[3:]:
+        right.push(value)
+    left.merge(right)
+    assert left.n == whole.n
+    assert left.mean == pytest.approx(whole.mean)
+    assert left.variance() == pytest.approx(whole.variance())
+    assert left.min_value == whole.min_value
+    assert left.max_value == whole.max_value
+
+
+def test_running_stats_merge_handles_empty_sides():
+    stats = RunningStats()
+    stats.merge(RunningStats())  # empty into empty
+    assert stats.n == 0
+    other = RunningStats()
+    other.push(3.0)
+    stats.merge(other)  # into empty
+    assert (stats.n, stats.mean) == (1, 3.0)
+    stats.merge(RunningStats())  # empty into populated
+    assert (stats.n, stats.mean) == (1, 3.0)
+
+
+def test_running_stats_interval_matches_confidence_interval():
+    values = [10.0, 12.0, 11.0, 13.0, 9.0]
+    stats = RunningStats()
+    for value in values:
+        stats.push(value)
+    mu, halfwidth = stats.interval()
+    ref_mu, ref_halfwidth = confidence_interval(values)
+    assert mu == pytest.approx(ref_mu)
+    assert halfwidth == pytest.approx(ref_halfwidth)
+
+
+def test_running_stats_state_round_trip():
+    stats = RunningStats()
+    for value in (1.0, 2.5, 4.0):
+        stats.push(value)
+    clone = RunningStats.from_state(stats.state_dict())
+    assert clone.n == stats.n
+    assert clone.mean == stats.mean
+    assert clone.variance() == stats.variance()
+
+
+def test_streaming_replication_merge_matches_serial():
+    serial = StreamingReplication()
+    chunks = []
+    for start in (0, 3, 6):
+        chunk = StreamingReplication()
+        for i in range(start, start + 3):
+            chunk.record("util", 0.1 * i)
+            chunk.record("latency", 5.0 + i)
+            serial.record("util", 0.1 * i)
+            serial.record("latency", 5.0 + i)
+        chunks.append(chunk.state_dict())  # ships as plain JSON
+    merged = StreamingReplication()
+    for state in chunks:
+        merged.merge(state)
+    assert merged.metrics() == serial.metrics()
+    for metric in serial.metrics():
+        assert merged.count(metric) == serial.count(metric)
+        assert merged.mean(metric) == pytest.approx(serial.mean(metric))
+        assert merged.stddev(metric) == pytest.approx(serial.stddev(metric))
+
+
+def test_merge_histogram_states_preserves_percentiles():
+    from repro.metrics.histogram import LogHistogram
+
+    whole = LogHistogram()
+    parts = [LogHistogram(), LogHistogram()]
+    for i, value in enumerate([1, 3, 7, 20, 55, 120, 300, 900]):
+        whole.record(value)
+        parts[i % 2].record(value)
+    merged = merge_histogram_states([p.state_dict() for p in parts])
+    for q in (0.5, 0.9, 0.99):
+        assert merged.percentile(q) == whole.percentile(q)

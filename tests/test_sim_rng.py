@@ -60,3 +60,49 @@ def test_geometric_rejects_bad_p():
         stream.geometric(0.0)
     with pytest.raises(ValueError):
         stream.geometric(1.5)
+
+
+def test_splitmix64_reference_sequence():
+    from repro.sim.rng import splitmix64
+
+    # Reference outputs for seed 0 (Steele, Lea & Flood; also Vigna's
+    # public-domain C implementation).
+    state = 0
+    outputs = []
+    for _ in range(3):
+        state, output = splitmix64(state)
+        outputs.append(output)
+    assert outputs == [
+        0xE220A8397B1DCDAF,
+        0x6E789E6AA1B965F4,
+        0x06C45D188009454F,
+    ]
+
+
+def test_child_seed_stable_and_distinct():
+    from repro.sim.rng import child_seed
+
+    assert child_seed(1, "a") == child_seed(1, "a")
+    assert child_seed(1, "a") != child_seed(1, "b")
+    assert child_seed(1, "a") != child_seed(2, "a")
+    assert child_seed(1, "a", 0) != child_seed(1, "a", 1)
+    assert child_seed(1, "a", "b") != child_seed(1, "b", "a")
+
+
+def test_child_seed_decorrelates_adjacent_roots():
+    from repro.sim.rng import child_seed
+
+    # Adjacent root seeds must not produce adjacent children (the whole
+    # point of the avalanche step): children differ in many bits.
+    a = child_seed(1, "sweep")
+    b = child_seed(2, "sweep")
+    assert bin(a ^ b).count("1") > 16
+
+
+def test_child_seed_rejects_non_int_non_str_path():
+    from repro.sim.rng import child_seed
+
+    with pytest.raises(TypeError):
+        child_seed(1, 1.5)
+    with pytest.raises(TypeError):
+        child_seed(1, True)
