@@ -1,0 +1,352 @@
+"""Visitor core: source model, rule registry, suppression handling.
+
+The framework is deliberately dependency-free: files are parsed with
+:mod:`ast`, rules are plain classes registered under stable IDs, and a
+finding is a value object that a reporter or baseline can fingerprint.
+
+Suppressions
+------------
+A finding on line *N* is suppressed when line *N* carries a trailing
+``# lb: noqa`` comment — bare (suppresses every rule) or scoped to
+specific rules: ``# lb: noqa[LB101]``, ``# lb: noqa[LB102,LB104]``.
+
+Module directives
+-----------------
+Rules scope themselves by dotted module path (inferred from the file's
+location under ``src/``).  A file outside the package tree — a test
+fixture, a scratch script — can pretend to be part of a package with a
+directive comment in its first ten lines::
+
+    # lb: module=repro.sim.fixture
+
+which is how the lint fixtures under ``tests/fixtures/lint/`` exercise
+package-scoped rules.
+"""
+
+import ast
+import os
+import re
+import tokenize
+
+_NOQA_RE = re.compile(r"#\s*lb:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
+_MODULE_RE = re.compile(r"#\s*lb:\s*module\s*=\s*([A-Za-z0-9_.]+)")
+
+#: Directory names never descended into when walking a tree.  ``fixtures``
+#: is excluded so the deliberately-bad lint fixtures under
+#: ``tests/fixtures/lint/`` do not fail a whole-tree run; tests lint them
+#: by passing the files explicitly (explicit file arguments bypass the
+#: exclusion).
+DEFAULT_EXCLUDED_DIRS = (
+    "__pycache__",
+    ".git",
+    ".pytest_cache",
+    ".hypothesis",
+    "fixtures",
+)
+
+
+class LintError(Exception):
+    """Raised for unusable inputs (missing files, unparsable syntax)."""
+
+
+class Finding:
+    """One rule violation at a source location."""
+
+    __slots__ = ("rule", "path", "line", "col", "message", "code")
+
+    def __init__(self, rule, path, line, col, message, code=""):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.col = col
+        self.message = message
+        self.code = code
+
+    def fingerprint(self):
+        """Location-drift-tolerant identity used by the baseline: the
+        rule, the file, and the *text* of the offending line (whitespace
+        collapsed) — stable across unrelated edits that shift line
+        numbers."""
+        return (self.rule, self.path, normalize_code(self.code))
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule)
+
+    def as_dict(self):
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "code": self.code,
+        }
+
+    def __repr__(self):
+        return "Finding({}, {}:{}:{})".format(
+            self.rule, self.path, self.line, self.col
+        )
+
+
+def normalize_code(code):
+    """Collapse runs of whitespace so reformatting does not break the
+    baseline match."""
+    return " ".join(code.split())
+
+
+class SourceFile:
+    """A parsed source file plus everything rules need to scope and
+    suppress: the AST (with parent links), the dotted module path, and
+    the per-line noqa table."""
+
+    def __init__(self, path, text, module=None):
+        self.path = path
+        self.text = text
+        self.lines = text.splitlines()
+        try:
+            self.tree = ast.parse(text, filename=path)
+        except SyntaxError as error:
+            raise LintError(
+                "cannot parse {}: {}".format(path, error)
+            ) from error
+        self.parents = {}
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+        self.noqa = self._collect_noqa(text)
+        self.module = module if module is not None else self._infer_module()
+
+    # -- scoping ---------------------------------------------------------
+
+    def _infer_module(self):
+        directive = self._module_directive()
+        if directive:
+            return directive
+        parts = self.path.replace(os.sep, "/").split("/")
+        for name in ("src", "Lib", "site-packages"):
+            if name in parts:
+                parts = parts[parts.index(name) + 1:]
+                break
+        if parts and parts[-1].endswith(".py"):
+            parts[-1] = parts[-1][:-3]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        # Only claim a dotted path when the file demonstrably lives in
+        # the repro package; everything else stays unscoped.
+        if "repro" in parts:
+            parts = parts[parts.index("repro"):]
+            return ".".join(parts)
+        return ""
+
+    def _module_directive(self):
+        for line in self.lines[:10]:
+            match = _MODULE_RE.search(line)
+            if match:
+                return match.group(1)
+        return ""
+
+    def in_package(self, *packages):
+        """True when this file's module lies inside any of ``packages``
+        (a dotted prefix match: ``repro.sim`` covers ``repro.sim.kernel``)."""
+        for package in packages:
+            if self.module == package or self.module.startswith(package + "."):
+                return True
+        return False
+
+    # -- suppression -----------------------------------------------------
+
+    def _collect_noqa(self, text):
+        """Map line number -> set of suppressed rule IDs (``None`` in the
+        set means "all rules").  Comments are located with
+        :mod:`tokenize` so a ``# lb: noqa`` inside a string literal is
+        not a suppression."""
+        table = {}
+        try:
+            tokens = tokenize.generate_tokens(iter(self.lines_iter()).__next__)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                match = _NOQA_RE.search(token.string)
+                if not match:
+                    continue
+                rules = table.setdefault(token.start[0], set())
+                if match.group(1):
+                    rules.update(
+                        part.strip().upper()
+                        for part in match.group(1).split(",")
+                        if part.strip()
+                    )
+                else:
+                    rules.add(None)
+        except tokenize.TokenError:
+            # Unterminated something; the ast parse already succeeded, so
+            # just fall back to no suppressions past the break point.
+            pass
+        return table
+
+    def lines_iter(self):
+        for line in self.lines:
+            yield line + "\n"
+
+    def is_suppressed(self, rule_id, line):
+        rules = self.noqa.get(line)
+        if not rules:
+            return False
+        return None in rules or rule_id.upper() in rules
+
+    # -- finding construction -------------------------------------------
+
+    def code_at(self, line):
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule_id, node, message):
+        """Build a finding anchored at ``node`` (or a bare line number)."""
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line, col = node.lineno, getattr(node, "col_offset", 0)
+        return Finding(
+            rule_id, self.path, line, col, message, self.code_at(line)
+        )
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id`` (stable, ``LB###``), ``name`` and
+    ``description``, and implement :meth:`check` yielding
+    :class:`Finding` objects.  Suppression is handled by the driver —
+    rules simply report everything they see.
+    """
+
+    id = None
+    name = None
+    description = None
+
+    def check(self, source):
+        raise NotImplementedError
+
+
+_REGISTRY = {}
+
+
+def register(rule_class):
+    """Class decorator adding a rule to the global registry."""
+    if not rule_class.id:
+        raise ValueError("rule {} has no id".format(rule_class.__name__))
+    if rule_class.id in _REGISTRY:
+        raise ValueError("duplicate rule id {}".format(rule_class.id))
+    _REGISTRY[rule_class.id] = rule_class
+    return rule_class
+
+
+def get_rules(select=None):
+    """Instantiate registered rules (optionally a subset by ID)."""
+    _load_builtin_rules()
+    if select is None:
+        ids = sorted(_REGISTRY)
+    else:
+        ids = []
+        for rule_id in select:
+            rule_id = rule_id.strip().upper()
+            if rule_id not in _REGISTRY:
+                raise LintError("unknown rule id {!r}".format(rule_id))
+            ids.append(rule_id)
+    return [_REGISTRY[rule_id]() for rule_id in ids]
+
+
+def _load_builtin_rules():
+    # Importing the rules package triggers @register for every module.
+    import repro.analysis.rules  # noqa: F401  (import for side effect)
+
+
+class _AllRuleIds:
+    """Lazy view of the registered IDs (registration happens on import)."""
+
+    def __iter__(self):
+        _load_builtin_rules()
+        return iter(sorted(_REGISTRY))
+
+    def __contains__(self, rule_id):
+        _load_builtin_rules()
+        return rule_id in _REGISTRY
+
+
+ALL_RULE_IDS = _AllRuleIds()
+
+
+# ---------------------------------------------------------------------------
+# Drivers.
+# ---------------------------------------------------------------------------
+
+
+def lint_source(text, path="<string>", rules=None, module=None):
+    """Lint a source string; returns the unsuppressed findings, sorted."""
+    source = SourceFile(path, text, module=module)
+    return _run(source, rules if rules is not None else get_rules())
+
+
+def lint_file(path, rules=None):
+    """Lint one file on disk."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        raise LintError("cannot read {}: {}".format(path, error)) from error
+    source = SourceFile(_display_path(path), text)
+    return _run(source, rules if rules is not None else get_rules())
+
+
+def iter_python_files(paths, excluded_dirs=DEFAULT_EXCLUDED_DIRS):
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Directories are walked recursively in sorted order (deterministic
+    output on every filesystem); excluded directory names are pruned.
+    Explicitly named files are always included, excluded or not.
+    """
+    result = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs if d not in excluded_dirs
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        result.append(os.path.join(root, name))
+        elif os.path.isfile(path):
+            result.append(path)
+        else:
+            raise LintError("no such file or directory: {!r}".format(path))
+    return result
+
+
+def lint_paths(paths, rules=None, excluded_dirs=DEFAULT_EXCLUDED_DIRS):
+    """Lint files and directory trees; returns sorted findings."""
+    if rules is None:
+        rules = get_rules()
+    findings = []
+    for file_path in iter_python_files(paths, excluded_dirs):
+        findings.extend(lint_file(file_path, rules))
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def _display_path(path):
+    """Repo-relative, forward-slash path so baselines are portable."""
+    rel = os.path.relpath(path)
+    if not rel.startswith(".."):
+        path = rel
+    return path.replace(os.sep, "/")
+
+
+def _run(source, rules):
+    findings = []
+    for rule in rules:
+        for finding in rule.check(source):
+            if not source.is_suppressed(finding.rule, finding.line):
+                findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings

@@ -1,0 +1,63 @@
+"""Finding reporters: human text and machine JSON."""
+
+import json
+
+
+def text_report(findings, accepted=0, stale=()):
+    """Classic ``path:line:col: RULE message`` lines plus a summary."""
+    lines = []
+    for finding in findings:
+        lines.append(
+            "{}:{}:{}: {} {}".format(
+                finding.path,
+                finding.line,
+                finding.col + 1,
+                finding.rule,
+                finding.message,
+            )
+        )
+    counts = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    if findings:
+        summary = ", ".join(
+            "{} x{}".format(rule, counts[rule]) for rule in sorted(counts)
+        )
+        lines.append("")
+        lines.append(
+            "{} finding{} ({})".format(
+                len(findings), "s" if len(findings) != 1 else "", summary
+            )
+        )
+    else:
+        lines.append("clean: no unbaselined findings")
+    if accepted:
+        lines.append("{} baselined finding{} accepted".format(
+            accepted, "s" if accepted != 1 else ""
+        ))
+    for entry in stale:
+        lines.append(
+            "stale baseline entry: {} {} {!r} — fixed? remove it".format(
+                entry["rule"], entry["path"], entry["code"]
+            )
+        )
+    return "\n".join(lines)
+
+
+def json_report(findings, accepted=0, stale=()):
+    """A stable JSON document (the CI artifact)."""
+    counts = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    payload = {
+        "version": 1,
+        "findings": [finding.as_dict() for finding in findings],
+        "summary": {
+            "total": len(findings),
+            "by_rule": counts,
+            "baselined": accepted,
+            "stale_baseline_entries": len(stale),
+        },
+        "stale_baseline_entries": list(stale),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

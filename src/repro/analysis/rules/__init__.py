@@ -1,0 +1,9 @@
+"""Built-in rules; importing this package registers them all."""
+
+from repro.analysis.rules import (  # noqa: F401  (imported for registration)
+    lb101_determinism,
+    lb102_snapshot,
+    lb103_wakeup,
+    lb104_caches,
+    lb105_seeds,
+)

@@ -1,0 +1,144 @@
+"""LB102: snapshot declarations must cover a class's mutable state.
+
+The checkpoint protocol (:mod:`repro.sim.snapshot`) saves exactly the
+attributes a class lists in ``state_attrs`` / ``state_children``.  An
+attribute that holds runtime state but is missing from the declaration
+is *silently dropped* from every checkpoint: save/load round-trips
+succeed, the strict-mode cross-check passes on fresh runs, and the
+divergence only surfaces as a wrong number in a resumed campaign —
+the worst failure mode this repository has.
+
+The static approximation: inside any class that declares
+``state_attrs`` or ``state_children``, every ``self.X = <mutable
+container>`` assignment in ``__init__`` (list/dict/set/deque displays,
+constructor calls or comprehensions) must appear in ``state_attrs``,
+``state_children``, or the linter-recognized escape hatch
+``state_exclude`` — a class-level tuple documenting attributes that are
+*deliberately* outside the snapshot (derived caches rebuilt lazily,
+immutable-after-init config held in a container).  Attributes assigned
+from parameters or immutable literals are treated as configuration and
+not flagged.
+
+A second check catches the inverse drift: a name listed in
+``state_attrs`` that no method of the class ever assigns (a renamed or
+deleted attribute whose declaration was forgotten) — unless an in-file
+ancestor assigns it, since subclasses may harmlessly re-list inherited
+names.
+"""
+
+import ast
+
+from repro.analysis.core import Rule, register
+from repro.analysis.visitors import (
+    class_methods,
+    class_tuple_attr,
+    in_file_bases,
+    iter_classes,
+    iter_self_mutations,
+    self_attr_reads,
+    self_attr_target,
+)
+
+_CONTAINER_CALLS = {
+    "list", "dict", "set", "deque", "defaultdict", "OrderedDict",
+    "Counter", "bytearray",
+    "collections.deque", "collections.defaultdict",
+    "collections.OrderedDict", "collections.Counter",
+}
+
+
+def _is_mutable_initializer(node):
+    """Does this ``__init__`` assignment value build a mutable container?"""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        from repro.analysis.visitors import call_name
+
+        return call_name(node) in _CONTAINER_CALLS
+    return False
+
+
+@register
+class SnapshotCompletenessRule(Rule):
+    id = "LB102"
+    name = "snapshot-completeness"
+    description = (
+        "mutable attribute assigned in __init__ but absent from "
+        "state_attrs/state_children/state_exclude (silent checkpoint drift)"
+    )
+
+    def check(self, source):
+        if not (source.module.startswith("repro.") or source.module):
+            return
+        for class_node in iter_classes(source.tree):
+            attrs = class_tuple_attr(class_node, "state_attrs")
+            children = class_tuple_attr(class_node, "state_children")
+            if attrs is None and children is None:
+                continue
+            exclude = class_tuple_attr(class_node, "state_exclude") or ()
+            declared = set(attrs or ()) | set(children or ()) | set(exclude)
+            methods = class_methods(class_node)
+            # A custom state_dict/load_state_dict pair may serialize
+            # attributes by hand (MetricsCollector snapshots its
+            # per-master stats list explicitly); anything those hooks
+            # touch counts as declared.
+            for hook_name in ("state_dict", "load_state_dict"):
+                hook = methods.get(hook_name)
+                if hook is not None:
+                    declared |= self_attr_reads(hook)
+            init = methods.get("__init__")
+            if init is not None:
+                yield from self._check_init(
+                    source, class_node, init, declared
+                )
+            yield from self._check_stale_declarations(
+                source, class_node, attrs or (), methods
+            )
+
+    def _check_init(self, source, class_node, init, declared):
+        for stmt in ast.walk(init):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            if not _is_mutable_initializer(stmt.value):
+                continue
+            for target in stmt.targets:
+                if isinstance(target, ast.Subscript):
+                    continue  # item store, not an attribute binding
+                attr = self_attr_target(target)
+                if attr and attr not in declared:
+                    yield source.finding(
+                        self.id, stmt,
+                        "{}.{} is initialized as a mutable container but "
+                        "not declared in state_attrs/state_children — "
+                        "checkpoints will silently drop it; declare it or "
+                        "list it in state_exclude with a comment saying "
+                        "why it is safe to omit".format(
+                            class_node.name, attr
+                        ),
+                    )
+
+    def _check_stale_declarations(self, source, class_node, attrs, methods):
+        assigned = set()
+        for method in methods.values():
+            for attr, _ in iter_self_mutations(method):
+                assigned.add(attr)
+        resolved, unresolved = in_file_bases(class_node, source.tree)
+        for base in resolved:
+            for method in class_methods(base).values():
+                for attr, _ in iter_self_mutations(method):
+                    assigned.add(attr)
+        if set(unresolved) - {"object", "Snapshottable", "Component",
+                              "Arbiter"}:
+            # An out-of-file ancestor may assign the attribute; stay quiet.
+            return
+        for name in attrs:
+            if name not in assigned:
+                yield source.finding(
+                    self.id, class_node,
+                    "{}.state_attrs declares {!r} but no method ever "
+                    "assigns self.{} — stale declaration (load_state_dict "
+                    "will reject every checkpoint… or resurrect a ghost "
+                    "attribute)".format(class_node.name, name, name),
+                )

@@ -1,0 +1,102 @@
+"""LB105: experiment entry points must accept and forward a seed.
+
+Every published number in this repository is a function of
+``(experiment, config, seed)`` — that triple is literally the result
+cache's key (PR 4).  An experiment entry point that does not take a
+seed either hides a constant inside (unreproducible by construction —
+sweeping seeds for confidence intervals becomes impossible) or, worse,
+falls back to ambient randomness that changes on every run.
+
+For every module-level ``run_*`` function in ``repro.experiments``:
+
+* the signature must include a seed-carrying parameter (``seed``,
+  ``seeds``, ``base_seed``, ``root_seed`` or ``lfsr_seed``);
+* the parameter must not default to ``None`` — a ``None`` seed means
+  "let the RNG self-seed from the OS", exactly the ambient randomness
+  the whole stack is built to avoid;
+* the parameter must actually be *used* in the body (a seed accepted
+  but never forwarded silently decouples the caller's seed from the
+  simulation's).
+
+Deterministic entry points (analytic hardware-cost models, scripted
+worked examples) opt out with ``# lb: noqa[LB105]`` and a comment
+saying why no randomness is involved.
+"""
+
+import ast
+
+from repro.analysis.core import Rule, register
+from repro.analysis.visitors import contains_name
+
+SEED_PARAMS = ("seed", "seeds", "base_seed", "root_seed", "lfsr_seed")
+
+
+def _parameters(func_node):
+    args = func_node.args
+    names = [arg.arg for arg in args.posonlyargs]
+    names += [arg.arg for arg in args.args]
+    names += [arg.arg for arg in args.kwonlyargs]
+    defaults = {}
+    positional = args.posonlyargs + args.args
+    for arg, default in zip(positional[len(positional) - len(args.defaults):],
+                            args.defaults):
+        defaults[arg.arg] = default
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None:
+            defaults[arg.arg] = default
+    return names, defaults
+
+
+@register
+class SeedThreadingRule(Rule):
+    id = "LB105"
+    name = "seed-threading"
+    description = (
+        "experiment entry point without an explicit, forwarded seed "
+        "parameter"
+    )
+
+    def check(self, source):
+        if not source.in_package("repro.experiments"):
+            return
+        for node in source.tree.body:
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if not node.name.startswith("run_"):
+                continue
+            names, defaults = _parameters(node)
+            seed_params = [name for name in names if name in SEED_PARAMS]
+            if not seed_params:
+                yield source.finding(
+                    self.id, node,
+                    "experiment entry point {}() takes no seed parameter "
+                    "({}) — results cannot be keyed or replicated; "
+                    "deterministic entry points should say so with a "
+                    "noqa".format(node.name, "/".join(SEED_PARAMS[:2])),
+                )
+                continue
+            for param in seed_params:
+                default = defaults.get(param)
+                if (
+                    isinstance(default, ast.Constant)
+                    and default.value is None
+                ):
+                    yield source.finding(
+                        self.id, node,
+                        "{}() defaults {}=None — a None seed falls back "
+                        "to ambient OS randomness; default to a fixed "
+                        "integer".format(node.name, param),
+                    )
+                if not self._used_in_body(node, param):
+                    yield source.finding(
+                        self.id, node,
+                        "{}() accepts {!r} but never uses it — the "
+                        "caller's seed is silently disconnected from the "
+                        "simulation".format(node.name, param),
+                    )
+
+    def _used_in_body(self, func_node, param):
+        for stmt in func_node.body:
+            if contains_name(stmt, param):
+                return True
+        return False

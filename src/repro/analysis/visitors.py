@@ -1,0 +1,194 @@
+"""Shared AST inspection helpers used by the rules.
+
+Everything here is purely syntactic: no imports of the analyzed code,
+no name resolution beyond what a single file's AST supports.  Rules that
+need inheritance information resolve base classes *within the file* and
+treat unresolvable bases conservatively (documented per rule).
+"""
+
+import ast
+
+
+def iter_classes(tree):
+    """Every ClassDef in the module, including nested ones."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def class_methods(class_node):
+    """Mapping of method name -> FunctionDef for a class body (direct
+    children only — nested helper defs are not methods)."""
+    methods = {}
+    for item in class_node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods[item.name] = item
+    return methods
+
+
+def class_tuple_attr(class_node, name):
+    """The string elements of a class-level tuple assignment like
+    ``state_attrs = ("a", "b")``; ``None`` when the class does not
+    declare ``name`` at all (distinct from declaring it empty)."""
+    for item in class_node.body:
+        if isinstance(item, ast.Assign):
+            targets = item.targets
+        elif isinstance(item, ast.AnnAssign) and item.value is not None:
+            targets = [item.target]
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == name:
+                return _constant_strings(item.value)
+    return None
+
+
+def _constant_strings(node):
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return tuple(
+            element.value
+            for element in node.elts
+            if isinstance(element, ast.Constant)
+            and isinstance(element.value, str)
+        )
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return (node.value,)
+    return ()
+
+
+def self_attr_target(node):
+    """The attribute name when ``node`` is a ``self.X`` store target
+    (plain or subscripted: ``self.X = ...`` / ``self.X[k] = ...``),
+    else ``None``."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def iter_self_mutations(func_node):
+    """Yield ``(attr_name, stmt)`` for every statement in ``func_node``
+    that writes a ``self`` attribute: plain assignment, subscript
+    assignment, augmented assignment, and ``del self.X``."""
+    for stmt in ast.walk(func_node):
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                attr = self_attr_target(target)
+                if attr:
+                    yield attr, stmt
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            attr = self_attr_target(stmt.target)
+            if attr:
+                yield attr, stmt
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                attr = self_attr_target(target)
+                if attr:
+                    yield attr, stmt
+
+
+def self_attr_reads(node):
+    """All ``self.X`` attribute names loaded anywhere under ``node``."""
+    reads = set()
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Attribute)
+            and isinstance(child.value, ast.Name)
+            and child.value.id == "self"
+        ):
+            reads.add(child.attr)
+    return reads
+
+
+def references_self_attr(node, attr):
+    """True when ``self.<attr>`` appears (in any position) under ``node``."""
+    return attr in self_attr_reads(node)
+
+
+def call_name(node):
+    """Dotted name of a call target: ``Call(func=Name)`` -> ``"f"``,
+    ``Call(func=Attribute(Name))`` -> ``"mod.f"``; ``None`` otherwise."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    parts = []
+    while isinstance(func, ast.Attribute):
+        parts.append(func.attr)
+        func = func.value
+    if isinstance(func, ast.Name):
+        parts.append(func.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def contains_name(node, name):
+    """True when a ``Name`` node with id ``name`` occurs under ``node``."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id == name:
+            return True
+    return False
+
+
+def calls_super_method(func_node, method_name):
+    """True when ``func_node`` contains ``super().<method_name>(...)``."""
+    for node in ast.walk(func_node):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == method_name
+            and isinstance(node.func.value, ast.Call)
+            and call_name(node.func.value) == "super"
+        ):
+            return True
+    return False
+
+
+def in_file_bases(class_node, tree):
+    """Transitively resolve a class's base classes *within this file*.
+
+    Returns ``(resolved, unresolved)``: ClassDef nodes found in the
+    file, and the bare names of bases defined elsewhere.
+    """
+    by_name = {
+        node.name: node for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef)
+    }
+    resolved, unresolved, queue, seen = [], [], list(class_node.bases), set()
+    while queue:
+        base = queue.pop(0)
+        name = base.id if isinstance(base, ast.Name) else None
+        if name is None and isinstance(base, ast.Attribute):
+            name = base.attr
+        if name is None or name in seen:
+            continue
+        seen.add(name)
+        if name in by_name:
+            node = by_name[name]
+            resolved.append(node)
+            queue.extend(node.bases)
+        else:
+            unresolved.append(name)
+    return resolved, unresolved
+
+
+def hierarchy_defines(class_node, tree, method_name):
+    """Whether the class or an in-file ancestor defines ``method_name``.
+
+    Returns ``"yes"``, ``"no"`` or ``"unknown"`` (an out-of-file base
+    might define it)."""
+    if method_name in class_methods(class_node):
+        return "yes"
+    resolved, unresolved = in_file_bases(class_node, tree)
+    for base in resolved:
+        if method_name in class_methods(base):
+            return "yes"
+    # Bases that are known leaf/framework classes cannot hide overrides.
+    known_roots = {"object", "Component", "Snapshottable", "Arbiter"}
+    if set(unresolved) - known_roots:
+        return "unknown"
+    return "no"

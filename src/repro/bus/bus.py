@@ -175,6 +175,11 @@ class SharedBus(Component):
 
     state_attrs = ("_stall", "_stall_run")
     state_children = ("arbiter", "metrics")
+    # Wiring, not runtime state: completion hooks are callables
+    # re-registered by whoever builds the system (unpicklable in
+    # general), and _serviced_masters is a derived view of self.masters,
+    # whose contents snapshot through the "masters" section above.
+    state_exclude = ("_completion_hooks", "_hook_keys", "_serviced_masters")
 
     def state_dict(self):
         state = default_state_dict(self)

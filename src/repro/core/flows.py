@@ -60,6 +60,9 @@ class FlowLotteryManager(Snapshottable):
 
     state_attrs = ("lotteries_held",)
     state_children = ("random_source",)
+    # Pure memo over the immutable ticket table — identical entries are
+    # rebuilt on demand after a restore, so it stays out of checkpoints.
+    state_exclude = ("_sums_cache",)
 
     # Flow vectors recur heavily (the same few masters contend with the
     # same head flows), and the ticket table is immutable, so the prefix

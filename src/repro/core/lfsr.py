@@ -14,6 +14,8 @@ once, and value ``2**k - 1`` never, a bias of one part in ``2**k - 1``
 that the paper's hardware shares.
 """
 
+from repro.sim.snapshot import Snapshottable
+
 # Maximal-length tap positions (1-indexed from the output bit), from the
 # standard XAPP 052 table.  taps[k] -> tuple of bit positions whose XOR
 # feeds back for a width-k register.
@@ -51,8 +53,6 @@ MAXIMAL_TAPS = {
     32: (32, 22, 2, 1),
 }
 
-
-from repro.sim.snapshot import Snapshottable
 
 if hasattr(int, "bit_count"):  # Python >= 3.10
 

@@ -242,6 +242,10 @@ class DynamicLotteryManager(Snapshottable):
         "dropped_updates",
     )
     state_children = ("random_source",)
+    # _sums_cache is a memo over _tickets, dropped by load_state_dict
+    # below; _initial is the immutable reset target, fixed at
+    # construction and identical in the restored object.
+    state_exclude = ("_sums_cache", "_initial")
 
     def _clamp(self, value):
         value = int(value)

@@ -1,0 +1,11 @@
+"""``python -m repro.lint`` — the determinism & contract linter.
+
+Thin entry point; the implementation lives in :mod:`repro.analysis`.
+"""
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+# lb: module=repro.sim.fixture_bad
+"""LB101 true positives: every flavour of nondeterminism the rule bans."""
+
+import glob
+import os
+import random
+import time
+from random import randint
+from time import perf_counter
+
+
+def ambient_random_draw():
+    return random.random() + random.randint(1, 6)
+
+
+def wall_clock_timestamp():
+    return time.time()
+
+
+def imported_wall_clock():
+    return perf_counter()
+
+
+def imported_ambient_random():
+    return randint(0, 1)
+
+
+def os_entropy():
+    return os.urandom(8)
+
+
+def arbitrate_over_set(masters):
+    for master in {"dma", "cpu", "dsp"}:
+        if master in masters:
+            return master
+    return None
+
+
+def iterate_set_call(pending):
+    return [master for master in set(pending)]
+
+
+def unsorted_listing(path):
+    return os.listdir(path)
+
+
+def salted_key(name):
+    return hash(name) % 16

@@ -1,0 +1,35 @@
+# lb: module=repro.sim.fixture_bad
+"""LB102 true positives: mutable state the checkpoint would silently drop."""
+
+from collections import deque
+
+
+class LeakyQueue:
+    """_pending is runtime state but absent from state_attrs: every
+    checkpoint silently saves an empty view of this component."""
+
+    state_attrs = ("served",)
+
+    def __init__(self, name):
+        self.name = name
+        self.served = 0
+        self._pending = deque()
+        self._latency_sums = {}
+
+    def push(self, item):
+        self._pending.append(item)
+
+
+class StaleDeclaration:
+    """state_attrs declares an attribute no method ever assigns — the
+    classic rename-without-updating-the-declaration drift."""
+
+    state_attrs = ("_holder", "_consecutive_grants")
+
+    def __init__(self):
+        self._holder = 0
+        self._consecutive = 0
+
+    def advance(self):
+        self._holder += 1
+        self._consecutive += 1

@@ -1,0 +1,49 @@
+# lb: module=repro.sim.fixture_good
+"""LB102 true negatives: complete declarations, explicit exclusions,
+custom hooks."""
+
+from collections import deque
+
+
+class CompleteQueue:
+    state_attrs = ("served", "_pending")
+
+    def __init__(self, name):
+        self.name = name  # immutable config: not a container, not flagged
+        self.served = 0
+        self._pending = deque()
+
+
+class ExcludedCache:
+    state_attrs = ("hits",)
+    # Derived memo, rebuilt lazily after restore.
+    state_exclude = ("_memo",)
+
+    def __init__(self):
+        self.hits = 0
+        self._memo = {}
+
+
+class CustomHooks:
+    """Attributes serialized by hand in state_dict count as declared."""
+
+    state_attrs = ("total",)
+
+    def __init__(self):
+        self.total = 0
+        self._rows = []
+
+    def state_dict(self):
+        return {"total": self.total, "rows": list(self._rows)}
+
+    def load_state_dict(self, state):
+        self.total = state["total"]
+        self._rows = list(state["rows"])
+
+
+class SuppressedScratch:
+    state_attrs = ("count",)
+
+    def __init__(self):
+        self.count = 0
+        self._scratch = []  # lb: noqa[LB102]

@@ -1,0 +1,46 @@
+# lb: module=repro.core.fixture_bad
+"""LB104 true positives: cache inputs mutated without invalidation."""
+
+
+class StaleSumsManager:
+    """set_tickets rewrites the ticket table but never drops the memo:
+    every cached request map keeps serving the old partial sums."""
+
+    state_attrs = ("_tickets",)
+
+    def __init__(self, tickets):
+        self._tickets = list(tickets)
+        self._sums_cache = {}
+
+    def draw(self, request_map):
+        key = tuple(request_map)
+        sums = self._sums_cache.get(key)
+        if sums is None:
+            total = 0
+            sums = []
+            for pending, tickets in zip(request_map, self._tickets):
+                total += tickets if pending else 0
+                sums.append(total)
+            self._sums_cache[key] = sums
+        return sums
+
+    def set_tickets(self, master, count):
+        self._tickets[master] = count
+
+
+class RestoreBehindCache:
+    """_weights is snapshotted, but there is no load_state_dict that
+    invalidates the memo — restore rewrites the input behind it."""
+
+    state_attrs = ("_weights",)
+
+    def __init__(self, weights):
+        self._weights = list(weights)
+        self._row_cache = {}
+
+    def row(self, key):
+        value = self._row_cache.get(key)
+        if value is None:
+            value = sum(self._weights) * key
+            self._row_cache[key] = value
+        return value

@@ -1,0 +1,52 @@
+# lb: module=repro.core.fixture_good
+"""LB104 true negatives: every mutator invalidates, restore clears."""
+
+
+class InvalidatingManager:
+    state_attrs = ("_tickets",)
+    state_exclude = ("_sums_cache",)
+
+    def __init__(self, tickets):
+        self._tickets = list(tickets)
+        self._sums_cache = {}
+
+    def draw(self, request_map):
+        key = tuple(request_map)
+        sums = self._sums_cache.get(key)
+        if sums is None:
+            total = 0
+            sums = []
+            for pending, tickets in zip(request_map, self._tickets):
+                total += tickets if pending else 0
+                sums.append(total)
+            self._sums_cache[key] = sums
+        return sums
+
+    def set_tickets(self, master, count):
+        if count != self._tickets[master]:
+            self._tickets[master] = count
+            self._sums_cache.clear()
+
+    def load_state_dict(self, state):
+        self._tickets = list(state["_tickets"])
+        self._sums_cache.clear()
+
+
+class ImmutableInputCache:
+    """The memo's only input is fixed at construction; no mutators, no
+    snapshot of it, nothing to invalidate."""
+
+    def __init__(self, table):
+        self._table = dict(table)
+        self._row_cache = {}
+
+    def row(self, key):
+        value = self._row_cache.get(key)
+        if value is None:
+            value = self._table.get(key, 0) * 2
+            self._row_cache[key] = value
+        return value
+
+    def unrelated_counter(self):
+        # Mutating a non-input attribute needs no invalidation.
+        self.calls = getattr(self, "calls", 0) + 1

@@ -1,0 +1,23 @@
+# lb: module=repro.experiments.fixture_good
+"""LB105 true negatives: seeds accepted, defaulted to ints, forwarded."""
+
+
+def run_properly_seeded(cycles=1000, seed=1):
+    return simulate(cycles, seed=seed)
+
+
+def run_with_base_seed(replicates=8, base_seed=1):
+    return [simulate(1000, seed=base_seed + i) for i in range(replicates)]
+
+
+def run_analytic_model(sizes=(2, 4, 8)):  # lb: noqa[LB105] — closed-form, no RNG
+    return [size * size for size in sizes]
+
+
+def helper_function(cycles):
+    # Not a run_* entry point; out of scope.
+    return cycles
+
+
+def simulate(cycles, seed):
+    return cycles * seed

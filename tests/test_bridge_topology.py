@@ -8,7 +8,7 @@ from repro.bus.bridge import Bridge, BridgeTag
 from repro.bus.bus import SharedBus
 from repro.bus.master import MasterInterface
 from repro.bus.slave import Slave
-from repro.bus.topology import BusSystem, build_single_bus_system
+from repro.bus.topology import build_single_bus_system
 from repro.sim.kernel import Simulator
 
 

@@ -147,7 +147,7 @@ def test_word_conservation():
 def test_reset_clears_bus_state():
     bus, masters = make_bus()
     masters[0].submit(10, 0)
-    sim = run_bus(bus, 3)
+    run_bus(bus, 3)
     masters[0].reset()
     bus.reset()
     assert not bus.busy

@@ -1,7 +1,5 @@
 """Tests for split transactions (Section 2's dynamic bus splitting)."""
 
-import pytest
-
 from repro.arbiters.round_robin import RoundRobinArbiter
 from repro.bus.bus import SharedBus
 from repro.bus.master import MasterInterface
@@ -81,7 +79,7 @@ def test_split_with_zero_setup_behaves_identically():
     for split in (False, True):
         sim, bus, masters = build(split=split, setups=(0, 0))
         a = masters[0].submit(4, 0, slave=0)
-        b = masters[1].submit(4, 0, slave=1)
+        masters[1].submit(4, 0, slave=1)
         sim.run(10)
         assert bus.metrics.total_words == 8
         assert a.completion_cycle is not None

@@ -1,0 +1,218 @@
+"""CLI, baseline and self-check tests for ``python -m repro.lint``."""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+from repro.analysis import Baseline, lint_file
+from repro.analysis.baseline import BaselineError
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FIXTURES = os.path.join(REPO_ROOT, "tests", "fixtures", "lint")
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def run_lint(*args, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint"] + list(args),
+        cwd=cwd,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The self-check: the shipped tree is clean against the shipped baseline.
+# ---------------------------------------------------------------------------
+
+
+def test_repo_tree_is_clean_against_committed_baseline():
+    result = run_lint("src/", "tests/")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "clean: no unbaselined findings" in result.stdout
+
+
+def test_bad_fixture_fails_the_cli_with_exit_1():
+    result = run_lint(os.path.join(FIXTURES, "lb101_bad.py"))
+    assert result.returncode == 1
+    assert "LB101" in result.stdout
+
+
+def test_every_rule_has_a_fixture_verified_true_positive():
+    for rule in ("LB101", "LB102", "LB103", "LB104", "LB105"):
+        bad = os.path.join(FIXTURES, "{}_bad.py".format(rule.lower()))
+        result = run_lint("--select", rule, bad)
+        assert result.returncode == 1, "{} bad fixture not caught".format(rule)
+        assert rule in result.stdout
+
+
+def test_introducing_a_bad_file_into_the_tree_fails(tmp_path):
+    tree = tmp_path / "pkg"
+    tree.mkdir()
+    shutil.copy(
+        os.path.join(FIXTURES, "lb105_bad.py"), str(tree / "newexp.py")
+    )
+    result = run_lint(str(tree))
+    assert result.returncode == 1
+    assert "LB105" in result.stdout
+
+
+def test_fixture_directory_is_excluded_from_tree_walks_only(tmp_path):
+    # Walking tests/ skips fixtures/ (the tree self-check depends on it)…
+    result = run_lint("tests/")
+    assert result.returncode == 0
+    # …but naming a fixture file explicitly always lints it.
+    result = run_lint(os.path.join(FIXTURES, "lb103_bad.py"))
+    assert result.returncode == 1
+
+
+# ---------------------------------------------------------------------------
+# Output formats and exit codes.
+# ---------------------------------------------------------------------------
+
+
+def test_json_report_shape():
+    result = run_lint(
+        "--format", "json", os.path.join(FIXTURES, "lb102_bad.py")
+    )
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload["version"] == 1
+    assert payload["summary"]["total"] == len(payload["findings"]) > 0
+    assert payload["summary"]["by_rule"].keys() == {"LB102"}
+    finding = payload["findings"][0]
+    assert {"rule", "path", "line", "col", "message", "code"} <= set(finding)
+
+
+def test_json_report_clean_tree_has_empty_findings():
+    result = run_lint(
+        "--format", "json", os.path.join(FIXTURES, "lb101_good.py")
+    )
+    assert result.returncode == 0
+    payload = json.loads(result.stdout)
+    assert payload["findings"] == []
+
+
+def test_unknown_rule_is_a_usage_error():
+    result = run_lint("--select", "LB999", "src/")
+    assert result.returncode == 2
+    assert "unknown rule" in result.stderr
+
+
+def test_missing_path_is_a_usage_error():
+    result = run_lint("no/such/dir")
+    assert result.returncode == 2
+
+
+def test_list_rules_prints_catalog():
+    result = run_lint("--list-rules")
+    assert result.returncode == 0
+    for rule in ("LB101", "LB102", "LB103", "LB104", "LB105"):
+        assert rule in result.stdout
+
+
+# ---------------------------------------------------------------------------
+# Baseline workflow.
+# ---------------------------------------------------------------------------
+
+
+def test_write_baseline_then_lint_is_clean(tmp_path):
+    bad = os.path.join(FIXTURES, "lb104_bad.py")
+    baseline = str(tmp_path / "baseline.json")
+    written = run_lint("--write-baseline", baseline, bad)
+    assert written.returncode == 0
+    result = run_lint("--baseline", baseline, bad)
+    assert result.returncode == 0, result.stdout
+    assert "baselined finding" in result.stdout
+
+
+def test_baseline_does_not_mask_new_findings(tmp_path):
+    baseline = str(tmp_path / "baseline.json")
+    run_lint(
+        "--write-baseline", baseline, os.path.join(FIXTURES, "lb104_bad.py")
+    )
+    # A different bad file is not covered by that baseline.
+    result = run_lint(
+        "--baseline", baseline, os.path.join(FIXTURES, "lb105_bad.py")
+    )
+    assert result.returncode == 1
+
+
+def test_stale_baseline_entries_are_reported(tmp_path):
+    baseline = str(tmp_path / "baseline.json")
+    Baseline(
+        [
+            {
+                "rule": "LB101",
+                "path": "src/gone.py",
+                "code": "x = time.time()",
+                "justification": "was needed once",
+            }
+        ]
+    ).save(baseline)
+    result = run_lint(
+        "--baseline", baseline, os.path.join(FIXTURES, "lb101_good.py")
+    )
+    assert result.returncode == 0
+    assert "stale baseline entry" in result.stdout
+
+
+def test_no_baseline_flag_reports_accepted_findings():
+    result = run_lint("--no-baseline", "src/")
+    assert result.returncode == 1
+    assert "run_task_spec" in result.stdout
+
+
+def test_committed_baseline_justifications_are_non_empty():
+    baseline = Baseline.load(os.path.join(REPO_ROOT, "lint-baseline.json"))
+    for entry in baseline.entries:
+        assert entry["justification"].strip()
+        assert "TODO" not in entry["justification"]
+
+
+def test_baseline_rejects_malformed_entries(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"version": 1, "entries": [{"rule": "LB101"}]}')
+    try:
+        Baseline.load(str(path))
+    except BaselineError:
+        pass
+    else:
+        raise AssertionError("malformed baseline accepted")
+
+
+def test_baseline_matching_survives_line_drift(tmp_path):
+    original = os.path.join(FIXTURES, "lb105_bad.py")
+    baseline = str(tmp_path / "baseline.json")
+    run_lint("--write-baseline", baseline, original)
+    # Same content shifted 20 lines down: fingerprints still match.
+    shifted = tmp_path / "lb105_shifted.py"
+    with open(original) as handle:
+        content = handle.read()
+    directive, rest = content.split("\n", 1)
+    shifted.write_text(directive + "\n" + "#\n" * 20 + rest)
+    entries = json.load(open(baseline))["entries"]
+    for entry in entries:
+        entry["path"] = _display(str(shifted))
+    json.dump({"version": 1, "entries": entries}, open(baseline, "w"))
+    result = run_lint("--baseline", baseline, str(shifted))
+    assert result.returncode == 0, result.stdout
+
+
+def _display(path):
+    rel = os.path.relpath(path, REPO_ROOT)
+    if not rel.startswith(".."):
+        path = rel
+    return path.replace(os.sep, "/")
+
+
+def test_lint_file_api_matches_cli(tmp_path):
+    findings = lint_file(os.path.join(FIXTURES, "lb103_bad.py"))
+    assert {f.rule for f in findings} == {"LB103"}
+    assert all(f.code for f in findings)

@@ -13,7 +13,7 @@ from repro.soc.config import (
 )
 from repro.soc.presets import PRESETS, get_preset
 from repro.bus.master import MasterInterface
-from repro.traffic.generator import ClosedLoopGenerator, OnOffGenerator
+from repro.traffic.generator import OnOffGenerator
 from repro.traffic.message import FixedWords, GeometricWords, UniformWords
 
 
