@@ -1,7 +1,17 @@
 """``python -m repro`` entry point."""
 
+import os
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+try:
+    code = main()
+except BrokenPipeError:
+    # A downstream reader (``| head``, ``| grep -m1``) closed the pipe
+    # early.  Redirect stdout to devnull so interpreter shutdown does
+    # not raise again, and exit with the conventional SIGPIPE status.
+    devnull = os.open(os.devnull, os.O_WRONLY)
+    os.dup2(devnull, sys.stdout.fileno())
+    code = 128 + 13
+sys.exit(code)

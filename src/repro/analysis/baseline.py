@@ -30,6 +30,7 @@ reported as *stale* so the file cannot silently rot.
 import json
 
 from repro.analysis.core import normalize_code
+from repro.ioutil import atomic_write
 
 BASELINE_VERSION = 1
 DEFAULT_BASELINE_NAME = "lint-baseline.json"
@@ -81,9 +82,9 @@ class Baseline:
 
     def save(self, path):
         payload = {"version": BASELINE_VERSION, "entries": self.entries}
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        atomic_write(
+            path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
 
     @classmethod
     def from_findings(cls, findings, justification="TODO: justify"):

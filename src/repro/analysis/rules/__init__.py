@@ -6,4 +6,5 @@ from repro.analysis.rules import (  # noqa: F401  (imported for registration)
     lb103_wakeup,
     lb104_caches,
     lb105_seeds,
+    lb106_durability,
 )

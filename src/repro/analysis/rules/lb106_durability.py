@@ -1,0 +1,95 @@
+"""LB106: persistent-artifact writes must go through ``atomic_write``.
+
+Everything the campaign engine persists under
+:mod:`repro.experiments` — cache envelopes, checkpoint containers,
+result exports — and the snapshot container layer itself
+(:mod:`repro.sim.snapshot`) must survive a SIGKILL or power cut landing
+between any two syscalls of a save.  :func:`repro.ioutil.atomic_write`
+(sibling temp file + fsync + ``os.replace`` + directory fsync) is the
+one blessed path; a bare ``open(path, "w")`` in these modules is a torn
+half-file waiting for the wrong moment.
+
+The static approximation: inside the scoped modules, flag
+
+* ``open(...)`` / ``os.fdopen(...)`` whose mode constant starts with
+  ``"w"`` or ``"x"`` (truncate-and-rewrite — the crash-unsafe shape),
+  whether positional or ``mode=``;
+* ``.write_text(...)`` / ``.write_bytes(...)`` calls (pathlib's
+  equivalent whole-file rewrite).
+
+Append (``"a"``) and read-modify (``"r+"``) modes are deliberately
+allowed: the JSONL result store appends with per-record fsync and
+repairs its tail on load, which is a different (and valid) durability
+protocol.  A write that is genuinely safe without atomicity can carry
+``# lb: noqa[LB106]`` with a justifying comment, or a baseline entry.
+"""
+
+import ast
+
+from repro.analysis.core import Rule, register
+from repro.analysis.visitors import call_name
+
+_OPEN_CALLS = {"open": 1, "os.fdopen": 1, "io.open": 1}
+_REWRITE_METHODS = ("write_text", "write_bytes")
+
+
+def _mode_argument(node, position):
+    """The call's mode argument node, positional or ``mode=``."""
+    if len(node.args) > position:
+        return node.args[position]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            return keyword.value
+    return None
+
+
+def _is_truncating_mode(mode_node):
+    """True when the mode is a string constant starting ``w`` or ``x``."""
+    if not isinstance(mode_node, ast.Constant):
+        return False
+    if not isinstance(mode_node.value, str):
+        return False
+    return mode_node.value.startswith(("w", "x"))
+
+
+@register
+class DurableWritesRule(Rule):
+    id = "LB106"
+    name = "durable-writes"
+    description = (
+        "truncating file write in a persistence module bypasses "
+        "repro.ioutil.atomic_write (torn file on crash)"
+    )
+
+    def check(self, source):
+        if not (
+            source.in_package("repro.experiments")
+            or source.module == "repro.sim.snapshot"
+        ):
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in _OPEN_CALLS:
+                mode = _mode_argument(node, _OPEN_CALLS[name])
+                if _is_truncating_mode(mode):
+                    yield source.finding(
+                        self.id, node,
+                        "{}(..., {!r}) truncates in place — a crash "
+                        "mid-write leaves a torn file; route the write "
+                        "through repro.ioutil.atomic_write".format(
+                            name, mode.value
+                        ),
+                    )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _REWRITE_METHODS
+            ):
+                yield source.finding(
+                    self.id, node,
+                    ".{}() rewrites the whole file non-atomically; route "
+                    "the write through repro.ioutil.atomic_write".format(
+                        node.func.attr
+                    ),
+                )

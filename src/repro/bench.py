@@ -282,7 +282,55 @@ def _canonical_rows(rows):
     return json.loads(json.dumps(rows))
 
 
-def run_campaign_benchmark(quick=False, jobs=4, cache_dir=None):
+def _bench_point_runner(spec, resume):
+    """Pool-worker runner for the chaos leg: one Table 1 point per task.
+
+    The call parameters ride in ``spec.options`` so workers (which
+    unpickle the spec, not a closure) can reconstruct the exact same
+    point the serial leg computed.
+    """
+    from repro.experiments.table1 import run_table1_point
+
+    options = spec.options
+    row = run_table1_point(
+        options["label"], options["arbiter"], options["kwargs"],
+        options["cycles"], spec.seed,
+    )
+    return json.dumps(row)
+
+
+def _run_campaign_chaos(calls, jobs, chaos_rate):
+    """The campaign under seeded worker kills; returns (rows, stats).
+
+    Every task must still finish with a row identical to the serial
+    leg's — resilience without equivalence is a bug, not a result.
+    """
+    from repro.chaos import ChaosInjector, ChaosPlan
+    from repro.experiments.supervisor import Supervisor, TaskSpec
+
+    specs = []
+    for label, arb_name, kwargs, cycles, seed in calls:
+        specs.append(
+            TaskSpec(
+                "{} seed{}".format(label, seed),
+                seed=seed,
+                options={"label": label, "arbiter": arb_name,
+                         "kwargs": kwargs, "cycles": cycles},
+            )
+        )
+    injector = ChaosInjector(ChaosPlan(kill_rate=chaos_rate), seed=1)
+    supervisor = Supervisor(
+        jobs=jobs, retries=30, backoff=0.05, quarantine_after=None,
+        circuit_breaker=None, task_runner=_bench_point_runner,
+        chaos=injector,
+    )
+    outcomes = supervisor.run(specs)
+    rows = [json.loads(outcomes[spec.name].report) for spec in specs]
+    return rows, injector, supervisor
+
+
+def run_campaign_benchmark(quick=False, jobs=4, cache_dir=None,
+                           chaos_rate=0.0):
     """Serial vs pooled vs warm-cache campaign; returns the results doc."""
     from repro.experiments.cache import ResultCache
     from repro.experiments.supervisor import default_jobs, pool_map
@@ -321,7 +369,28 @@ def run_campaign_benchmark(quick=False, jobs=4, cache_dir=None):
         == _canonical_rows(cold_rows)
         == _canonical_rows(warm_rows)
     )
-    all_identical = pooled_identical and warm_identical
+
+    chaos_entry = None
+    chaos_identical = True
+    if chaos_rate:
+        start = time.perf_counter()
+        chaos_rows, injector, supervisor = _run_campaign_chaos(
+            calls, jobs, chaos_rate
+        )
+        chaos_wall = time.perf_counter() - start
+        chaos_identical = (
+            _canonical_rows(serial_rows) == _canonical_rows(chaos_rows)
+        )
+        chaos_entry = {
+            "rate": chaos_rate,
+            "wall_seconds": round(chaos_wall, 4),
+            "slowdown_vs_pooled": round(chaos_wall / pooled_wall, 2),
+            "workers_killed": injector.events["kill"],
+            "workers_spawned": supervisor.workers_spawned,
+            "identical": chaos_identical,
+        }
+
+    all_identical = pooled_identical and warm_identical and chaos_identical
     return {
         "benchmark": "repro.bench --campaign",
         "quick": quick,
@@ -346,6 +415,7 @@ def run_campaign_benchmark(quick=False, jobs=4, cache_dir=None):
             "stats": warm_cache.stats.as_dict(),
             "identical": warm_identical,
         },
+        "chaos": chaos_entry,
         "all_identical": all_identical,
     }
 
@@ -372,6 +442,18 @@ def _print_campaign(results):
         results["cache_warm"]["stats"]["hits"],
         "yes" if results["cache_warm"]["identical"] else "NO",
     ))
+    chaos = results.get("chaos")
+    if chaos:
+        print(
+            "  chaos       {:>8.3f}s  ({} kills at rate {:.2f}, "
+            "{} workers) identical={}".format(
+                chaos["wall_seconds"],
+                chaos["workers_killed"],
+                chaos["rate"],
+                chaos["workers_spawned"],
+                "yes" if chaos["identical"] else "NO",
+            )
+        )
 
 
 def _print_table(results):
@@ -436,10 +518,25 @@ def main(argv=None):
         help="where --campaign writes its JSON report "
         "(default: %(default)s)",
     )
+    parser.add_argument(
+        "--chaos-rate",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="with --campaign: also time the campaign under seeded "
+        "worker kills at this per-dispatch rate and verify the rows "
+        "stay identical to serial (default: off)",
+    )
     args = parser.parse_args(argv)
+    if not 0.0 <= args.chaos_rate <= 1.0:
+        parser.error("--chaos-rate must be within [0, 1]")
+    if args.chaos_rate and not args.campaign:
+        parser.error("--chaos-rate requires --campaign")
 
     if args.campaign:
-        results = run_campaign_benchmark(quick=args.quick, jobs=args.jobs)
+        results = run_campaign_benchmark(
+            quick=args.quick, jobs=args.jobs, chaos_rate=args.chaos_rate
+        )
         _print_campaign(results)
         output = args.campaign_output
         failure = "FAIL: pooled or cached campaign diverged from serial"

@@ -1,0 +1,8 @@
+"""``python -m repro.chaos`` — the chaos acceptance harness."""
+
+import sys
+
+from repro.chaos.harness import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,163 @@
+"""Seeded execution of a :class:`~repro.chaos.plan.ChaosPlan`.
+
+One :class:`ChaosInjector` lives in the supervising process and is
+threaded through every infrastructure seam at once: worker dispatch
+(:meth:`sabotage_dispatch`), result-store appends
+(:meth:`mangle_store_append`) and cache stores
+(:meth:`maybe_corrupt_cache_entry`).  Write faults *inside* worker
+processes (checkpoint truncation, ``ENOSPC``) cannot share the parent's
+generator, so each worker installs its own stream with
+:func:`install_worker_chaos`, derived from the root seed and its worker
+id via :func:`repro.sim.rng.child_seed` — fully deterministic per
+worker regardless of scheduling.
+
+Parent-side draws come from one seeded ``random.Random``; the draw
+sequence is reproducible, though which dispatch or append consumes
+each draw depends on completion order.  What must be exact — the final
+campaign report — is compared bit-for-bit by the harness either way.
+"""
+
+import errno
+import os
+import random
+import signal
+
+from repro.chaos.plan import ChaosPlan
+from repro.ioutil import set_write_fault_hook
+from repro.sim.rng import child_seed
+
+_CHECKPOINT_SUFFIXES = (".ckpt", ".done")
+
+
+class ChaosInjector:
+    """Draws faults from a seeded stream and keeps per-channel counts.
+
+    :param plan: the :class:`~repro.chaos.plan.ChaosPlan` to execute.
+    :param seed: root seed; the parent stream and every worker stream
+        derive from it.
+    """
+
+    def __init__(self, plan, seed=1):
+        if not isinstance(plan, ChaosPlan):
+            raise TypeError("plan must be a ChaosPlan")
+        self.plan = plan
+        self.seed = seed
+        self.rng = random.Random(child_seed(seed, "chaos-parent"))
+        self.events = {kind: 0 for kind in ChaosPlan.KINDS}
+
+    # -- parent-side seams -------------------------------------------------
+
+    def sabotage_dispatch(self, worker):
+        """Maybe kill or wedge a worker that was just sent a task.
+
+        Returns the action label (``"SIGKILL"``/``"SIGSTOP"``) for the
+        event log, or ``None``.  Kill wins the draw over stall so one
+        dispatch suffers at most one fate.
+        """
+        if self.plan.kill_rate and self.rng.random() < self.plan.kill_rate:
+            self.events["kill"] += 1
+            worker.process.kill()
+            return "SIGKILL"
+        if self.plan.stall_rate and self.rng.random() < self.plan.stall_rate:
+            self.events["stall"] += 1
+            try:
+                os.kill(worker.process.pid, signal.SIGSTOP)
+            except (OSError, TypeError):
+                return None
+            return "SIGSTOP"
+        return None
+
+    def mangle_store_append(self, data):
+        """Maybe tear or reject one result-store append.
+
+        ``ENOSPC`` raises (the store caller degrades to in-memory);
+        a torn write returns a strict prefix of the record, which the
+        store's load-time recovery must truncate away.
+        """
+        if self.plan.enospc_rate and self.rng.random() < self.plan.enospc_rate:
+            self.events["enospc"] += 1
+            raise OSError(errno.ENOSPC, "chaos: no space left on device")
+        if (
+            self.plan.torn_write_rate
+            and len(data) > 1
+            and self.rng.random() < self.plan.torn_write_rate
+        ):
+            self.events["torn_write"] += 1
+            return data[: self.rng.randrange(1, len(data))]
+        return data
+
+    def maybe_corrupt_cache_entry(self, path):
+        """Maybe flip one byte of a freshly stored cache envelope."""
+        if not self.plan.cache_corruption_rate:
+            return False
+        if self.rng.random() >= self.plan.cache_corruption_rate:
+            return False
+        try:
+            with open(path, "r+b") as handle:
+                raw = handle.read()
+                if not raw:
+                    return False
+                offset = self.rng.randrange(len(raw))
+                handle.seek(offset)
+                handle.write(bytes([raw[offset] ^ 0xFF]))
+        except OSError:
+            return False
+        self.events["cache_corruption"] += 1
+        return True
+
+    # -- worker-side seam --------------------------------------------------
+
+    def worker_setup(self):
+        """The ``(plan_state, seed)`` tuple shipped to pool workers,
+        or ``None`` when no worker-side channel is active (workers then
+        skip importing chaos entirely)."""
+        if not self.plan.worker_active:
+            return None
+        return (self.plan.state_dict(), self.seed)
+
+    def format_summary(self):
+        """One grep-friendly accounting line for logs and CI asserts.
+
+        Counts only parent-side draws; worker-side write faults
+        (``enospc``/``checkpoint_corruption`` inside pool workers) fire
+        in other processes and are flagged, not counted.
+        """
+        line = "chaos events: " + " ".join(
+            "{}={}".format(kind, self.events[kind])
+            for kind in ChaosPlan.KINDS
+        )
+        if self.plan.worker_active:
+            line += " (+ worker-side write faults, not aggregated)"
+        return line
+
+    def __repr__(self):
+        return "ChaosInjector(seed={}, {!r})".format(self.seed, self.plan)
+
+
+def install_worker_chaos(plan_state, seed, worker_id):
+    """Install the worker-side write-fault hook (called in the worker).
+
+    The hook sees every :func:`repro.ioutil.atomic_write` in this
+    process: any write may fail with ``ENOSPC``; checkpoint containers
+    (``.ckpt``/``.done``) may additionally be truncated, producing
+    exactly the torn artifacts the checkpoint readers must discard and
+    recompute past.  The stream is ``child_seed(seed, "chaos-worker",
+    worker_id)`` — deterministic per worker id.
+    """
+    plan = ChaosPlan.from_state(plan_state)
+    rng = random.Random(child_seed(seed, "chaos-worker", worker_id))
+
+    def hook(path, data):
+        if plan.enospc_rate and rng.random() < plan.enospc_rate:
+            raise OSError(errno.ENOSPC, "chaos: no space left on device")
+        if (
+            plan.checkpoint_corruption_rate
+            and path.endswith(_CHECKPOINT_SUFFIXES)
+            and len(data) > 1
+            and rng.random() < plan.checkpoint_corruption_rate
+        ):
+            return data[: rng.randrange(1, len(data))]
+        return data
+
+    set_write_fault_hook(hook)
+    return hook

@@ -1,0 +1,132 @@
+"""Declarative schedules of infrastructure faults.
+
+A :class:`ChaosPlan` is pure configuration, mirroring
+:class:`repro.faults.FaultPlan`: per-event probabilities for every
+fault channel the :class:`~repro.chaos.injector.ChaosInjector` knows
+how to drive.  Plans are JSON-representable (:meth:`state_dict` /
+:meth:`from_state`) so the parent process can ship one to every pool
+worker over the spawn arguments.
+"""
+
+
+class ChaosPlan:
+    """Fault rates for the execution layer, all in ``[0, 1]``.
+
+    :param kill_rate: per-dispatch probability the worker a task was
+        just sent to is SIGKILLed (crash at the worst moment: task
+        accepted, nothing done).
+    :param stall_rate: per-dispatch probability the worker is
+        SIGSTOPped instead — alive but wedged, the failure mode only
+        heartbeat liveness can detect.
+    :param torn_write_rate: per-append probability a result-store
+        record is cut short mid-write (a torn tail for recovery to
+        truncate away).
+    :param enospc_rate: per-write probability a store append or (in
+        workers) a checkpoint write fails with ``ENOSPC``.
+    :param cache_corruption_rate: per-store probability one byte of a
+        freshly written cache envelope is flipped.
+    :param checkpoint_corruption_rate: per-write probability a
+        checkpoint container (``.ckpt``/``.done``) is truncated on its
+        way to disk (worker-side, via the :mod:`repro.ioutil` seam).
+    """
+
+    KINDS = (
+        "kill",
+        "stall",
+        "torn_write",
+        "enospc",
+        "cache_corruption",
+        "checkpoint_corruption",
+    )
+
+    def __init__(
+        self,
+        kill_rate=0.0,
+        stall_rate=0.0,
+        torn_write_rate=0.0,
+        enospc_rate=0.0,
+        cache_corruption_rate=0.0,
+        checkpoint_corruption_rate=0.0,
+    ):
+        rates = {
+            "kill_rate": kill_rate,
+            "stall_rate": stall_rate,
+            "torn_write_rate": torn_write_rate,
+            "enospc_rate": enospc_rate,
+            "cache_corruption_rate": cache_corruption_rate,
+            "checkpoint_corruption_rate": checkpoint_corruption_rate,
+        }
+        for name, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("{} must lie in [0, 1]".format(name))
+        self.kill_rate = kill_rate
+        self.stall_rate = stall_rate
+        self.torn_write_rate = torn_write_rate
+        self.enospc_rate = enospc_rate
+        self.cache_corruption_rate = cache_corruption_rate
+        self.checkpoint_corruption_rate = checkpoint_corruption_rate
+
+    @classmethod
+    def uniform(cls, rate, **overrides):
+        """One-knob plan: ``rate`` on every channel, overrides on top."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must lie in [0, 1]")
+        params = {
+            "kill_rate": rate,
+            "stall_rate": rate,
+            "torn_write_rate": rate,
+            "enospc_rate": rate,
+            "cache_corruption_rate": rate,
+            "checkpoint_corruption_rate": rate,
+        }
+        params.update(overrides)
+        return cls(**params)
+
+    @property
+    def active(self):
+        """True if any fault channel has a nonzero rate."""
+        return any(
+            (
+                self.kill_rate,
+                self.stall_rate,
+                self.torn_write_rate,
+                self.enospc_rate,
+                self.cache_corruption_rate,
+                self.checkpoint_corruption_rate,
+            )
+        )
+
+    @property
+    def worker_active(self):
+        """True if any *worker-side* channel (write faults inside the
+        task process) has a nonzero rate — the only case pool workers
+        need the chaos hook installed at all."""
+        return bool(self.enospc_rate or self.checkpoint_corruption_rate)
+
+    def state_dict(self):
+        """JSON-representable form (picklable across process spawn)."""
+        return {
+            "kill_rate": self.kill_rate,
+            "stall_rate": self.stall_rate,
+            "torn_write_rate": self.torn_write_rate,
+            "enospc_rate": self.enospc_rate,
+            "cache_corruption_rate": self.cache_corruption_rate,
+            "checkpoint_corruption_rate": self.checkpoint_corruption_rate,
+        }
+
+    @classmethod
+    def from_state(cls, state):
+        return cls(**dict(state))
+
+    def __repr__(self):
+        return (
+            "ChaosPlan(kill={}, stall={}, torn_write={}, enospc={}, "
+            "cache_corruption={}, checkpoint_corruption={})".format(
+                self.kill_rate,
+                self.stall_rate,
+                self.torn_write_rate,
+                self.enospc_rate,
+                self.cache_corruption_rate,
+                self.checkpoint_corruption_rate,
+            )
+        )

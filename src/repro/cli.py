@@ -11,7 +11,8 @@ Examples::
     python -m repro figure5
 
 Exit codes: 0 success, 1 one or more experiments failed, 2 bad usage,
-130 interrupted (^C).
+130 interrupted (^C), 143 drained after SIGTERM (in-flight work was
+finished and recorded; rerun with ``--resume`` to continue).
 """
 
 import argparse
@@ -224,6 +225,8 @@ def main(argv=None):
     options = {}
     if args.fault_rate is not None:
         options["fault_rates"] = (0.0, args.fault_rate)
+    from repro.experiments.errors import CampaignDrained
+
     exit_code = 0
     try:
         if args.experiment == "list":
@@ -261,6 +264,10 @@ def main(argv=None):
     except KeyboardInterrupt:
         _emit("lotterybus: interrupted")
         return 130
+    except CampaignDrained as drained:
+        _emit("lotterybus: {}".format(drained))
+        _emit("lotterybus: rerun with --resume to finish the campaign")
+        return 143
     print(report, flush=True)
     if args.output:
         with open(args.output, "w") as handle:

@@ -14,10 +14,11 @@ reruns free: every task is addressed by a canonical hash of
 so any change to any of these produces a different key — stale results
 can never be served.  Entries are self-verifying JSON files: the stored
 record is accompanied by a SHA-256 digest of its canonical form, and a
-sidecar-style envelope records the key and schema version.  Writes are
-atomic (temp file + ``os.replace``); a corrupted, truncated or
-mismatched entry is treated as a **miss**, counted as an invalidation,
-and removed — never a crash.
+sidecar-style envelope records the key and schema version.  Writes go
+through :func:`repro.ioutil.atomic_write` (temp file + fsync +
+``os.replace`` + directory fsync); a corrupted, truncated or mismatched
+entry is treated as a **miss**, counted as an invalidation, and removed
+— never a crash.
 
 Accounting (hits / misses / stores / invalidations) is kept per
 :class:`ResultCache` and surfaces in the campaign metrics report and on
@@ -27,7 +28,8 @@ the CLI's stderr summary line.
 import hashlib
 import json
 import os
-import tempfile
+
+from repro.ioutil import atomic_write
 
 # Bump whenever experiment code changes in a way that alters results
 # (new metrics, RNG stream changes, workload fixes).  Old entries then
@@ -124,11 +126,15 @@ class ResultCache:
     :param directory: cache root; entries live in two-level fan-out
         subdirectories (``ab/abcdef….json``) so huge campaigns do not
         pile thousands of files into one directory.
+    :param chaos: optional :class:`repro.chaos.ChaosInjector`; when
+        given, freshly stored entries may be deliberately corrupted so
+        chaos campaigns prove the self-verifying read path heals them.
     """
 
-    def __init__(self, directory):
+    def __init__(self, directory, chaos=None):
         self.directory = directory
         self.stats = CacheStats()
+        self.chaos = chaos
         os.makedirs(directory, exist_ok=True)
 
     def entry_path(self, key):
@@ -169,24 +175,11 @@ class ResultCache:
             "record": record,
         }
         path = self.entry_path(key)
-        directory = os.path.dirname(path)
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(
-            prefix=".cache-", suffix=".tmp", dir=directory
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(envelope, handle, sort_keys=True)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_path, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        atomic_write(path, json.dumps(envelope, sort_keys=True))
         self.stats.stores += 1
+        if self.chaos is not None:
+            self.chaos.maybe_corrupt_cache_entry(path)
 
     def _envelope_ok(self, envelope, key):
         if not isinstance(envelope, dict):

@@ -106,10 +106,25 @@ class StageCheckpoint:
         self.done_path = os.path.join(checkpointer.directory, name + ".done")
 
     def completed_result(self):
-        """The stage's recorded result when resuming, else ``None``."""
+        """The stage's recorded result when resuming, else ``None``.
+
+        A corrupted ``.done`` file (torn device write, bitrot) is
+        discarded and the stage recomputes — experiments are
+        deterministic, so recomputation yields the identical result;
+        corruption must never fail a resume.  A *well-formed* container
+        holding the wrong kind or stage is a caller error and still
+        raises :class:`~repro.sim.snapshot.CheckpointError`.
+        """
         if not self.checkpointer.resume or not os.path.exists(self.done_path):
             return None
-        payload = read_checkpoint(self.done_path)
+        try:
+            payload = read_checkpoint(self.done_path)
+        except CheckpointError as error:
+            self._discard(
+                self.done_path,
+                "corrupt result for stage {}: {}".format(self.name, error),
+            )
+            return None
         if (
             not isinstance(payload, dict)
             or payload.get("kind") != _RESULT_KIND
@@ -125,44 +140,91 @@ class StageCheckpoint:
         )
         return payload["result"]
 
+    def _discard(self, path, reason):
+        """Drop an unusable stage file; recomputation takes over."""
+        self.checkpointer.emit(
+            "discarding {} ({}); recomputing".format(path, reason)
+        )
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
     def run(self, simulator, total_cycles, progress=None):
         """Advance ``simulator`` to ``total_cycles``, checkpointing.
 
         When resuming past a mid-run checkpoint the simulator is
-        restored first; a checkpoint already beyond ``total_cycles``
-        (e.g. from a longer earlier run) raises
+        restored first; a *corrupted* checkpoint is discarded and the
+        stage restarts from cycle 0 (determinism makes the recomputed
+        stage bit-identical, so corruption degrades to lost progress,
+        never a failed task).  A valid checkpoint already beyond
+        ``total_cycles`` (e.g. from a longer earlier run) raises
         :class:`~repro.sim.snapshot.CheckpointError` rather than
-        silently producing a wrong-length result.  ``progress`` is
-        called as ``progress(stage, cycle, total_cycles)`` after every
-        chunk.  Returns the final cycle count.
+        silently producing a wrong-length result.
+
+        Mid-run checkpoint *writes* are best-effort: a full disk
+        (``OSError``) skips that checkpoint and the simulation carries
+        on — losing resumability is strictly better than losing the
+        run.  ``progress`` is called as ``progress(stage, cycle,
+        total_cycles)`` after every chunk.  Returns the final cycle
+        count.
         """
         if self.checkpointer.resume and os.path.exists(self.ckpt_path):
-            cycle = simulator.load_checkpoint(self.ckpt_path)
-            if cycle > total_cycles:
-                raise CheckpointError(
-                    "checkpoint for stage {} is at cycle {}, beyond the "
-                    "requested {} cycles".format(
-                        self.name, cycle, total_cycles
-                    )
+            try:
+                cycle = simulator.load_checkpoint(self.ckpt_path)
+            except CheckpointError as error:
+                self._discard(
+                    self.ckpt_path,
+                    "corrupt checkpoint for stage {}: {}".format(
+                        self.name, error
+                    ),
                 )
-            self.checkpointer.emit(
-                "resuming stage {} at cycle {}".format(self.name, cycle)
-            )
+            else:
+                if cycle > total_cycles:
+                    raise CheckpointError(
+                        "checkpoint for stage {} is at cycle {}, beyond the "
+                        "requested {} cycles".format(
+                            self.name, cycle, total_cycles
+                        )
+                    )
+                self.checkpointer.emit(
+                    "resuming stage {} at cycle {}".format(self.name, cycle)
+                )
         every = self.checkpointer.every
         while simulator.cycle < total_cycles:
             simulator.run(min(every, total_cycles - simulator.cycle))
             if simulator.cycle < total_cycles:
-                simulator.save_checkpoint(self.ckpt_path)
+                try:
+                    simulator.save_checkpoint(self.ckpt_path)
+                except OSError as error:
+                    self.checkpointer.emit(
+                        "checkpoint write failed for stage {} at cycle {} "
+                        "({}); continuing without it".format(
+                            self.name, simulator.cycle, error
+                        )
+                    )
             if progress is not None:
                 progress(self.name, simulator.cycle, total_cycles)
         return simulator.cycle
 
     def complete(self, result):
-        """Record the stage's final result and drop its checkpoint."""
-        write_checkpoint(
-            self.done_path,
-            {"kind": _RESULT_KIND, "stage": self.name, "result": result},
-        )
+        """Record the stage's final result and drop its checkpoint.
+
+        Persisting the result is best-effort too: if the write fails
+        (``OSError``), the stage simply is not resumable and will
+        recompute next time — the in-memory result is still returned
+        and the experiment proceeds.
+        """
+        try:
+            write_checkpoint(
+                self.done_path,
+                {"kind": _RESULT_KIND, "stage": self.name, "result": result},
+            )
+        except OSError as error:
+            self.checkpointer.emit(
+                "result write failed for stage {} ({}); stage will "
+                "recompute on resume".format(self.name, error)
+            )
         if os.path.exists(self.ckpt_path):
             os.unlink(self.ckpt_path)
         return result

@@ -1,0 +1,91 @@
+"""Structured error taxonomy for the campaign engine.
+
+The supervisor used to thread failure *strings* through its retry and
+reporting paths, which meant behaviour ("is this retryable?", "which
+exit code?") hung off substring matching.  Every failure is now a typed
+:class:`CampaignError`; the type carries the policy:
+
+``kind``
+    a stable machine-readable tag, written into result-store records
+    (``error_kind``) and appended to event-log lines, so logs and CI
+    asserts key on types instead of prose;
+``retryable``
+    whether the supervisor may re-dispatch the task;
+``counts_as_crash``
+    whether the failure consumed a worker process — these feed the
+    poison-task quarantine counter and the pool circuit breaker, while
+    in-task exceptions (the worker survived) do not.
+
+:class:`CampaignDrained` is control flow, not a task failure: raised by
+:meth:`Supervisor.run` after a SIGTERM drain so callers can distinguish
+"shut down cleanly, resume later" (exit code 143) from "tasks failed"
+(exit code 1).
+"""
+
+
+class CampaignError(Exception):
+    """Base class for one task's failure inside a campaign."""
+
+    kind = "campaign-error"
+    #: May the supervisor schedule another attempt?
+    retryable = True
+    #: Did this failure cost a worker process (feeds quarantine/breaker)?
+    counts_as_crash = False
+
+
+class WorkerCrashError(CampaignError):
+    """The worker process serving the task died (signal, OOM, exit)."""
+
+    kind = "worker-crash"
+    counts_as_crash = True
+
+
+class TaskTimeoutError(CampaignError):
+    """The task exceeded its wall-clock budget; its worker was killed."""
+
+    kind = "task-timeout"
+    counts_as_crash = True
+
+
+class TaskError(CampaignError):
+    """The task raised inside a healthy worker (reported, not fatal)."""
+
+    kind = "task-error"
+
+
+class QuarantinedTaskError(CampaignError):
+    """The task crashed ``quarantine_after`` consecutive workers.
+
+    A poison task — one that deterministically kills whatever process
+    runs it — must not be retried forever: after a bounded number of
+    respawns it is quarantined, reported as failed, and the campaign
+    moves on.
+    """
+
+    kind = "quarantined"
+    retryable = False
+
+
+class StoreCorruptionError(CampaignError):
+    """A persistent store is unreadable beyond what recovery handles."""
+
+    kind = "store-corruption"
+    retryable = False
+
+
+class CampaignDrained(Exception):
+    """The supervisor drained after SIGTERM; resume to continue.
+
+    :param outcomes: ``{name: TaskOutcome}`` for tasks settled before
+        the drain completed.
+    :param pending: names of tasks that never settled (rerun on
+        ``--resume``).
+    """
+
+    def __init__(self, outcomes, pending):
+        self.outcomes = outcomes
+        self.pending = list(pending)
+        super().__init__(
+            "campaign drained after SIGTERM: {} task(s) settled, "
+            "{} deferred".format(len(outcomes), len(self.pending))
+        )

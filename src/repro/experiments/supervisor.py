@@ -22,12 +22,44 @@ process:
   the task) stays alive and keeps serving tasks; only a dying process
   costs a respawn;
 * finished reports land in an append-only **JSONL result store** whose
-  records are flushed and fsynced, so a SIGKILL between tasks loses at
-  most the task in flight and ``--resume`` skips everything recorded;
+  records are flushed, fsynced and CRC-stamped, so a SIGKILL between
+  tasks loses at most the task in flight, a torn or corrupted tail is
+  truncated back to the last valid record on load, and ``--resume``
+  skips everything recorded;
 * finished reports are also published to a **content-addressed result
   cache** (:mod:`repro.experiments.cache`) keyed by (experiment id,
   config, seed, schema version), so rerunning an unchanged point in a
-  *later* campaign is a cache hit instead of a simulation.
+  *later* campaign is a cache hit instead of a simulation;
+* pool workers send **heartbeats** on a side thread, so a worker that
+  is alive but wedged (stopped, swapped out, pipe stalled) is detected,
+  killed and respawned instead of hanging the campaign;
+* a task that kills ``quarantine_after`` consecutive workers is
+  **quarantined** — reported as failed with a
+  :class:`~repro.experiments.errors.QuarantinedTaskError` — instead of
+  being retried forever (the poison-task guard);
+* a **circuit breaker** watches respawn churn: after
+  ``circuit_breaker`` consecutive worker crashes with no intervening
+  success, the pool is torn down and the campaign degrades to serial
+  in-process execution (tasks with a crash history still run in
+  one-shot containment subprocesses, so a poison task can never take
+  the supervisor down);
+* **SIGTERM drains gracefully**: in-flight tasks finish (their stage
+  checkpoints are already on disk), nothing new is dispatched, and
+  :class:`~repro.experiments.errors.CampaignDrained` tells the caller
+  to exit 143 — a later ``--resume`` is bit-identical to a run that
+  was never interrupted.
+
+Failures are typed (:mod:`repro.experiments.errors`): retry policy,
+quarantine accounting and event-log tags are driven by the error class,
+not by string matching.
+
+The infrastructure-fault seams (``chaos=`` on :class:`Supervisor`,
+:class:`ResultStore` and :class:`~repro.experiments.cache.ResultCache`)
+accept a :class:`repro.chaos.ChaosInjector`, which schedules worker
+SIGKILL/SIGSTOP, torn store appends, cache corruption and disk-full
+errors from a seeded plan; ``python -m repro.chaos`` drives a campaign
+under such a schedule and verifies the final report is bit-identical to
+a fault-free serial run.
 
 Experiments are deterministic given (name, scale, seed), so a resumed,
 cached, or differently-parallel campaign's combined report is
@@ -47,11 +79,27 @@ default worker, where reuse is safe by construction.
 import json
 import multiprocessing
 import os
+import signal
+import threading
 import time
+import zlib
 from collections import deque
 from multiprocessing.connection import wait as _wait_connections
 
-from repro.experiments.cache import ResultCache, experiment_key
+from repro.experiments.cache import (
+    ResultCache,
+    canonical_json,
+    experiment_key,
+)
+from repro.experiments.errors import (
+    CampaignDrained,
+    CampaignError,
+    QuarantinedTaskError,
+    StoreCorruptionError,
+    TaskError,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
 from repro.experiments.runner import experiment_names, run_experiment
 
 
@@ -69,16 +117,23 @@ def default_jobs():
 
 
 class TaskOutcome:
-    """What the supervisor concluded about one task."""
+    """What the supervisor concluded about one task.
+
+    ``error`` is the human-readable message (a string, stable for
+    existing consumers); ``error_kind`` is the machine-readable tag of
+    the :class:`~repro.experiments.errors.CampaignError` subclass that
+    settled the task, so logs and exit-code policy key on types.
+    """
 
     def __init__(self, name, status, report=None, error=None, attempts=1,
-                 cached=False):
+                 cached=False, error_kind=None):
         self.name = name
         self.status = status  # "done" | "failed"
         self.report = report
         self.error = error
         self.attempts = attempts
         self.cached = cached
+        self.error_kind = error_kind
 
     def record(self):
         return {
@@ -86,6 +141,7 @@ class TaskOutcome:
             "status": self.status,
             "report": self.report,
             "error": self.error,
+            "error_kind": self.error_kind,
             "attempts": self.attempts,
         }
 
@@ -94,45 +150,149 @@ class ResultStore:
     """Append-only JSONL store of per-task outcomes.
 
     Appends are flushed and fsynced so a completed task survives any
-    later crash.  :meth:`load` tolerates a torn final line (the one
-    write a SIGKILL can interrupt) by skipping lines that do not parse.
+    later crash, and every record carries a CRC32 of its canonical form
+    so corruption (a flipped byte, not just a torn tail) is *detected*
+    rather than silently resumed from.
+
+    :meth:`load` is crash-consistent: the store is read as the longest
+    valid prefix of records.  A torn trailing line (the one write a
+    SIGKILL can interrupt) or a corrupt record ends the prefix — the
+    file is truncated back to the last valid record (so later appends
+    cannot concatenate onto torn bytes), the loss is surfaced through
+    ``recovered_records`` / ``recovered_bytes``, and the affected tasks
+    simply rerun.  Corruption never raises out of :meth:`load`; only an
+    unreadable-but-present file (permissions, I/O error) raises
+    :class:`~repro.experiments.errors.StoreCorruptionError`.
+
+    :param chaos: optional :class:`repro.chaos.ChaosInjector`; when
+        given, appends may be deliberately torn or rejected with
+        ``ENOSPC`` so chaos campaigns prove the recovery path.
     """
 
-    def __init__(self, path):
+    def __init__(self, path, chaos=None):
         self.path = path
+        self.chaos = chaos
+        self.recovered_records = 0  # records dropped by the last load()
+        self.recovered_bytes = 0  # bytes truncated by the last load()
 
-    def load(self):
-        """{name: record} for every successfully recorded task."""
+    def load(self, repair=True):
+        """{name: record} for every successfully recorded task.
+
+        With ``repair=True`` (the default) a torn or corrupt tail is
+        physically truncated off the file; ``repair=False`` only skips
+        it for this load.
+        """
+        self.recovered_records = 0
+        self.recovered_bytes = 0
         completed = {}
         try:
-            handle = open(self.path, "r")
-        except OSError:
+            with open(self.path, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
             return completed
-        with handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except ValueError:
-                    continue  # torn tail line from a crash mid-append
-                if (
-                    isinstance(record, dict)
-                    and record.get("status") == "done"
-                    and isinstance(record.get("name"), str)
-                ):
-                    completed[record["name"]] = record
+        except OSError as error:
+            raise StoreCorruptionError(
+                "cannot read result store {}: {}".format(self.path, error)
+            )
+        records, valid_end = self._valid_prefix(raw)
+        dropped = raw[valid_end:]
+        if dropped:
+            self.recovered_bytes = len(dropped)
+            self.recovered_records = sum(
+                1 for line in dropped.split(b"\n") if line.strip()
+            )
+            if repair:
+                self._truncate_to(valid_end)
+        for record in records:
+            if (
+                record.get("status") == "done"
+                and isinstance(record.get("name"), str)
+            ):
+                completed[record["name"]] = record
         return completed
 
+    def _valid_prefix(self, raw):
+        """Parse the longest valid record prefix of the raw bytes.
+
+        Returns ``(records, end_offset)`` where ``end_offset`` is the
+        byte offset just past the last valid record — the truncation
+        point that recovery rewinds the file to.
+        """
+        records = []
+        valid_end = 0
+        offset = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline == -1:
+                line, end = raw[offset:], len(raw)
+            else:
+                line, end = raw[offset:newline], newline + 1
+            line = line.strip()
+            if line:
+                record = self._parse_record(line)
+                if record is None:
+                    break
+                records.append(record)
+            valid_end = end
+            offset = end
+        return records, valid_end
+
+    @staticmethod
+    def _parse_record(line):
+        """One validated record, or ``None`` for torn/corrupt bytes."""
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        crc = record.pop("_crc", None)
+        if not isinstance(crc, int):
+            return None
+        payload = canonical_json(record).encode("utf-8")
+        if zlib.crc32(payload) != crc:
+            return None
+        return record
+
+    def _truncate_to(self, size):
+        try:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(size)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError:
+            pass  # repair is best-effort; load already skipped the tail
+
     def append(self, record):
+        """Append one record (flushed, fsynced, CRC-stamped).
+
+        If a previous append was torn (file does not end in a newline —
+        a crash mid-write), a newline is inserted first so the new
+        record can never be glued onto torn bytes and lost with them.
+        """
+        record = dict(record)
+        record.pop("_crc", None)
+        record["_crc"] = zlib.crc32(canonical_json(record).encode("utf-8"))
+        data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        if self.chaos is not None:
+            data = self.chaos.mangle_store_append(data)
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        with open(self.path, "a") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        with open(self.path, "ab") as handle:
+            if handle.tell() > 0 and not self._ends_with_newline():
+                handle.write(b"\n")
+            handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())
+
+    def _ends_with_newline(self):
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) == b"\n"
+        except OSError:
+            return True
 
     def clear(self):
         try:
@@ -197,21 +357,62 @@ def _worker_main(conn, spec, resume):
         conn.close()
 
 
-def _pool_worker_main(conn, task_runner):
+def _heartbeat_sender(conn, lock, interval, stop):
+    """Side thread: prove the worker process is scheduling.
+
+    A wedged worker (SIGSTOPped, swapped to death, stalled on a dead
+    pipe) stops beating; the parent's liveness check then kills and
+    replaces it.  Send failures mean the parent is gone — just stop.
+    """
+    while not stop.wait(interval):
+        try:
+            with lock:
+                conn.send(("heartbeat",))
+        except (OSError, ValueError, BrokenPipeError):
+            return
+
+
+def _pool_worker_main(conn, task_runner, heartbeat_interval=None,
+                      chaos_setup=None):
     """A persistent pool worker: preload once, serve tasks until told
     to stop.
 
     Protocol (parent -> worker): ``("task", spec, resume)``,
     ``("call", func, args, kwargs)``, ``("stop",)``.
-    Worker -> parent: ``("ok", payload)`` or ``("error", message)``.
+    Worker -> parent: ``("ok", payload)``, ``("error", message)``, plus
+    unsolicited ``("heartbeat",)`` frames from a side thread when
+    ``heartbeat_interval`` is set.
 
     An exception inside a task is *reported*, not fatal — the worker
     stays warm for the next task.  Only process death (os._exit, OOM
     kill, signal) costs the supervisor a respawn.
+
+    ``chaos_setup`` is the worker half of the infrastructure-fault
+    seam: ``(plan_state, seed, worker_id)`` installs a seeded
+    write-fault hook (ENOSPC, checkpoint corruption) into
+    :mod:`repro.ioutil` before any task runs.
     """
     # The expensive part of a fresh worker is importing the experiment
     # stack; do it exactly once, before the first task arrives.
     import repro.experiments.runner  # noqa: F401  (preload)
+
+    if chaos_setup is not None:
+        from repro.chaos.injector import install_worker_chaos
+
+        install_worker_chaos(*chaos_setup)
+
+    send_lock = threading.Lock()
+    stop_beating = threading.Event()
+    if heartbeat_interval is not None:
+        threading.Thread(
+            target=_heartbeat_sender,
+            args=(conn, send_lock, heartbeat_interval, stop_beating),
+            daemon=True,
+        ).start()
+
+    def send(message):
+        with send_lock:
+            conn.send(message)
 
     while True:
         try:
@@ -224,21 +425,20 @@ def _pool_worker_main(conn, task_runner):
         try:
             if kind == "task":
                 _, spec, resume = message
-                conn.send(("ok", task_runner(spec, resume)))
+                send(("ok", task_runner(spec, resume)))
             elif kind == "call":
                 _, func, args, kwargs = message
-                conn.send(("ok", func(*args, **(kwargs or {}))))
+                send(("ok", func(*args, **(kwargs or {}))))
             else:
-                conn.send(("error", "unknown message {!r}".format(kind)))
+                send(("error", "unknown message {!r}".format(kind)))
         except KeyboardInterrupt:
             break
         except BaseException as error:
             try:
-                conn.send(
-                    ("error", "{}: {}".format(type(error).__name__, error))
-                )
+                send(("error", "{}: {}".format(type(error).__name__, error)))
             except (OSError, ValueError):
                 break
+    stop_beating.set()
     conn.close()
 
 
@@ -247,22 +447,47 @@ class _PoolWorker:
 
     _next_id = 0
 
-    def __init__(self, context, task_runner):
+    def __init__(self, context, task_runner, heartbeat_interval=None,
+                 worker_chaos=None):
         _PoolWorker._next_id += 1
         self.id = _PoolWorker._next_id
+        chaos_setup = (
+            None if worker_chaos is None
+            else tuple(worker_chaos) + (self.id,)
+        )
         parent_conn, child_conn = context.Pipe(duplex=True)
         self.conn = parent_conn
         self.process = context.Process(
             target=_pool_worker_main,
-            args=(child_conn, task_runner),
+            args=(child_conn, task_runner, heartbeat_interval, chaos_setup),
             daemon=True,
         )
         self.process.start()
         child_conn.close()
         self.tasks_done = 0
+        self.last_heartbeat = time.monotonic()
 
     def send(self, message):
         self.conn.send(message)
+
+    def poll_message(self):
+        """The next pending non-heartbeat message, or ``None``.
+
+        Heartbeat frames are consumed here (refreshing
+        ``last_heartbeat``); a broken pipe surfaces as ``("crashed",)``
+        so callers fold it into the worker-death path.
+        """
+        while True:
+            try:
+                if not self.conn.poll():
+                    return None
+                message = self.conn.recv()
+            except (EOFError, OSError):
+                return ("crashed",)
+            if message[0] == "heartbeat":
+                self.last_heartbeat = time.monotonic()
+                continue
+            return message
 
     def alive(self):
         return self.process.is_alive()
@@ -298,15 +523,24 @@ class WorkerPool:
     :param jobs: maximum concurrent workers (spawned lazily).
     :param task_runner: the in-worker task executor (injectable for
         tests); must be a module-level callable.
+    :param heartbeat_interval: seconds between worker heartbeat frames
+        (``None`` disables heartbeats — e.g. :func:`pool_map`, whose
+        protocol has no liveness checks).
+    :param worker_chaos: ``(plan_state, seed)`` installing worker-side
+        infrastructure faults; each spawned worker derives its own
+        stream from its worker id.
     """
 
-    def __init__(self, jobs=None, task_runner=run_task_spec, context=None):
+    def __init__(self, jobs=None, task_runner=run_task_spec, context=None,
+                 heartbeat_interval=None, worker_chaos=None):
         if jobs is None:
             jobs = default_jobs()
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.task_runner = task_runner
+        self.heartbeat_interval = heartbeat_interval
+        self.worker_chaos = worker_chaos
         self._context = context or multiprocessing.get_context()
         self.idle = []
         self.spawned = 0
@@ -324,7 +558,11 @@ class WorkerPool:
             worker.terminate()
         if active + len(self.idle) < self.jobs:
             self.spawned += 1
-            return _PoolWorker(self._context, self.task_runner)
+            return _PoolWorker(
+                self._context, self.task_runner,
+                heartbeat_interval=self.heartbeat_interval,
+                worker_chaos=self.worker_chaos,
+            )
         return None
 
     def checkin(self, worker):
@@ -410,12 +648,42 @@ def pool_map(func, calls, jobs=None, task_runner=run_task_spec):
     return results
 
 
+def _containment_main(conn, task_runner, spec, resume):
+    """One-shot containment subprocess for a crash-history task.
+
+    The degraded (post-breaker) execution mode runs clean tasks
+    in-process, but a task that has already killed workers runs here:
+    if it dies again it takes this throwaway process with it, never the
+    supervisor.
+    """
+    try:
+        conn.send(("ok", task_runner(spec, resume)))
+    except BaseException as error:  # the parent needs the reason, always
+        try:
+            conn.send(
+                ("error", "{}: {}".format(type(error).__name__, error))
+            )
+        except (OSError, ValueError):
+            pass
+        raise
+    finally:
+        conn.close()
+
+
 class _RunningTask:
     def __init__(self, spec, process, conn, deadline, attempt):
         self.spec = spec
         self.process = process
         self.conn = conn
         self.deadline = deadline
+        self.attempt = attempt
+
+
+class _InlineTask:
+    """Task handle for degraded in-process execution (no process)."""
+
+    def __init__(self, spec, attempt):
+        self.spec = spec
         self.attempt = attempt
 
 
@@ -434,11 +702,31 @@ class Supervisor:
         a fresh process per task (the original supervision seam).
     :param task_runner: in-pool task executor (injectable for tests);
         must be a module-level callable of ``(spec, resume)``.
+    :param heartbeat_interval: seconds between worker heartbeat frames
+        (``None`` disables liveness checks).
+    :param heartbeat_timeout: seconds of heartbeat silence after which
+        a busy worker is declared wedged, killed and replaced.
+    :param quarantine_after: consecutive worker crashes (for one task)
+        before the task is quarantined instead of retried — the poison
+        task guard (``None`` disables).
+    :param circuit_breaker: consecutive worker crashes (across tasks,
+        reset by any success) before the pool degrades to serial
+        in-process execution (``None`` disables).
+    :param chaos: a :class:`repro.chaos.ChaosInjector` scheduling
+        infrastructure faults (worker kills/stalls and, via the worker
+        seam, write faults); ``None`` in production.
+    :param drain_on_sigterm: install a SIGTERM handler for the duration
+        of :meth:`run` that drains gracefully (finish in-flight work,
+        dispatch nothing new, raise
+        :class:`~repro.experiments.errors.CampaignDrained`).  Only
+        engages on the main thread.
     """
 
     def __init__(self, jobs=None, timeout=None, retries=1, backoff=0.5,
                  poll_interval=0.05, worker=_worker_main,
-                 task_runner=run_task_spec):
+                 task_runner=run_task_spec, heartbeat_interval=0.5,
+                 heartbeat_timeout=10.0, quarantine_after=3,
+                 circuit_breaker=6, chaos=None, drain_on_sigterm=True):
         if jobs is None:
             jobs = default_jobs()
         if jobs < 1:
@@ -447,6 +735,14 @@ class Supervisor:
             raise ValueError("retries must be >= 0")
         if timeout is not None and timeout <= 0:
             raise ValueError("timeout must be positive when given")
+        if quarantine_after is not None and quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1 when given")
+        if circuit_breaker is not None and circuit_breaker < 1:
+            raise ValueError("circuit_breaker must be >= 1 when given")
+        if heartbeat_interval is not None and heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive when given")
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be positive when given")
         self.jobs = jobs
         self.timeout = timeout
         self.retries = retries
@@ -454,20 +750,76 @@ class Supervisor:
         self.poll_interval = poll_interval
         self.worker = worker
         self.task_runner = task_runner
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = (
+            None if heartbeat_interval is None else heartbeat_timeout
+        )
+        self.quarantine_after = quarantine_after
+        self.circuit_breaker = circuit_breaker
+        self.chaos = chaos
+        self.drain_on_sigterm = drain_on_sigterm
         self.pooled = worker is _worker_main
         self._context = multiprocessing.get_context()
         self.workers_spawned = 0
+        self.breaker_opened = False
+        self._crash_counts = {}
+        self._crash_streak = 0
+        self._draining = False
+        self._drain_announced = False
+
+    def request_drain(self):
+        """Stop dispatching; finish in-flight tasks; then raise
+        :class:`~repro.experiments.errors.CampaignDrained`.  Called by
+        the SIGTERM handler, callable directly (e.g. from tests or an
+        embedding service)."""
+        self._draining = True
+
+    def _handle_sigterm(self, signum, frame):
+        self.request_drain()
 
     def run(self, specs, store=None, on_event=None):
         """Run every spec; returns {name: TaskOutcome}.
 
         Completed tasks are appended to ``store`` as they finish.  A
         KeyboardInterrupt terminates all workers before propagating, so
-        ^C never leaves orphaned simulations running.
+        ^C never leaves orphaned simulations running.  A SIGTERM drains
+        instead: in-flight tasks finish, the rest stay pending, and
+        :class:`~repro.experiments.errors.CampaignDrained` (carrying
+        the settled outcomes) is raised so the caller can exit 143 and
+        later ``--resume``.
         """
-        if self.pooled:
-            return self._run_pooled(specs, store, on_event)
-        return self._run_legacy(specs, store, on_event)
+        specs = list(specs)
+        self._crash_counts = {}
+        self._crash_streak = 0
+        self._draining = False
+        self._drain_announced = False
+        self.breaker_opened = False
+        previous_handler = None
+        installed = False
+        if self.drain_on_sigterm:
+            try:
+                if threading.current_thread() is threading.main_thread():
+                    previous_handler = signal.signal(
+                        signal.SIGTERM, self._handle_sigterm
+                    )
+                    installed = True
+            except (ValueError, OSError):
+                pass  # embedded interpreters without signal support
+        try:
+            if self.pooled:
+                outcomes = self._run_pooled(specs, store, on_event)
+            else:
+                outcomes = self._run_legacy(specs, store, on_event)
+        finally:
+            if installed:
+                signal.signal(signal.SIGTERM, previous_handler)
+        if self._draining:
+            pending = [
+                spec.name for spec in specs if spec.name not in outcomes
+            ]
+            if pending:
+                raise CampaignDrained(outcomes, pending)
+        return outcomes
 
     # -- shared bookkeeping ------------------------------------------------
 
@@ -477,34 +829,92 @@ class Supervisor:
                 on_event(message)
         return emit
 
-    def _make_settle(self, outcomes, store):
+    def _make_settle(self, outcomes, store, emit):
         def settle(task, status, report=None, error=None):
+            name = task.spec.name
+            if status == "done":
+                # Success resets the poison and churn accounting.
+                self._crash_counts.pop(name, None)
+                self._crash_streak = 0
             outcome = TaskOutcome(
-                task.spec.name, status, report=report, error=error,
+                name, status, report=report,
+                error=None if error is None else str(error),
+                error_kind=(
+                    getattr(error, "kind", "campaign-error")
+                    if error is not None else None
+                ),
                 attempts=task.attempt,
             )
-            outcomes[task.spec.name] = outcome
+            outcomes[name] = outcome
             if store is not None:
-                store.append(outcome.record())
+                try:
+                    store.append(outcome.record())
+                except OSError as store_error:
+                    # A full disk must not kill the campaign: the
+                    # outcome stays in memory (and in the final
+                    # report); only resumability of this record is
+                    # lost.
+                    emit(
+                        "result store append failed for task {} ({}); "
+                        "continuing without persistence".format(
+                            name, store_error
+                        )
+                    )
         return settle
 
     def _make_retry_or_fail(self, pending, settle, emit):
         def retry_or_fail(task, error):
-            if task.attempt <= self.retries:
+            name = task.spec.name
+            if not isinstance(error, CampaignError):
+                error = TaskError(str(error))
+            if error.counts_as_crash:
+                self._crash_counts[name] = (
+                    self._crash_counts.get(name, 0) + 1
+                )
+                self._crash_streak += 1
+                if (
+                    self.quarantine_after is not None
+                    and self._crash_counts[name] >= self.quarantine_after
+                ):
+                    quarantined = QuarantinedTaskError(
+                        "quarantined after {} consecutive worker crashes "
+                        "(last: {})".format(self._crash_counts[name], error)
+                    )
+                    emit(
+                        "task {}: {} [{}]".format(
+                            name, quarantined, quarantined.kind
+                        )
+                    )
+                    settle(task, "failed", error=quarantined)
+                    return
+            if error.retryable and task.attempt <= self.retries:
                 delay = self.backoff * (2 ** (task.attempt - 1))
                 emit(
-                    "task {}: {}; retrying in {:.1f}s (attempt {}/{})".format(
-                        task.spec.name, error, delay, task.attempt + 1,
-                        self.retries + 1,
+                    "task {}: {}; retrying in {:.1f}s (attempt {}/{}) "
+                    "[{}]".format(
+                        name, error, delay, task.attempt + 1,
+                        self.retries + 1, error.kind,
                     )
                 )
                 pending.append(
                     (task.spec, task.attempt + 1, time.monotonic() + delay)
                 )
             else:
-                emit("task {}: {}; giving up".format(task.spec.name, error))
+                emit(
+                    "task {}: {}; giving up [{}]".format(
+                        name, error, error.kind
+                    )
+                )
                 settle(task, "failed", error=error)
         return retry_or_fail
+
+    def _announce_drain(self, emit, pending):
+        if self._draining and not self._drain_announced:
+            self._drain_announced = True
+            emit(
+                "SIGTERM: draining — finishing in-flight tasks, {} pending "
+                "task(s) deferred to --resume".format(len(pending))
+            )
 
     # -- pooled execution --------------------------------------------------
 
@@ -512,11 +922,16 @@ class Supervisor:
         emit = self._make_emit(on_event)
         pending = deque((spec, 1, 0.0) for spec in specs)
         outcomes = {}
-        settle = self._make_settle(outcomes, store)
+        settle = self._make_settle(outcomes, store, emit)
         retry_or_fail = self._make_retry_or_fail(pending, settle, emit)
+        worker_chaos = (
+            None if self.chaos is None else self.chaos.worker_setup()
+        )
         pool = WorkerPool(
             jobs=self.jobs, task_runner=self.task_runner,
             context=self._context,
+            heartbeat_interval=self.heartbeat_interval,
+            worker_chaos=worker_chaos,
         )
         busy = {}  # worker -> _PoolTask
 
@@ -528,11 +943,16 @@ class Supervisor:
 
         try:
             while pending or busy:
+                if self._draining and not busy:
+                    self._announce_drain(emit, pending)
+                    break
                 now = time.monotonic()
+                self._announce_drain(emit, pending)
                 # Dispatch whatever is due onto idle/fresh workers, in
-                # deterministic submission order.
+                # deterministic submission order.  A drain stops
+                # dispatch entirely; in-flight tasks still finish.
                 blocked = []
-                while pending:
+                while pending and not self._draining:
                     spec, attempt, not_before = pending.popleft()
                     if not_before > now:
                         blocked.append((spec, attempt, not_before))
@@ -543,6 +963,9 @@ class Supervisor:
                         break
                     resume = spec.resume or attempt > 1
                     worker.send(("task", spec, resume))
+                    # The liveness clock starts at dispatch so a long
+                    # idle gap can never count against the worker.
+                    worker.last_heartbeat = now
                     deadline = (
                         None if self.timeout is None
                         else now + self.timeout
@@ -553,6 +976,14 @@ class Supervisor:
                             spec.name, attempt, self.retries + 1, worker.id
                         )
                     )
+                    if self.chaos is not None:
+                        action = self.chaos.sabotage_dispatch(worker)
+                        if action:
+                            emit(
+                                "chaos: {} worker {} (task {})".format(
+                                    action, worker.id, spec.name
+                                )
+                            )
                 pending.extendleft(reversed(blocked))
 
                 if busy:
@@ -576,6 +1007,16 @@ class Supervisor:
                         pool.discard(worker)
                     else:
                         pool.checkin(worker)
+
+                if (
+                    self.circuit_breaker is not None
+                    and self._crash_streak >= self.circuit_breaker
+                    and (pending or busy)
+                ):
+                    self._open_breaker(pool, busy, pending, emit)
+                    busy = {}
+                    self._run_degraded(pending, settle, retry_or_fail, emit)
+                    return outcomes
         except KeyboardInterrupt:
             pool.terminate_all(extra=busy)
             raise
@@ -586,39 +1027,152 @@ class Supervisor:
     def _collect_pooled(self, worker, task, settle, retry_or_fail, emit,
                         now):
         """One health check; returns (finished, worker_crashed)."""
-        if worker.conn.poll():
-            try:
-                status, payload = worker.conn.recv()
-            except (EOFError, OSError):
-                status, payload = None, None
-            if status == "ok":
+        message = worker.poll_message()
+        if message is not None:
+            if message[0] == "ok":
                 emit("task {}: done".format(task.spec.name))
-                settle(task, "done", report=payload)
+                settle(task, "done", report=message[1])
                 return True, False
-            if status == "error":
-                retry_or_fail(task, payload)
+            if message[0] == "error":
+                retry_or_fail(task, TaskError(message[1]))
                 return True, False
+            # ("crashed",) from a broken pipe, or an unparseable frame
+            # from a corrupted worker: either way the worker is gone.
             retry_or_fail(
                 task,
-                "worker crashed (exit code {})".format(
-                    worker.process.exitcode
+                WorkerCrashError(
+                    "worker crashed (exit code {})".format(
+                        worker.process.exitcode
+                    )
                 ),
             )
             return True, True
         if task.deadline is not None and now > task.deadline:
             retry_or_fail(
-                task, "timed out after {:.0f}s".format(self.timeout)
+                task,
+                TaskTimeoutError(
+                    "timed out after {:.0f}s".format(self.timeout)
+                ),
             )
             return True, True
         if not worker.alive():
             retry_or_fail(
                 task,
-                "worker crashed (exit code {})".format(
-                    worker.process.exitcode
+                WorkerCrashError(
+                    "worker crashed (exit code {})".format(
+                        worker.process.exitcode
+                    )
+                ),
+            )
+            return True, True
+        if (
+            self.heartbeat_timeout is not None
+            and now - worker.last_heartbeat > self.heartbeat_timeout
+        ):
+            silence = now - worker.last_heartbeat
+            worker.terminate()
+            retry_or_fail(
+                task,
+                WorkerCrashError(
+                    "worker wedged (no heartbeat for {:.1f}s); "
+                    "killed".format(silence)
                 ),
             )
             return True, True
         return False, False
+
+    # -- degraded (post-circuit-breaker) execution -------------------------
+
+    def _open_breaker(self, pool, busy, pending, emit):
+        """Tear the pool down; requeue in-flight tasks for serial runs.
+
+        Requeued tasks keep their attempt number (the breaker trip is
+        not their fault and does not count against them) and go to the
+        *front* of the queue in dispatch order, preserving the
+        campaign's deterministic task ordering.
+        """
+        self.breaker_opened = True
+        emit(
+            "circuit breaker open: {} consecutive worker crashes; "
+            "degrading to serial in-process execution".format(
+                self._crash_streak
+            )
+        )
+        requeue = [
+            (task.spec, task.attempt, 0.0) for task in busy.values()
+        ]
+        pool.terminate_all(extra=list(busy))
+        self.workers_spawned = pool.spawned
+        pending.extendleft(reversed(requeue))
+
+    def _run_degraded(self, pending, settle, retry_or_fail, emit):
+        """Serial fallback once the circuit breaker has opened.
+
+        Clean tasks run in-process (no fork, no pipe — nothing left to
+        chaos-kill); tasks with a crash history run in one-shot
+        containment subprocesses so a poison task still cannot take the
+        supervisor down.
+        """
+        while pending:
+            self._announce_drain(emit, pending)
+            if self._draining:
+                return
+            spec, attempt, not_before = pending.popleft()
+            wait = not_before - time.monotonic()
+            if wait > 0:
+                time.sleep(wait)
+            if self._crash_counts.get(spec.name):
+                emit(
+                    "task {}: started (attempt {}/{}) "
+                    "[degraded, contained]".format(
+                        spec.name, attempt, self.retries + 1
+                    )
+                )
+                task = self._launch_contained(spec, attempt)
+                try:
+                    while not self._collect(task, settle, retry_or_fail):
+                        time.sleep(self.poll_interval)
+                except KeyboardInterrupt:
+                    self._terminate(task)
+                    raise
+                continue
+            emit(
+                "task {}: started (attempt {}/{}) "
+                "[degraded, in-process]".format(
+                    spec.name, attempt, self.retries + 1
+                )
+            )
+            task = _InlineTask(spec, attempt)
+            resume = spec.resume or attempt > 1
+            try:
+                report = self.task_runner(spec, resume)
+            except Exception as error:
+                retry_or_fail(
+                    task,
+                    TaskError(
+                        "{}: {}".format(type(error).__name__, error)
+                    ),
+                )
+            else:
+                emit("task {}: done".format(spec.name))
+                settle(task, "done", report=report)
+
+    def _launch_contained(self, spec, attempt):
+        parent_conn, child_conn = self._context.Pipe(duplex=False)
+        resume = spec.resume or attempt > 1
+        process = self._context.Process(
+            target=_containment_main,
+            args=(child_conn, self.task_runner, spec, resume),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self.workers_spawned += 1
+        deadline = (
+            None if self.timeout is None
+            else time.monotonic() + self.timeout
+        )
+        return _RunningTask(spec, process, parent_conn, deadline, attempt)
 
     # -- legacy process-per-task execution ---------------------------------
 
@@ -627,15 +1181,22 @@ class Supervisor:
         pending = deque((spec, 1, 0.0) for spec in specs)
         running = []
         outcomes = {}
-        settle = self._make_settle(outcomes, store)
+        settle = self._make_settle(outcomes, store, emit)
         retry_or_fail = self._make_retry_or_fail(pending, settle, emit)
 
         try:
             while pending or running:
+                if self._draining and not running:
+                    self._announce_drain(emit, pending)
+                    break
                 now = time.monotonic()
-                # Launch whatever is due and fits.
+                self._announce_drain(emit, pending)
+                # Launch whatever is due and fits (never during a drain).
                 blocked = []
-                while pending and len(running) < self.jobs:
+                while (
+                    pending and len(running) < self.jobs
+                    and not self._draining
+                ):
                     spec, attempt, not_before = pending.popleft()
                     if not_before > now:
                         blocked.append((spec, attempt, not_before))
@@ -692,12 +1253,14 @@ class Supervisor:
             if status == "ok":
                 settle(task, "done", report=payload)
             elif status == "error":
-                retry_or_fail(task, payload)
+                retry_or_fail(task, TaskError(payload))
             else:
                 retry_or_fail(
                     task,
-                    "worker crashed (exit code {})".format(
-                        task.process.exitcode
+                    WorkerCrashError(
+                        "worker crashed (exit code {})".format(
+                            task.process.exitcode
+                        )
                     ),
                 )
             return True
@@ -705,7 +1268,10 @@ class Supervisor:
             self._terminate(task)
             task.conn.close()
             retry_or_fail(
-                task, "timed out after {:.0f}s".format(self.timeout)
+                task,
+                TaskTimeoutError(
+                    "timed out after {:.0f}s".format(self.timeout)
+                ),
             )
             return True
         if not task.process.is_alive():
@@ -713,7 +1279,11 @@ class Supervisor:
             task.conn.close()
             retry_or_fail(
                 task,
-                "worker crashed (exit code {})".format(task.process.exitcode),
+                WorkerCrashError(
+                    "worker crashed (exit code {})".format(
+                        task.process.exitcode
+                    )
+                ),
             )
             return True
         return False
@@ -774,7 +1344,7 @@ class CampaignReport:
 def run_campaign(names=None, scale=1.0, seed=1, jobs=None, timeout=None,
                  retries=1, resume=False, checkpoint_dir=None,
                  checkpoint_every=None, on_event=None, supervisor=None,
-                 cache=None, cache_dir=None, use_cache=True):
+                 cache=None, cache_dir=None, use_cache=True, chaos=None):
     """Run a supervised experiment campaign; returns a CampaignReport.
 
     ``checkpoint_dir`` hosts both the JSONL result store
@@ -789,6 +1359,14 @@ def run_campaign(names=None, scale=1.0, seed=1, jobs=None, timeout=None,
     every freshly finished task is published back.  ``cache_dir`` names
     the cache root (``use_cache=False`` or a pre-built ``cache``
     override it); accounting lands on ``CampaignReport.cache_stats``.
+
+    ``chaos`` threads one :class:`repro.chaos.ChaosInjector` through
+    every infrastructure seam at once — store appends, cache entries,
+    worker dispatch and (inside workers) checkpoint writes.
+
+    A SIGTERM mid-campaign drains: settled outcomes are published to
+    the cache, then :class:`~repro.experiments.errors.CampaignDrained`
+    propagates so the CLI can exit 143; ``--resume`` picks up the rest.
     """
     from repro.experiments.runner import checkpoint_aware_experiments
 
@@ -798,8 +1376,10 @@ def run_campaign(names=None, scale=1.0, seed=1, jobs=None, timeout=None,
         raise ValueError("a campaign needs a checkpoint directory")
     os.makedirs(checkpoint_dir, exist_ok=True)
     if cache is None and use_cache and cache_dir is not None:
-        cache = ResultCache(cache_dir)
-    store = ResultStore(os.path.join(checkpoint_dir, "results.jsonl"))
+        cache = ResultCache(cache_dir, chaos=chaos)
+    store = ResultStore(
+        os.path.join(checkpoint_dir, "results.jsonl"), chaos=chaos
+    )
     if not resume:
         store.clear()
     completed = store.load()
@@ -807,6 +1387,14 @@ def run_campaign(names=None, scale=1.0, seed=1, jobs=None, timeout=None,
     def emit(message):
         if on_event is not None:
             on_event(message)
+
+    if store.recovered_bytes:
+        emit(
+            "result store: dropped {} torn/corrupt trailing record(s) "
+            "({} bytes); affected tasks will rerun".format(
+                store.recovered_records, store.recovered_bytes
+            )
+        )
 
     skipped = [name for name in names if name in completed]
     for name in skipped:
@@ -830,15 +1418,21 @@ def run_campaign(names=None, scale=1.0, seed=1, jobs=None, timeout=None,
                 "status": "done",
                 "report": record["report"],
             }
-            store.append(
-                {
-                    "name": name,
-                    "status": "done",
-                    "report": record["report"],
-                    "error": None,
-                    "attempts": 0,
-                }
-            )
+            try:
+                store.append(
+                    {
+                        "name": name,
+                        "status": "done",
+                        "report": record["report"],
+                        "error": None,
+                        "attempts": 0,
+                    }
+                )
+            except OSError as error:
+                emit(
+                    "result store append failed for task {} ({}); "
+                    "continuing without persistence".format(name, error)
+                )
             emit("task {}: cache hit, skipping".format(name))
 
     aware = checkpoint_aware_experiments()
@@ -862,13 +1456,37 @@ def run_campaign(names=None, scale=1.0, seed=1, jobs=None, timeout=None,
         )
 
     if supervisor is None:
-        supervisor = Supervisor(jobs=jobs, timeout=timeout, retries=retries)
-    outcomes = supervisor.run(specs, store=store, on_event=on_event)
+        supervisor = Supervisor(
+            jobs=jobs, timeout=timeout, retries=retries, chaos=chaos
+        )
 
-    if cache is not None:
-        for name, outcome in outcomes.items():
-            if outcome.status == "done":
-                cache.put(keys[name], {"name": name, "report": outcome.report})
+    def publish(finished):
+        if cache is None:
+            return
+        for name, outcome in finished.items():
+            if outcome.status != "done":
+                continue
+            try:
+                cache.put(
+                    keys[name], {"name": name, "report": outcome.report}
+                )
+            except OSError as error:
+                emit(
+                    "cache store failed for task {} ({}); "
+                    "continuing".format(name, error)
+                )
+
+    try:
+        outcomes = supervisor.run(specs, store=store, on_event=on_event)
+    except CampaignDrained as drained:
+        # What finished is safely stored and cached; the caller exits
+        # 143 and a later --resume runs only the pending remainder.
+        publish(drained.outcomes)
+        if cache is not None:
+            emit(cache.stats.format_line())
+        raise
+
+    publish(outcomes)
 
     sections, failed = [], {}
     for name in names:

@@ -15,8 +15,10 @@ seeds) identical to the serial run.
 """
 
 import csv
+import io
 
 from repro.experiments.system import run_testbed
+from repro.ioutil import atomic_write
 from repro.metrics.report import format_table
 from repro.sim.rng import child_seed
 
@@ -66,11 +68,15 @@ class SweepResult:
         return rows[0][column]
 
     def save_csv(self, path):
-        with open(path, "w", newline="") as handle:
-            writer = csv.DictWriter(handle, fieldnames=self.COLUMNS)
-            writer.writeheader()
-            for row in self.rows:
-                writer.writerow(row)
+        # Render in memory, then land the whole file atomically — a
+        # killed export leaves the previous CSV intact, never half the
+        # rows.
+        buffer = io.StringIO(newline="")
+        writer = csv.DictWriter(buffer, fieldnames=self.COLUMNS)
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow(row)
+        atomic_write(path, buffer.getvalue())
 
     def format_report(self):
         table_rows = []

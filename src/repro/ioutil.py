@@ -1,0 +1,102 @@
+"""Crash-consistent file I/O shared by every persistent store.
+
+Every artifact the campaign engine persists — cache envelopes, stage
+checkpoints, lint baselines, CSV exports — must survive the failure a
+long-running service actually sees: a SIGKILL, power loss or full disk
+landing *between any two syscalls* of a save.  The rules that make a
+whole-file write safe are always the same, so they live here once:
+
+1. serialize the complete new content first (no in-place rewrites);
+2. write it to a sibling temp file in the *same directory* (so the
+   final rename never crosses a filesystem boundary);
+3. ``flush`` + ``fsync`` the temp file (data reaches the platter, not
+   just the page cache);
+4. ``os.replace`` it over the destination (atomic on POSIX and NTFS);
+5. ``fsync`` the parent directory (the rename itself is durable — step
+   4 without step 5 can still be lost by a power cut).
+
+A crash at any point leaves either the old file or the complete new
+one, never a torn hybrid.
+
+The module also hosts the **write-fault seam** used by
+:mod:`repro.chaos`: an installed hook sees every payload before it is
+written and may corrupt it or raise ``OSError`` (``ENOSPC``), so tests
+and the chaos harness can prove that every reader recovers from
+whatever an unreliable disk can produce.  Production code never
+installs a hook.
+"""
+
+import os
+import tempfile
+
+# The chaos seam.  When set, called as hook(path, data) -> data before
+# each atomic write; it may return different bytes (simulating bitrot
+# or a torn device write) or raise OSError (simulating a full disk).
+_write_fault_hook = None
+
+
+def set_write_fault_hook(hook):
+    """Install (or with ``None`` clear) the write-fault hook.
+
+    Returns the previously installed hook so callers can restore it.
+    Only fault-injection code (``repro.chaos``, tests) should ever call
+    this.
+    """
+    global _write_fault_hook
+    previous = _write_fault_hook
+    _write_fault_hook = hook
+    return previous
+
+
+def fsync_directory(path):
+    """Best-effort fsync of a directory (durability of renames).
+
+    Some platforms (Windows) and some filesystems refuse to open or
+    fsync directories; failing to harden the rename is not worth
+    failing the write, so errors are swallowed.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write(path, data, fsync_dir=True):
+    """Write ``data`` (bytes or str) to ``path`` atomically and durably.
+
+    Temp file in the destination directory + file fsync + ``os.replace``
+    + parent-directory fsync; see the module docstring for why each step
+    exists.  ``str`` data is encoded as UTF-8.  Raises ``OSError`` on
+    failure, leaving any previous file intact.
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    hook = _write_fault_hook
+    if hook is not None:
+        data = hook(path, data)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=".{}.".format(os.path.basename(path)), suffix=".tmp",
+        dir=directory,
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    if fsync_dir:
+        fsync_directory(directory)
+    return path

@@ -28,11 +28,12 @@ preserves shared identity across components on both save and load.
 """
 
 import copy
-import os
 import pickle
 import struct
 import zlib
 from collections import deque
+
+from repro.ioutil import atomic_write
 
 CHECKPOINT_MAGIC = b"LBUSCKPT"
 CHECKPOINT_VERSION = 1
@@ -164,27 +165,15 @@ def write_checkpoint(path, payload, version=CHECKPOINT_VERSION):
     """Serialize ``payload`` to ``path`` atomically.
 
     The payload is pickled once (preserving shared identity between the
-    objects inside it), framed with magic/version/length/CRC32, written
-    to a sibling temp file, fsynced, and moved into place with
-    ``os.replace`` — a kill at any point leaves either the old file or
-    the complete new one, never a torn checkpoint.
+    objects inside it), framed with magic/version/length/CRC32, and
+    written through :func:`repro.ioutil.atomic_write` (sibling temp
+    file + fsync + ``os.replace`` + directory fsync) — a kill at any
+    point leaves either the old file or the complete new one, never a
+    torn checkpoint.
     """
     data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     header = _HEADER.pack(CHECKPOINT_MAGIC, version, len(data), zlib.crc32(data))
-    directory = os.path.dirname(os.path.abspath(path))
-    tmp_path = os.path.join(
-        directory, ".{}.tmp-{}".format(os.path.basename(path), os.getpid())
-    )
-    try:
-        with open(tmp_path, "wb") as handle:
-            handle.write(header)
-            handle.write(data)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, path)
-    finally:
-        if os.path.exists(tmp_path):
-            os.unlink(tmp_path)
+    atomic_write(path, header + data)
     return path
 
 

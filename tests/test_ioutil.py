@@ -1,0 +1,71 @@
+"""Tests for the shared crash-consistent write helper."""
+
+import errno
+import os
+
+import pytest
+
+from repro.ioutil import atomic_write, set_write_fault_hook
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_hook():
+    yield
+    set_write_fault_hook(None)
+
+
+def test_atomic_write_str_and_bytes(tmp_path):
+    path = str(tmp_path / "a.txt")
+    atomic_write(path, "hello")
+    assert open(path, "rb").read() == b"hello"
+    atomic_write(path, b"\x00\x01")
+    assert open(path, "rb").read() == b"\x00\x01"
+
+
+def test_atomic_write_replaces_existing_content(tmp_path):
+    path = str(tmp_path / "a.txt")
+    atomic_write(path, "old" * 1000)
+    atomic_write(path, "new")
+    assert open(path).read() == "new"
+
+
+def test_failed_write_leaves_previous_file_intact(tmp_path):
+    path = str(tmp_path / "a.txt")
+    atomic_write(path, "survivor")
+
+    def explode(p, data):
+        raise OSError(errno.ENOSPC, "no space left on device")
+
+    set_write_fault_hook(explode)
+    with pytest.raises(OSError):
+        atomic_write(path, "doomed")
+    set_write_fault_hook(None)
+    assert open(path).read() == "survivor"
+
+
+def test_no_temp_file_litter_after_failure(tmp_path):
+    path = str(tmp_path / "a.txt")
+
+    def explode(p, data):
+        raise OSError(errno.ENOSPC, "boom")
+
+    set_write_fault_hook(explode)
+    with pytest.raises(OSError):
+        atomic_write(path, "x")
+    set_write_fault_hook(None)
+    atomic_write(path, "y")
+    assert sorted(os.listdir(str(tmp_path))) == ["a.txt"]
+
+
+def test_hook_may_transform_payload(tmp_path):
+    path = str(tmp_path / "a.txt")
+    set_write_fault_hook(lambda p, data: data[:2])
+    atomic_write(path, b"abcdef")
+    set_write_fault_hook(None)
+    assert open(path, "rb").read() == b"ab"
+
+
+def test_set_hook_returns_previous_hook():
+    first = lambda p, d: d  # noqa: E731
+    assert set_write_fault_hook(first) is None
+    assert set_write_fault_hook(None) is first

@@ -45,7 +45,7 @@ def test_bad_fixture_fails_the_cli_with_exit_1():
 
 
 def test_every_rule_has_a_fixture_verified_true_positive():
-    for rule in ("LB101", "LB102", "LB103", "LB104", "LB105"):
+    for rule in ("LB101", "LB102", "LB103", "LB104", "LB105", "LB106"):
         bad = os.path.join(FIXTURES, "{}_bad.py".format(rule.lower()))
         result = run_lint("--select", rule, bad)
         assert result.returncode == 1, "{} bad fixture not caught".format(rule)
@@ -113,7 +113,7 @@ def test_missing_path_is_a_usage_error():
 def test_list_rules_prints_catalog():
     result = run_lint("--list-rules")
     assert result.returncode == 0
-    for rule in ("LB101", "LB102", "LB103", "LB104", "LB105"):
+    for rule in ("LB101", "LB102", "LB103", "LB104", "LB105", "LB106"):
         assert rule in result.stdout
 
 

@@ -84,6 +84,19 @@ def test_lb105_bad_fixture_catches_seed_violations():
     assert len(findings) == 3
 
 
+def test_lb106_bad_fixture_catches_truncating_writes():
+    findings = findings_for("lb106_bad.py", "LB106")
+    messages = "\n".join(f.message for f in findings)
+    assert "open(..., 'w')" in messages
+    assert "open(..., 'wb')" in messages
+    assert "open(..., 'x')" in messages
+    assert "os.fdopen(..., 'wb')" in messages
+    assert "io.open(..., 'w')" in messages
+    assert ".write_text()" in messages
+    assert ".write_bytes()" in messages
+    assert len(findings) == 7
+
+
 # ---------------------------------------------------------------------------
 # Good fixtures: zero findings under EVERY rule, not just their own —
 # the blessed idioms must not trip neighbouring rules either.
@@ -98,6 +111,7 @@ def test_lb105_bad_fixture_catches_seed_violations():
         "lb103_good.py",
         "lb104_good.py",
         "lb105_good.py",
+        "lb106_good.py",
     ],
 )
 def test_good_fixtures_are_clean_under_all_rules(name):
@@ -184,8 +198,17 @@ def test_module_directive_overrides_path_inference():
     assert [f.rule for f in findings] == ["LB101"]
 
 
-def test_rule_registry_has_the_five_documented_rules():
+def test_lb106_scopes_to_persistence_modules():
+    source = 'def save(path, text):\n    open(path, "w").write(text)\n'
+    assert lint_source(source, module="repro.sim.kernel") == []
+    assert lint_source(source, module="repro.cli") == []
+    for module in ("repro.experiments.cache", "repro.sim.snapshot"):
+        findings = lint_source(source, module=module)
+        assert [f.rule for f in findings] == ["LB106"]
+
+
+def test_rule_registry_has_the_six_documented_rules():
     ids = [rule.id for rule in get_rules()]
-    assert ids == ["LB101", "LB102", "LB103", "LB104", "LB105"]
+    assert ids == ["LB101", "LB102", "LB103", "LB104", "LB105", "LB106"]
     for rule in get_rules():
         assert rule.name and rule.description
