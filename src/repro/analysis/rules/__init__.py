@@ -7,4 +7,5 @@ from repro.analysis.rules import (  # noqa: F401  (imported for registration)
     lb104_caches,
     lb105_seeds,
     lb106_durability,
+    lb107_swallow,
 )

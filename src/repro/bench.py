@@ -32,6 +32,7 @@ import platform
 import shutil
 import sys
 import tempfile
+import threading
 import time
 
 from repro.arbiters.registry import make_arbiter
@@ -45,6 +46,9 @@ NUM_MASTERS = 4
 DEFAULT_OUTPUT = os.path.join("benchmarks", "perf", "BENCH_kernel.json")
 DEFAULT_CAMPAIGN_OUTPUT = os.path.join(
     "benchmarks", "perf", "BENCH_campaign.json"
+)
+DEFAULT_SERVICE_OUTPUT = os.path.join(
+    "benchmarks", "perf", "BENCH_service.json"
 )
 
 
@@ -420,6 +424,198 @@ def run_campaign_benchmark(quick=False, jobs=4, cache_dir=None,
     }
 
 
+# -- service benchmark -----------------------------------------------------
+#
+# Hammers a live in-process DSE server (stdlib front-end, real sockets)
+# with concurrent clients: cold submissions that execute on the worker
+# pool, duplicate submissions that must *join* the finished jobs, and
+# warm result fetches.  The served reports must be bit-identical to
+# in-process references and the duplicates must cause zero extra
+# executions — throughput without idempotency is a bug, not a result.
+
+
+def _percentile_ms(samples, q):
+    """The q-quantile of ``samples`` (seconds) in milliseconds."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+    return round(ordered[index] * 1000.0, 3)
+
+
+def _hammer_clients(clients, worker):
+    """Run ``worker(index, errors)`` on ``clients`` threads; returns
+    (wall_seconds, errors)."""
+    errors = []
+    threads = [
+        threading.Thread(target=worker, args=(index, errors), daemon=True)
+        for index in range(clients)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - start, errors
+
+
+def run_service_benchmark(quick=False, workers=2, clients=4):
+    """Concurrent-client service benchmark; returns the results doc."""
+    from repro.experiments.runner import run_experiment
+    from repro.service.client import ServiceClient
+    from repro.service.core import ServiceCore
+    from repro.service.http import ServiceServer
+
+    scale = 0.05
+    seeds = tuple(range(1, 3 if quick else 5))
+    per_client = 25 if quick else 100
+
+    root = tempfile.mkdtemp(prefix="bench-service-")
+    core = ServiceCore(
+        os.path.join(root, "state"),
+        cache_dir=os.path.join(root, "cache"),
+        workers=workers, timeout=300,
+    )
+    server = ServiceServer(core, port=0)
+    server.start()
+    try:
+        client = ServiceClient(server.address, client_id="bench-root")
+
+        # Cold leg: real executions on the worker pool.
+        start = time.perf_counter()
+        job_ids = {}
+        for seed in seeds:
+            status, body = client.submit("figure5", scale=scale, seed=seed)
+            if status != 202:
+                raise AssertionError(
+                    "cold submit bounced: {} {}".format(status, body)
+                )
+            job_ids[seed] = body["job"]
+        results = client.wait_all(list(job_ids.values()), timeout=600)
+        cold_wall = time.perf_counter() - start
+        reference = {
+            seed: run_experiment(
+                "figure5", scale=scale, seed=seed, _warn_seedless=False
+            ).format_report()
+            for seed in seeds
+        }
+        identical = all(
+            results[job_ids[seed]][0] == 200
+            and results[job_ids[seed]][1]["report"] == reference[seed]
+            for seed in seeds
+        )
+
+        # Duplicate-submission leg: pure admission path.  Every request
+        # must join its finished job (200, deduplicated), never rerun it.
+        submit_latencies = []
+
+        def _submitter(index, errors):
+            mine = ServiceClient(
+                server.address, client_id="bench-{}".format(index)
+            )
+            for i in range(per_client):
+                seed = seeds[(index + i) % len(seeds)]
+                begin = time.perf_counter()
+                status, body = mine.submit("figure5", scale=scale, seed=seed)
+                submit_latencies.append(time.perf_counter() - begin)
+                if status != 200 or not body.get("deduplicated"):
+                    errors.append(
+                        "duplicate submit: {} {}".format(status, body)
+                    )
+                    return
+
+        submit_wall, submit_errors = _hammer_clients(clients, _submitter)
+
+        # Warm-result leg: concurrent fetches of memoized reports.
+        fetch_latencies = []
+
+        def _fetcher(index, errors):
+            mine = ServiceClient(
+                server.address, client_id="bench-{}".format(index)
+            )
+            for i in range(per_client):
+                seed = seeds[(index + i) % len(seeds)]
+                begin = time.perf_counter()
+                status, body = mine.job_result(job_ids[seed])
+                fetch_latencies.append(time.perf_counter() - begin)
+                if status != 200:
+                    errors.append(
+                        "warm fetch: {} {}".format(status, body)
+                    )
+                    return
+
+        fetch_wall, fetch_errors = _hammer_clients(clients, _fetcher)
+
+        status, stats = client.stats()
+        executed = stats.get("executed", -1) if status == 200 else -1
+        errors = submit_errors + fetch_errors
+        all_identical = (
+            identical and not errors and executed == len(seeds)
+        )
+        requests = clients * per_client
+        return {
+            "benchmark": "repro.bench --service",
+            "quick": quick,
+            "python": platform.python_version(),
+            "workers": workers,
+            "clients": clients,
+            "requests_per_client": per_client,
+            "cold": {
+                "jobs": len(seeds),
+                "wall_seconds": round(cold_wall, 4),
+                "identical": identical,
+            },
+            "submissions": {
+                "total": requests,
+                "wall_seconds": round(submit_wall, 4),
+                "per_second": round(requests / submit_wall, 1),
+                "p50_ms": _percentile_ms(submit_latencies, 0.50),
+                "p95_ms": _percentile_ms(submit_latencies, 0.95),
+            },
+            "warm_results": {
+                "total": requests,
+                "wall_seconds": round(fetch_wall, 4),
+                "per_second": round(requests / fetch_wall, 1),
+                "p50_ms": _percentile_ms(fetch_latencies, 0.50),
+                "p95_ms": _percentile_ms(fetch_latencies, 0.95),
+            },
+            "executed": executed,
+            "duplicate_executions": max(0, executed - len(seeds)),
+            "errors": errors[:5],
+            "all_identical": all_identical,
+        }
+    finally:
+        server.drain(timeout=30.0)
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def _print_service(results):
+    print("service: {} clients x {} requests ({} workers)".format(
+        results["clients"], results["requests_per_client"],
+        results["workers"],
+    ))
+    print("  cold jobs   {:>8.3f}s  ({} jobs) identical={}".format(
+        results["cold"]["wall_seconds"], results["cold"]["jobs"],
+        "yes" if results["cold"]["identical"] else "NO",
+    ))
+    print(
+        "  submit      {:>8.1f}/s  p50={}ms p95={}ms "
+        "(duplicates joined, {} extra executions)".format(
+            results["submissions"]["per_second"],
+            results["submissions"]["p50_ms"],
+            results["submissions"]["p95_ms"],
+            results["duplicate_executions"],
+        )
+    )
+    print("  warm fetch  {:>8.1f}/s  p50={}ms p95={}ms".format(
+        results["warm_results"]["per_second"],
+        results["warm_results"]["p50_ms"],
+        results["warm_results"]["p95_ms"],
+    ))
+    for error in results["errors"]:
+        print("  error: {}".format(error))
+
+
 def _print_campaign(results):
     print("campaign: {} tasks x {} cycles (jobs={}, {} cpus)".format(
         results["tasks"], results["cycles_per_task"], results["jobs"],
@@ -510,12 +706,32 @@ def main(argv=None):
         "--jobs",
         type=int,
         default=4,
-        help="worker pool size for --campaign (default: %(default)s)",
+        help="worker pool size for --campaign / --service "
+        "(default: %(default)s)",
     )
     parser.add_argument(
         "--campaign-output",
         default=DEFAULT_CAMPAIGN_OUTPUT,
         help="where --campaign writes its JSON report "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--service",
+        action="store_true",
+        help="benchmark the DSE service (submission throughput and "
+        "warm-cache hit latency under concurrent clients) instead of "
+        "the kernel",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        help="concurrent clients for --service (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--service-output",
+        default=DEFAULT_SERVICE_OUTPUT,
+        help="where --service writes its JSON report "
         "(default: %(default)s)",
     )
     parser.add_argument(
@@ -532,8 +748,20 @@ def main(argv=None):
         parser.error("--chaos-rate must be within [0, 1]")
     if args.chaos_rate and not args.campaign:
         parser.error("--chaos-rate requires --campaign")
+    if args.service and args.campaign:
+        parser.error("--service and --campaign are mutually exclusive")
+    if args.clients < 1:
+        parser.error("--clients must be >= 1")
 
-    if args.campaign:
+    if args.service:
+        results = run_service_benchmark(
+            quick=args.quick, workers=args.jobs, clients=args.clients
+        )
+        _print_service(results)
+        output = args.service_output
+        failure = ("FAIL: service served non-identical reports or "
+                   "re-executed deduplicated jobs")
+    elif args.campaign:
         results = run_campaign_benchmark(
             quick=args.quick, jobs=args.jobs, chaos_rate=args.chaos_rate
         )

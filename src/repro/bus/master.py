@@ -154,7 +154,7 @@ class MasterInterface(Component):
             try:
                 self._queue.remove(request)
             except ValueError:
-                pass
+                pass  # not queued (already retired); nothing to remove
 
     def next_activity(self, cycle):
         """Wakeup contract (consulted by the owning bus, and by the
@@ -225,7 +225,7 @@ class MasterInterface(Component):
             try:
                 self._queue.remove(request)
             except ValueError:
-                pass
+                pass  # not queued (already retired); nothing to remove
         return self._resolve_error(request, cycle, faults)
 
     def _resolve_error(self, request, cycle, faults):

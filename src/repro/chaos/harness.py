@@ -125,6 +125,20 @@ def build_parser():
         "--no-poison", action="store_true",
         help="skip the poison-task quarantine demonstration",
     )
+    parser.add_argument(
+        "--service", action="store_true",
+        help=(
+            "run the durable-service phase: start the DSE server as a "
+            "subprocess, hammer it with concurrent/duplicate/malformed "
+            "submissions, kill -9 and restart it mid-campaign, and "
+            "verify bit-identical results with zero duplicated work"
+        ),
+    )
+    parser.add_argument(
+        "--service-kills", type=int, default=2,
+        help="kill -9 / restart rounds in the service phase "
+             "(default: %(default)s)",
+    )
     parser.add_argument("--verbose", action="store_true",
                         help="stream supervisor events to stderr")
     return parser
@@ -146,6 +160,8 @@ def _validate(args):
             return "--{} must lie in [0, 1]".format(name.replace("_", "-"))
     if args.resume and args.workdir is None:
         return "--resume requires --workdir (temp dirs do not persist)"
+    if args.service_kills < 0:
+        return "--service-kills must be >= 0"
     known = set(experiment_names())
     unknown = [name for name in args.experiments if name not in known]
     if unknown:
@@ -280,15 +296,18 @@ def main(argv=None):
     os.makedirs(workdir, exist_ok=True)
 
     failures = []
+    total_phases = 3 + (1 if args.service else 0)
     _emit("chaos: plan {!r}".format(plan))
-    _emit("chaos: phase 1/3: fault-free serial reference")
+    _emit("chaos: phase 1/{}: fault-free serial reference".format(
+        total_phases
+    ))
     reference = run_reference(args, workdir, on_event=on_event)
     if not reference.ok:
         _emit("chaos: reference campaign failed; aborting")
         return 1
     _emit(
-        "chaos: phase 2/3: campaign under chaos "
-        "(jobs={}, seed={})".format(args.jobs, args.seed)
+        "chaos: phase 2/{}: campaign under chaos "
+        "(jobs={}, seed={})".format(total_phases, args.jobs, args.seed)
     )
     campaign = run_chaos(args, workdir, injector, on_event=on_event)
     _emit(injector.format_summary())
@@ -309,9 +328,13 @@ def main(argv=None):
         )
 
     if args.no_poison:
-        _emit("chaos: phase 3/3: poison demo skipped (--no-poison)")
+        _emit("chaos: phase 3/{}: poison demo skipped (--no-poison)".format(
+            total_phases
+        ))
     else:
-        _emit("chaos: phase 3/3: poison-task quarantine")
+        _emit("chaos: phase 3/{}: poison-task quarantine".format(
+            total_phases
+        ))
         poison_problems = run_poison_demo(args, on_event=on_event)
         if poison_problems:
             failures.extend(poison_problems)
@@ -319,6 +342,24 @@ def main(argv=None):
             _emit(
                 "chaos: poison task quarantined after 3 bounded respawns; "
                 "clean task unaffected"
+            )
+
+    if args.service:
+        _emit(
+            "chaos: phase 4/{}: durable service under kill -9 "
+            "({} kill round(s))".format(total_phases, args.service_kills)
+        )
+        from repro.chaos.service_phase import run_service_phase
+
+        service_problems = run_service_phase(args, workdir,
+                                             on_event=on_event)
+        if service_problems:
+            failures.extend(service_problems)
+        else:
+            _emit(
+                "chaos: service survived {} kill -9 round(s): results "
+                "bit-identical, zero duplicated admissions, drain "
+                "exited 143".format(args.service_kills)
             )
 
     if failures:

@@ -63,6 +63,8 @@ class ChaosInjector:
             try:
                 os.kill(worker.process.pid, signal.SIGSTOP)
             except (OSError, TypeError):
+                # The worker died (or has no pid) before the stall could
+                # land; there is nothing left to stall.
                 return None
             return "SIGSTOP"
         return None

@@ -134,6 +134,16 @@ def build_parser():
         action="store_true",
         help="disable the campaign result cache entirely",
     )
+    cache.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        help=(
+            "cap the result cache directory at this many megabytes; "
+            "least-recently-used entries are evicted to stay under it "
+            "(default: unbounded)"
+        ),
+    )
     return parser
 
 
@@ -152,6 +162,13 @@ def _validate(args):
         return "--jobs must be >= 1 (got {})".format(args.jobs)
     if args.no_cache and args.cache_dir is not None:
         return "--no-cache and --cache-dir are mutually exclusive"
+    if args.cache_max_mb is not None:
+        if args.no_cache:
+            return "--cache-max-mb is meaningless with --no-cache"
+        if args.cache_max_mb <= 0:
+            return "--cache-max-mb must be positive (got {})".format(
+                args.cache_max_mb
+            )
     if args.retries < 0:
         return "--retries must be >= 0 (got {})".format(args.retries)
     if args.timeout is not None and args.timeout <= 0:
@@ -190,6 +207,10 @@ def _run_all_supervised(args):
         cache_dir=(
             None if args.no_cache
             else (args.cache_dir or DEFAULT_CACHE_DIR)
+        ),
+        cache_max_bytes=(
+            None if args.cache_max_mb is None
+            else int(args.cache_max_mb * 1024 * 1024)
         ),
         on_event=_emit,
     )

@@ -79,13 +79,14 @@ def experiment_key(name, scale=1.0, seed=1, options=None,
 
 
 class CacheStats:
-    """Hit/miss/store/invalidation counters for one cache instance."""
+    """Hit/miss/store/invalidation/eviction counters for one cache."""
 
     def __init__(self):
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.invalidated = 0
+        self.evicted = 0
 
     @property
     def lookups(self):
@@ -103,6 +104,7 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "invalidated": self.invalidated,
+            "evicted": self.evicted,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -110,9 +112,9 @@ class CacheStats:
         """One grep-friendly line for progress streams and CI asserts."""
         return (
             "campaign cache: hits={} misses={} stores={} invalidated={} "
-            "hit_rate={:.1%}".format(
+            "evicted={} hit_rate={:.1%}".format(
                 self.hits, self.misses, self.stores, self.invalidated,
-                self.hit_rate,
+                self.evicted, self.hit_rate,
             )
         )
 
@@ -129,12 +131,21 @@ class ResultCache:
     :param chaos: optional :class:`repro.chaos.ChaosInjector`; when
         given, freshly stored entries may be deliberately corrupted so
         chaos campaigns prove the self-verifying read path heals them.
+    :param max_bytes: optional size cap on the cache directory; once the
+        sum of entry sizes exceeds it, least-recently-*used* entries
+        (mtime order — hits touch their entry) are evicted until the
+        cache fits again.  ``None`` means unbounded (the historical
+        behaviour).
     """
 
-    def __init__(self, directory, chaos=None):
+    def __init__(self, directory, chaos=None, max_bytes=None):
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1 when given")
         self.directory = directory
         self.stats = CacheStats()
         self.chaos = chaos
+        self.max_bytes = max_bytes
+        self._total_bytes = None  # lazy; first cap check scans the dir
         os.makedirs(directory, exist_ok=True)
 
     def entry_path(self, key):
@@ -161,6 +172,7 @@ class ResultCache:
             self._invalidate(path)
             return None
         self.stats.hits += 1
+        self._touch(path)
         return envelope["record"]
 
     def put(self, key, record):
@@ -176,10 +188,14 @@ class ResultCache:
         }
         path = self.entry_path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
+        old_size = self._size_of(path)
         atomic_write(path, json.dumps(envelope, sort_keys=True))
         self.stats.stores += 1
+        if self._total_bytes is not None:
+            self._total_bytes += self._size_of(path) - old_size
         if self.chaos is not None:
             self.chaos.maybe_corrupt_cache_entry(path)
+        self._evict_if_needed(keep=path)
 
     def _envelope_ok(self, envelope, key):
         if not isinstance(envelope, dict):
@@ -198,10 +214,76 @@ class ResultCache:
     def _invalidate(self, path):
         self.stats.invalidated += 1
         self.stats.misses += 1
+        self._unlink(path)
+
+    # -- size cap / LRU eviction ------------------------------------------
+
+    def total_bytes(self):
+        """Current sum of entry sizes (scans the directory once, then
+        maintained incrementally across puts/evictions)."""
+        if self._total_bytes is None:
+            self._total_bytes = sum(
+                size for _, _, size in self._entry_files()
+            )
+        return self._total_bytes
+
+    def _entry_files(self):
+        """All ``(path, mtime, size)`` entry triples under the root."""
+        entries = []
+        for dirpath, _, filenames in os.walk(self.directory):
+            for filename in filenames:
+                if not filename.endswith(".json"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                try:
+                    status = os.stat(path)
+                except OSError:
+                    continue  # raced with an unlink; it costs no bytes
+                entries.append((path, status.st_mtime, status.st_size))
+        return entries
+
+    def _evict_if_needed(self, keep=None):
+        """Evict least-recently-used entries until under ``max_bytes``.
+
+        ``keep`` (the entry just stored) is never evicted — even a
+        pathological cap smaller than one entry must not make the cache
+        drop the result it was just asked to remember.
+        """
+        if self.max_bytes is None or self.total_bytes() <= self.max_bytes:
+            return
+        entries = sorted(self._entry_files(), key=lambda e: (e[1], e[0]))
+        # Rebuild the total from the fresh scan; incremental accounting
+        # drifts if another process shares the directory.
+        self._total_bytes = sum(size for _, _, size in entries)
+        for path, _, size in entries:
+            if self._total_bytes <= self.max_bytes:
+                break
+            if keep is not None and os.path.abspath(path) == (
+                os.path.abspath(keep)
+            ):
+                continue
+            self._unlink(path)
+            self.stats.evicted += 1
+            self._total_bytes -= size
+
+    @staticmethod
+    def _size_of(path):
+        try:
+            return os.path.getsize(path)
+        except OSError:
+            return 0  # absent file: zero bytes toward the cap
+
+    def _touch(self, path):
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass  # LRU ordering degrades gracefully to store order
+
+    def _unlink(self, path):
         try:
             os.unlink(path)
         except OSError:
-            pass
+            pass  # already gone (or unremovable): the read path heals it
 
     def __repr__(self):
         return "ResultCache({!r}, {})".format(

@@ -148,7 +148,7 @@ class StageCheckpoint:
         try:
             os.unlink(path)
         except OSError:
-            pass
+            pass  # already gone; recomputation proceeds either way
 
     def run(self, simulator, total_cycles, progress=None):
         """Advance ``simulator`` to ``total_cycles``, checkpointing.

@@ -243,7 +243,7 @@ class ResultStore:
         try:
             record = json.loads(line.decode("utf-8"))
         except (ValueError, UnicodeDecodeError):
-            return None
+            return None  # torn/corrupt line: it ends the valid prefix
         if not isinstance(record, dict):
             return None
         crc = record.pop("_crc", None)
@@ -298,7 +298,7 @@ class ResultStore:
         try:
             os.unlink(self.path)
         except OSError:
-            pass
+            pass  # a missing store is already "cleared"
 
 
 class TaskSpec:
@@ -337,12 +337,37 @@ def run_task_spec(spec, resume):
     return result.format_report()
 
 
+def _die_with_parent():
+    """Linux: SIGKILL this worker the moment its parent process dies.
+
+    Forked workers inherit each other's pipe file descriptors, so after
+    a ``kill -9`` of the parent the orphans can keep every pipe open
+    among themselves — ``conn.recv()`` never sees EOF and the orphans
+    linger forever, still holding inherited sockets (which blocks a
+    service restart from rebinding its port).  ``PR_SET_PDEATHSIG``
+    severs that: no parent, no workers, no leaked listeners.
+    """
+    try:
+        import ctypes
+
+        libc = ctypes.CDLL(None, use_errno=True)
+        libc.prctl(1, signal.SIGKILL, 0, 0, 0)  # 1 = PR_SET_PDEATHSIG
+    except (OSError, AttributeError, ValueError, TypeError):
+        return  # non-Linux: orphan cleanup falls back to pipe EOF
+    if os.getppid() == 1:
+        # The parent died in the fork-to-prctl window; the death signal
+        # will never fire, so leave now instead of lingering as the
+        # orphan the prctl was meant to prevent.
+        os._exit(1)
+
+
 def _worker_main(conn, spec, resume):
     """Run one experiment and send ("ok", report) or ("error", message).
 
     The legacy process-per-task entry point; the parent interprets
     silence plus a nonzero exit code as a crash.
     """
+    _die_with_parent()
     try:
         conn.send(("ok", run_task_spec(spec, resume)))
     except BaseException as error:  # the parent needs the reason, always
@@ -351,7 +376,7 @@ def _worker_main(conn, spec, resume):
                 ("error", "{}: {}".format(type(error).__name__, error))
             )
         except (OSError, ValueError):
-            pass
+            pass  # parent pipe is gone; the raise still ends the worker
         raise
     finally:
         conn.close()
@@ -369,7 +394,7 @@ def _heartbeat_sender(conn, lock, interval, stop):
             with lock:
                 conn.send(("heartbeat",))
         except (OSError, ValueError, BrokenPipeError):
-            return
+            return  # the parent is gone; stop beating
 
 
 def _pool_worker_main(conn, task_runner, heartbeat_interval=None,
@@ -392,6 +417,7 @@ def _pool_worker_main(conn, task_runner, heartbeat_interval=None,
     write-fault hook (ENOSPC, checkpoint corruption) into
     :mod:`repro.ioutil` before any task runs.
     """
+    _die_with_parent()
     # The expensive part of a fresh worker is importing the experiment
     # stack; do it exactly once, before the first task arrives.
     import repro.experiments.runner  # noqa: F401  (preload)
@@ -498,11 +524,11 @@ class _PoolWorker:
             try:
                 self.conn.send(("stop",))
             except (OSError, ValueError, BrokenPipeError):
-                pass
+                pass  # pipe is dead; terminate()/kill below still reap it
         try:
             self.conn.close()
         except OSError:
-            pass
+            pass  # already closed
         self.process.join(timeout=grace)
         self.terminate()
 
@@ -579,7 +605,7 @@ class WorkerPool:
         try:
             worker.conn.close()
         except OSError:
-            pass
+            pass  # already closed
 
     def stop(self):
         for worker in self.idle:
@@ -664,7 +690,7 @@ def _containment_main(conn, task_runner, spec, resume):
                 ("error", "{}: {}".format(type(error).__name__, error))
             )
         except (OSError, ValueError):
-            pass
+            pass  # parent pipe is gone; the raise still ends the worker
         raise
     finally:
         conn.close()
@@ -1344,7 +1370,8 @@ class CampaignReport:
 def run_campaign(names=None, scale=1.0, seed=1, jobs=None, timeout=None,
                  retries=1, resume=False, checkpoint_dir=None,
                  checkpoint_every=None, on_event=None, supervisor=None,
-                 cache=None, cache_dir=None, use_cache=True, chaos=None):
+                 cache=None, cache_dir=None, cache_max_bytes=None,
+                 use_cache=True, chaos=None):
     """Run a supervised experiment campaign; returns a CampaignReport.
 
     ``checkpoint_dir`` hosts both the JSONL result store
@@ -1358,7 +1385,9 @@ def run_campaign(names=None, scale=1.0, seed=1, jobs=None, timeout=None,
     entry is served from the cache without dispatching a worker, and
     every freshly finished task is published back.  ``cache_dir`` names
     the cache root (``use_cache=False`` or a pre-built ``cache``
-    override it); accounting lands on ``CampaignReport.cache_stats``.
+    override it); ``cache_max_bytes`` caps the cache directory size
+    with least-recently-used eviction; accounting lands on
+    ``CampaignReport.cache_stats``.
 
     ``chaos`` threads one :class:`repro.chaos.ChaosInjector` through
     every infrastructure seam at once — store appends, cache entries,
@@ -1376,7 +1405,8 @@ def run_campaign(names=None, scale=1.0, seed=1, jobs=None, timeout=None,
         raise ValueError("a campaign needs a checkpoint directory")
     os.makedirs(checkpoint_dir, exist_ok=True)
     if cache is None and use_cache and cache_dir is not None:
-        cache = ResultCache(cache_dir, chaos=chaos)
+        cache = ResultCache(cache_dir, chaos=chaos,
+                            max_bytes=cache_max_bytes)
     store = ResultStore(
         os.path.join(checkpoint_dir, "results.jsonl"), chaos=chaos
     )

@@ -58,11 +58,11 @@ def fsync_directory(path):
     try:
         fd = os.open(path, os.O_RDONLY)
     except OSError:
-        return
+        return  # platform without openable dirs; the data write landed
     try:
         os.fsync(fd)
     except OSError:
-        pass
+        pass  # best-effort hardening; failing it must not fail the write
     finally:
         os.close(fd)
 
@@ -95,7 +95,7 @@ def atomic_write(path, data, fsync_dir=True):
         try:
             os.unlink(tmp_path)
         except OSError:
-            pass
+            pass  # cleanup is best-effort; the raise carries the real error
         raise
     if fsync_dir:
         fsync_directory(directory)

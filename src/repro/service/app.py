@@ -1,0 +1,121 @@
+"""FastAPI front-end over :class:`~repro.service.core.ServiceCore`.
+
+Optional — installed via the ``service`` extra (``pip install
+.[service]``); nothing else in the repo imports this module, so the
+core service, the tests and the chaos harness all run without FastAPI.
+The pydantic request models exist for the OpenAPI schema and first-pass
+shape checking; the *semantics* (registry membership, seed bounds,
+idempotency, admission) stay in the core's validators so the two
+front-ends cannot drift apart.
+
+Import errors here mean the extra is missing; callers
+(:mod:`repro.service.__main__`, the CI smoke test) catch ``ImportError``
+and degrade with a clear message rather than a traceback.
+"""
+
+from typing import Any, Dict, List, Optional
+
+from fastapi import FastAPI, Request
+from fastapi.responses import JSONResponse
+from pydantic import BaseModel, ConfigDict, Field
+
+
+class SubmissionModel(BaseModel):
+    """One experiment submission (shape-checked; semantics in core)."""
+
+    model_config = ConfigDict(extra="forbid")
+
+    experiment: str
+    scale: float = 1.0
+    seed: int = 1
+    options: Dict[str, Any] = Field(default_factory=dict)
+
+
+class SweepModel(BaseModel):
+    """One spec crossed with an explicit seeds list."""
+
+    model_config = ConfigDict(extra="forbid")
+
+    experiment: str
+    scale: float = 1.0
+    seeds: List[int]
+    options: Dict[str, Any] = Field(default_factory=dict)
+
+
+def _respond(result):
+    status, body, headers = result
+    return JSONResponse(content=body, status_code=status,
+                        headers=headers or None)
+
+
+def _client_id(request: Request) -> str:
+    header = request.headers.get("X-Client-Id")
+    if header:
+        return header
+    client: Optional[Any] = request.client
+    return client.host if client is not None else "anonymous"
+
+
+def create_app(core) -> FastAPI:
+    """The FastAPI app for one started-or-startable ``ServiceCore``.
+
+    The core's lifecycle rides the app's: startup recovers the WAL and
+    starts the lease loop, shutdown drains (so uvicorn's SIGTERM
+    handling checkpoints the queue just like the stdlib server's).
+    """
+    app = FastAPI(
+        title="LOTTERYBUS design-space-exploration service",
+        description=(
+            "Durable experiment serving: WAL-backed job queue, "
+            "idempotent submissions, admission control."
+        ),
+    )
+
+    @app.on_event("startup")
+    def _startup():
+        if not core.started:
+            core.start()
+
+    @app.on_event("shutdown")
+    def _shutdown():
+        core.drain(timeout=60.0)
+
+    @app.post("/jobs")
+    def submit(spec: SubmissionModel, request: Request):
+        return _respond(core.submit(spec.model_dump(),
+                                    client=_client_id(request)))
+
+    @app.post("/sweeps")
+    def submit_sweep(spec: SweepModel, request: Request):
+        return _respond(core.submit_sweep(spec.model_dump(),
+                                          client=_client_id(request)))
+
+    @app.get("/jobs")
+    def list_jobs():
+        return _respond(core.list_jobs())
+
+    @app.get("/jobs/{job_id}")
+    def job_status(job_id: str):
+        return _respond(core.job_status(job_id))
+
+    @app.get("/jobs/{job_id}/result")
+    def job_result(job_id: str):
+        return _respond(core.job_result(job_id))
+
+    @app.delete("/jobs/{job_id}")
+    def cancel(job_id: str):
+        return _respond(core.cancel(job_id))
+
+    @app.get("/healthz")
+    def healthz():
+        return _respond(core.healthz())
+
+    @app.get("/readyz")
+    def readyz():
+        return _respond(core.readyz())
+
+    @app.get("/stats")
+    def stats():
+        return _respond(core.stats())
+
+    return app

@@ -1,0 +1,82 @@
+"""Per-client token-bucket rate limiting for submissions.
+
+Each client (``X-Client-Id`` header, falling back to the peer address)
+gets a bucket of ``burst`` tokens refilled at ``rate`` tokens/second.
+A submission costs one token; an empty bucket means the request is
+refused with a typed :class:`~repro.service.models.RateLimitedError`
+whose ``retry_after`` says exactly when the next token lands — the
+front-ends surface it as ``429`` + ``Retry-After``.
+
+The clock is ``time.monotonic`` (never wall time, so a clock step
+cannot mint or destroy tokens), and stale buckets are pruned so a
+long-running server's memory does not grow with the set of clients it
+has ever seen.
+"""
+
+import math
+import threading
+import time
+
+from repro.service.models import RateLimitedError
+
+
+class RateLimiter:
+    """Token buckets per client id.
+
+    :param rate: tokens (submissions) per second per client; ``None``
+        disables limiting entirely.
+    :param burst: bucket capacity — the largest instantaneous spike one
+        client may submit.
+    :param max_clients: buckets kept before the stalest are pruned.
+    """
+
+    def __init__(self, rate=None, burst=10, max_clients=4096):
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive when given")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = rate
+        self.burst = burst
+        self.max_clients = max_clients
+        self._lock = threading.Lock()
+        self._buckets = {}  # client -> [tokens, last_refill_monotonic]
+        self.denied = 0
+
+    def check(self, client):
+        """Spend one token for ``client`` or raise ``RateLimitedError``."""
+        if self.rate is None:
+            return
+        now = time.monotonic()
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                self._prune(now)
+                bucket = self._buckets[client] = [float(self.burst), now]
+            tokens, last = bucket
+            tokens = min(self.burst, tokens + (now - last) * self.rate)
+            if tokens < 1.0:
+                bucket[0] = tokens
+                bucket[1] = now
+                self.denied += 1
+                wait = (1.0 - tokens) / self.rate
+                raise RateLimitedError(
+                    "client {!r} exceeded {}/s (burst {})".format(
+                        client, self.rate, self.burst
+                    ),
+                    retry_after=max(1, int(math.ceil(wait))),
+                )
+            bucket[0] = tokens - 1.0
+            bucket[1] = now
+
+    def _prune(self, now):
+        """Drop the least-recently-refilled buckets over the cap.
+
+        Full buckets carry no state worth keeping (a returning client
+        starts full anyway), so pruning can never grant extra budget to
+        an active abuser — their bucket is the freshest and survives.
+        """
+        if len(self._buckets) < self.max_clients:
+            return
+        stale = sorted(self._buckets.items(), key=lambda item: item[1][1])
+        for client, _ in stale[: len(self._buckets) // 2]:
+            del self._buckets[client]

@@ -1,0 +1,61 @@
+# lb: module=repro.experiments.fixture_bad107
+"""LB107 true positives: handlers that swallow errors unjustified."""
+
+
+def broad_swallow(task):
+    try:
+        task()
+    except Exception:
+        pass
+
+
+def bare_swallow(task):
+    try:
+        task()
+    except:  # noqa: E722 - the bareness is the point of this fixture
+        pass
+
+
+def base_exception_in_tuple(task):
+    try:
+        task()
+    except (ValueError, BaseException):
+        pass
+
+
+def broad_with_docstring(task):
+    try:
+        task()
+    except Exception:
+        """A docstring is not handling — the error is still deleted."""
+        pass
+
+
+def broad_continue(tasks):
+    for task in tasks:
+        try:
+            task()
+        except Exception:
+            continue
+
+
+def broad_bare_return(task):
+    try:
+        task()
+    except Exception:
+        return
+
+
+def narrow_uncommented(path):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError:
+        pass
+
+
+def narrow_return_none_uncommented(payload):
+    try:
+        return int(payload)
+    except ValueError:
+        return None

@@ -1,0 +1,54 @@
+# lb: module=repro.experiments.fixture_good107
+"""LB107 true negatives: handled, re-raised, justified, or scoped out."""
+
+import logging
+
+log = logging.getLogger(__name__)
+
+
+def handled(task):
+    try:
+        task()
+    except ValueError as error:
+        log.warning("task rejected: %s", error)
+
+
+def reraised(task):
+    try:
+        task()
+    except OSError as error:
+        raise RuntimeError("task failed") from error
+
+
+def narrow_justified_same_line(path):
+    try:
+        import os
+
+        os.unlink(path)
+    except OSError:
+        pass  # already gone — exactly the state we wanted
+
+
+def narrow_justified_comment_above(path):
+    try:
+        import os
+
+        os.unlink(path)
+    except OSError:
+        # Best-effort cleanup: a leftover temp file is harmless and the
+        # next run overwrites it.
+        pass
+
+
+def broad_suppressed_with_justification(callback):
+    try:
+        callback()
+    except Exception:  # lb: noqa[LB107] - third-party callback boundary
+        pass
+
+
+def narrow_with_fallback(payload):
+    try:
+        return int(payload)
+    except ValueError:
+        return 0  # a real fallback value is handling, not swallowing

@@ -165,3 +165,77 @@ def test_stats_as_dict_round_numbers():
     as_dict = cache_stats.as_dict()
     assert as_dict["hits"] == 1
     assert as_dict["hit_rate"] == pytest.approx(0.3333, abs=1e-4)
+
+
+# -- size cap / LRU eviction ----------------------------------------------
+
+
+def _filled_cache(tmp_path, max_bytes, names, size=400):
+    """A capped cache holding one entry per name, mtimes spaced 10s."""
+    cache = ResultCache(str(tmp_path), max_bytes=max_bytes)
+    keys = {}
+    for offset, name in enumerate(names):
+        key = cache_key(name, {}, 1)
+        cache.put(key, {"name": name, "report": "r" * size})
+        os.utime(cache.entry_path(key), (1000 + 10 * offset,) * 2)
+        keys[name] = key
+    return cache, keys
+
+
+def test_eviction_keeps_cache_under_cap(tmp_path):
+    probe = ResultCache(str(tmp_path / "probe"))
+    probe.put(cache_key("probe", {}, 1), {"name": "p", "report": "r" * 400})
+    entry_size = probe.total_bytes()
+
+    cap = int(entry_size * 2.5)  # room for two entries, not three
+    cache, keys = _filled_cache(tmp_path / "lru", cap, ["a", "b", "c"])
+    assert cache.total_bytes() <= cap
+    assert cache.stats.evicted == 1
+    # Least-recently-used went first: "a" evicted, "b" and "c" kept.
+    assert cache.get(keys["a"]) is None
+    assert cache.get(keys["b"]) is not None
+    assert cache.get(keys["c"]) is not None
+
+
+def test_hits_touch_entries_and_protect_them_from_eviction(tmp_path):
+    probe = ResultCache(str(tmp_path / "probe"))
+    probe.put(cache_key("probe", {}, 1), {"name": "p", "report": "r" * 400})
+    entry_size = probe.total_bytes()
+
+    cap = int(entry_size * 2.5)
+    cache, keys = _filled_cache(tmp_path / "lru", cap, ["a", "b"])
+    # A hit refreshes "a"'s recency, so the *next* store evicts "b".
+    assert cache.get(keys["a"]) is not None
+    cache.put(cache_key("c", {}, 1), {"name": "c", "report": "r" * 400})
+    assert cache.get(keys["b"]) is None
+    assert cache.get(keys["a"]) is not None
+
+
+def test_just_stored_entry_survives_a_pathologically_small_cap(tmp_path):
+    cache = ResultCache(str(tmp_path), max_bytes=1)
+    key = cache_key("only", {}, 1)
+    cache.put(key, {"name": "only", "report": "r" * 400})
+    # Over cap, but the entry we were just asked to remember stays.
+    assert cache.get(key) is not None
+
+
+def test_unbounded_cache_never_evicts(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    for seed in range(8):
+        cache.put(cache_key("x", {}, seed), {"name": "x", "report": "r" * 400})
+    assert cache.stats.evicted == 0
+    assert cache.total_bytes() > 0
+
+
+def test_eviction_shows_in_stats_line_and_dict(tmp_path):
+    probe = ResultCache(str(tmp_path / "probe"))
+    probe.put(cache_key("probe", {}, 1), {"name": "p", "report": "r" * 400})
+    cap = int(probe.total_bytes() * 1.5)
+    cache, _ = _filled_cache(tmp_path / "lru", cap, ["a", "b"])
+    assert cache.stats.as_dict()["evicted"] == 1
+    assert "evicted=1" in cache.stats.format_line()
+
+
+def test_nonpositive_cap_is_rejected():
+    with pytest.raises(ValueError):
+        ResultCache("unused", max_bytes=0)

@@ -155,3 +155,10 @@ def test_experiment_names_cover_all_paper_artifacts():
         "starvation",
     ):
         assert artifact in names
+
+
+def test_cache_max_mb_flag_validation(capsys):
+    assert main(["all", "--cache-max-mb", "0"]) == 2
+    assert "--cache-max-mb" in capsys.readouterr().err
+    assert main(["all", "--no-cache", "--cache-max-mb", "10"]) == 2
+    assert "--cache-max-mb" in capsys.readouterr().err

@@ -97,6 +97,19 @@ def test_lb106_bad_fixture_catches_truncating_writes():
     assert len(findings) == 7
 
 
+def test_lb107_bad_fixture_catches_swallowed_exceptions():
+    findings = findings_for("lb107_bad.py", "LB107")
+    messages = "\n".join(f.message for f in findings)
+    assert "except Exception swallows every error" in messages
+    assert "bare except swallows every error" in messages
+    assert "except BaseException swallows every error" in messages
+    assert "except OSError swallows the error with no justifying" in messages
+    assert "except ValueError swallows the error" in messages
+    # Six broad swallows (incl. docstring-only, continue, bare return,
+    # BaseException-in-tuple) plus two uncommented narrow swallows.
+    assert len(findings) == 8
+
+
 # ---------------------------------------------------------------------------
 # Good fixtures: zero findings under EVERY rule, not just their own —
 # the blessed idioms must not trip neighbouring rules either.
@@ -112,6 +125,7 @@ def test_lb106_bad_fixture_catches_truncating_writes():
         "lb104_good.py",
         "lb105_good.py",
         "lb106_good.py",
+        "lb107_good.py",
     ],
 )
 def test_good_fixtures_are_clean_under_all_rules(name):
@@ -207,8 +221,52 @@ def test_lb106_scopes_to_persistence_modules():
         assert [f.rule for f in findings] == ["LB106"]
 
 
-def test_rule_registry_has_the_six_documented_rules():
+def test_rule_registry_has_the_documented_rules():
     ids = [rule.id for rule in get_rules()]
-    assert ids == ["LB101", "LB102", "LB103", "LB104", "LB105", "LB106"]
+    assert ids == [
+        "LB101", "LB102", "LB103", "LB104", "LB105", "LB106", "LB107",
+    ]
     for rule in get_rules():
         assert rule.name and rule.description
+
+
+def test_lb107_scopes_to_the_repro_package():
+    source = "def f(t):\n    try:\n        t()\n    except Exception:\n        pass\n"
+    assert lint_source(source, module="") == []
+    assert lint_source(source, module="thirdparty.mod") == []
+    findings = lint_source(source, module="repro.sim.kernel")
+    assert [f.rule for f in findings] == ["LB107"]
+
+
+def test_lb107_narrow_catch_with_comment_is_clean():
+    source = (
+        "def f(t):\n"
+        "    try:\n"
+        "        t()\n"
+        "    except OSError:\n"
+        "        pass  # already gone; exactly the state we wanted\n"
+    )
+    assert lint_source(source, module="repro.sim.kernel") == []
+
+
+def test_lb107_broad_catch_needs_noqa_not_just_a_comment():
+    source = (
+        "def f(t):\n"
+        "    try:\n"
+        "        t()\n"
+        "    except Exception:\n"
+        "        pass  # a comment alone is not enough for broad catches\n"
+    )
+    findings = lint_source(source, module="repro.sim.kernel")
+    assert [f.rule for f in findings] == ["LB107"]
+
+
+def test_lb107_nontrivial_handler_is_clean():
+    source = (
+        "def f(t, log):\n"
+        "    try:\n"
+        "        t()\n"
+        "    except Exception as error:\n"
+        "        log(error)\n"
+    )
+    assert lint_source(source, module="repro.sim.kernel") == []

@@ -1,0 +1,73 @@
+"""FastAPI front-end parity tests (skipped when the extra is absent).
+
+The stdlib server is the canonical front-end; these tests only assert
+that the optional FastAPI app dispatches into the *same* core with the
+same statuses, so the two transports cannot drift apart.  They are
+skipped cleanly in environments without the ``service`` extra.
+"""
+
+import os
+
+import pytest
+
+fastapi = pytest.importorskip("fastapi")
+testclient = pytest.importorskip("fastapi.testclient")
+
+from repro.service.app import create_app  # noqa: E402
+from repro.service.core import ServiceCore  # noqa: E402
+
+SCALE = 0.05
+
+
+@pytest.fixture
+def app_client(tmp_path):
+    core = ServiceCore(
+        os.path.join(str(tmp_path), "state"),
+        cache_dir=os.path.join(str(tmp_path), "cache"),
+        workers=2, timeout=60,
+    )
+    app = create_app(core)
+    with testclient.TestClient(app) as client:
+        yield client
+    core.close()
+
+
+def test_submit_and_result_roundtrip(app_client):
+    response = app_client.post(
+        "/jobs",
+        json={"experiment": "figure5", "scale": SCALE, "seed": 71},
+    )
+    assert response.status_code == 202
+    job_id = response.json()["job"]
+    deadline = 120
+    import time
+    start = time.monotonic()
+    while True:
+        result = app_client.get("/jobs/{}/result".format(job_id))
+        if result.status_code != 202:
+            break
+        assert time.monotonic() - start < deadline
+        time.sleep(0.2)
+    assert result.status_code == 200
+    assert "Figure 5" in result.json()["report"]
+
+
+def test_pydantic_shape_check_and_core_semantics(app_client):
+    # Shape defects are caught by pydantic (FastAPI's 422)...
+    response = app_client.post(
+        "/jobs", json={"experiment": "figure5", "wat": 1}
+    )
+    assert response.status_code == 422
+    # ...semantic defects still come from the shared core (400).
+    response = app_client.post("/jobs", json={"experiment": "no-such"})
+    assert response.status_code == 400
+    assert response.json()["kind"] == "unknown-experiment"
+
+
+def test_probes_and_stats(app_client):
+    assert app_client.get("/healthz").status_code == 200
+    ready = app_client.get("/readyz")
+    assert ready.status_code == 200 and ready.json()["ready"]
+    stats = app_client.get("/stats")
+    assert stats.status_code == 200
+    assert "wal_appended" in stats.json()

@@ -1,0 +1,242 @@
+"""HTTP front-end end-to-end, plus the kill -9 integration test.
+
+The in-process tests drive :class:`~repro.service.http.ServiceServer`
+through the stdlib :class:`~repro.service.client.ServiceClient` — real
+sockets, real JSON, no mocking.  The subprocess tests are the ISSUE's
+integration contract: SIGKILL the server mid-queue, restart it on the
+same state dir, and require the served reports to be bit-identical to
+a fault-free in-process reference; a drained server must exit 143.
+"""
+
+import http.client
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.service.client import ServiceClient
+from repro.service.core import ServiceCore
+from repro.service.http import (
+    EXIT_SIGTERM,
+    MAX_BODY_BYTES,
+    ServiceServer,
+    pick_free_port,
+)
+
+SCALE = 0.05
+
+
+@pytest.fixture
+def server(tmp_path):
+    core = ServiceCore(
+        os.path.join(str(tmp_path), "state"),
+        cache_dir=os.path.join(str(tmp_path), "cache"),
+        workers=2, timeout=60,
+    )
+    srv = ServiceServer(core, port=0)
+    srv.start()
+    try:
+        yield srv
+    finally:
+        srv.drain(timeout=10.0)
+
+
+def client_for(server, client_id="test"):
+    return ServiceClient(server.address, client_id=client_id)
+
+
+def test_submit_poll_result_over_http(server):
+    client = client_for(server)
+    status, body = client.submit("figure5", scale=SCALE, seed=31)
+    assert status == 202 and body["state"] == "submitted"
+    status, result = client.wait_result(body["job"], timeout=120)
+    assert status == 200
+    assert "Figure 5" in result["report"]
+    # A duplicate submission joins the finished job: 200, same id.
+    status, again = client.submit("figure5", scale=SCALE, seed=31)
+    assert status == 200 and again["job"] == body["job"]
+    assert again["deduplicated"]
+    status, stats = client.stats()
+    assert status == 200 and stats["executed"] == 1
+    status, health = client.healthz()
+    assert status == 200 and health["status"] == "ok"
+    status, ready = client.readyz()
+    assert status == 200 and ready["ready"]
+
+
+def test_sweep_over_http(server):
+    client = client_for(server)
+    status, body = client.submit_sweep("figure5", [41, 42], scale=SCALE)
+    assert status == 202 and body["count"] == 2
+    job_ids = [job["job"] for job in body["jobs"]]
+    results = client.wait_all(job_ids, timeout=240)
+    assert all(status == 200 for status, _ in results.values())
+    assert all("Figure 5" in body["report"]
+               for _, body in results.values())
+
+
+def test_malformed_payloads_bounce_typed_400s(server):
+    client = client_for(server)
+    status, body = client.submit_raw(["not", "an", "object"])
+    assert status == 400 and body["kind"] == "invalid-spec"
+    status, body = client.submit_raw({"experiment": "no-such"})
+    assert status == 400 and body["kind"] == "unknown-experiment"
+    status, body = client.submit_raw({"experiment": "figure5", "wat": 1})
+    assert status == 400 and body["kind"] == "invalid-spec"
+
+
+def test_unknown_routes_and_jobs_are_404(server):
+    client = client_for(server)
+    status, body = client._request("GET", "/nope")
+    assert status == 404 and body["kind"] == "not-found"
+    status, body = client.job_status("j-00009999")
+    assert status == 404 and body["kind"] == "job-not-found"
+    status, body = client.cancel("j-00009999")
+    assert status == 404
+
+
+def test_non_json_and_oversized_bodies_are_refused(server):
+    host, port = server.httpd.server_address[:2]
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        conn.request("POST", "/jobs", body=b'{"experiment": ',
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        assert response.status == 400
+        response.read()
+        conn.request("POST", "/jobs", body=b"",
+                     headers={"Content-Length": str(MAX_BODY_BYTES + 1)})
+        response = conn.getresponse()
+        assert response.status == 400
+        response.read()
+    finally:
+        conn.close()
+
+
+def test_drained_server_refuses_submissions(tmp_path):
+    core = ServiceCore(os.path.join(str(tmp_path), "state"), workers=2)
+    srv = ServiceServer(core, port=0)
+    srv.start()
+    client = ServiceClient(srv.address)
+    srv.core.drain(timeout=10.0)
+    status, body = client.submit("figure5", scale=SCALE, seed=1)
+    assert status == 503 and body["kind"] == "draining"
+    status, body = client.readyz()
+    assert status == 503 and body["status"] == "draining"
+    srv.httpd.shutdown()
+    srv.httpd.server_close()
+
+
+# ---------------------------------------------------------------------------
+# Subprocess integration: kill -9 → restart → bit-identical; SIGTERM 143.
+# ---------------------------------------------------------------------------
+
+
+class ServerProcess:
+    """A real ``python -m repro.service`` subprocess on a durable dir."""
+
+    def __init__(self, tmp_path, port):
+        self.state_dir = os.path.join(str(tmp_path), "state")
+        self.cache_dir = os.path.join(str(tmp_path), "cache")
+        self.port = port
+        self.proc = None
+
+    def start(self):
+        env = dict(os.environ)
+        src_root = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "src",
+        )
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src_root] + env.get("PYTHONPATH", "").split(os.pathsep)
+        ).rstrip(os.pathsep)
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.service",
+                "--state-dir", self.state_dir,
+                "--cache-dir", self.cache_dir,
+                "--port", str(self.port),
+                "--workers", "2",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+
+    def kill9(self):
+        self.proc.kill()
+        self.proc.wait()
+
+    def terminate(self, timeout=90.0):
+        self.proc.send_signal(signal.SIGTERM)
+        return self.proc.wait(timeout=timeout)
+
+
+def test_kill9_restart_serves_bit_identical_results(tmp_path):
+    seeds = (51, 52)
+    reference = {
+        seed: run_experiment(
+            "figure5", scale=SCALE, seed=seed, _warn_seedless=False
+        ).format_report()
+        for seed in seeds
+    }
+
+    server = ServerProcess(tmp_path, pick_free_port())
+    server.start()
+    client = ServiceClient(
+        "http://127.0.0.1:{}".format(server.port), client_id="itest"
+    )
+    assert client.wait_ready(30), "server never became ready"
+    job_ids = {}
+    for seed in seeds:
+        status, body = client.submit("figure5", scale=SCALE, seed=seed)
+        assert status in (200, 202)
+        job_ids[seed] = body["job"]
+
+    # SIGKILL with the queue acknowledged but (at most partially) run.
+    server.kill9()
+    server.start()
+    assert client.wait_ready(30), "server did not come back after kill -9"
+
+    for seed in seeds:
+        status, body = client.wait_result(job_ids[seed], timeout=240)
+        assert status == 200, body
+        assert body["report"] == reference[seed]
+
+    # Idempotency survived the crash: resubmitting joins the same job.
+    for seed in seeds:
+        status, body = client.submit("figure5", scale=SCALE, seed=seed)
+        assert status == 200 and body["job"] == job_ids[seed]
+
+    assert server.terminate() == EXIT_SIGTERM
+
+
+def test_sigterm_drains_to_resumable_queue(tmp_path):
+    server = ServerProcess(tmp_path, pick_free_port())
+    server.start()
+    client = ServiceClient(
+        "http://127.0.0.1:{}".format(server.port), client_id="itest"
+    )
+    assert client.wait_ready(30)
+    status, body = client.submit("figure5", scale=SCALE, seed=61)
+    assert status in (200, 202)
+    job_id = body["job"]
+    assert server.terminate() == EXIT_SIGTERM
+
+    # The WAL is a checkpoint: a fresh server resumes and finishes.
+    server.start()
+    assert client.wait_ready(30)
+    deadline = time.monotonic() + 240
+    while True:
+        status, body = client.job_result(job_id)
+        if status == 200:
+            assert "Figure 5" in body["report"]
+            break
+        assert status == 202, body
+        assert time.monotonic() < deadline, "job never settled"
+        time.sleep(0.2)
+    assert server.terminate() == EXIT_SIGTERM

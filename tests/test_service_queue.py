@@ -1,0 +1,268 @@
+"""Job queue semantics: state machine, idempotency, admission, recovery.
+
+Executions here are simulated by driving the queue's transition API
+directly — no worker pool, no HTTP — so the tests pin down the exact
+contract the engine and the front-ends build on.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.service.models import (
+    JobConflictError,
+    JobNotFoundError,
+    JobSpec,
+    JobState,
+    QueueFullError,
+    StoreFailureError,
+)
+from repro.service.queue import JobQueue
+from repro.service.wal import JobWAL
+
+
+def make_queue(tmp_path, name="q.wal", **kwargs):
+    wal = JobWAL(os.path.join(str(tmp_path), name))
+    queue = JobQueue(wal, **kwargs)
+    queue.recover()
+    return queue
+
+
+def spec(seed=1, experiment="figure5", scale=0.05):
+    return JobSpec(experiment, scale=scale, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# The state machine.
+# ---------------------------------------------------------------------------
+
+
+def test_happy_path_submit_lease_run_done(tmp_path):
+    queue = make_queue(tmp_path)
+    job, deduplicated = queue.submit(spec())
+    assert (job.state, deduplicated) == (JobState.SUBMITTED, False)
+    [leased] = queue.lease(10)
+    assert leased.id == job.id and leased.state == JobState.LEASED
+    queue.mark_running(job.id)
+    assert queue.get(job.id).attempts == 1
+    queue.complete(job.id, "report text")
+    done = queue.get(job.id)
+    assert done.state == JobState.DONE and done.report == "report text"
+
+
+def test_fail_routes_quarantined_kind_to_quarantined_state(tmp_path):
+    queue = make_queue(tmp_path)
+    job, _ = queue.submit(spec())
+    queue.lease(1)
+    queue.fail(job.id, "quarantined", "poison")
+    assert queue.get(job.id).state == JobState.QUARANTINED
+    other, _ = queue.submit(spec(seed=2))
+    queue.lease(1)
+    queue.fail(other.id, "task-timeout", "too slow")
+    failed = queue.get(other.id)
+    assert failed.state == JobState.FAILED
+    assert failed.error_kind == "task-timeout"
+
+
+def test_cancel_only_before_lease(tmp_path):
+    queue = make_queue(tmp_path)
+    job, _ = queue.submit(spec())
+    queue.cancel(job.id)
+    assert queue.get(job.id).state == JobState.CANCELLED
+    assert queue.lease(1, timeout=0.05) == []
+    job2, _ = queue.submit(spec(seed=2))
+    queue.lease(1)
+    with pytest.raises(JobConflictError):
+        queue.cancel(job2.id)
+
+
+def test_unknown_job_raises_not_found(tmp_path):
+    queue = make_queue(tmp_path)
+    with pytest.raises(JobNotFoundError):
+        queue.get("j-404")
+
+
+def test_illegal_transitions_conflict(tmp_path):
+    queue = make_queue(tmp_path)
+    job, _ = queue.submit(spec())
+    with pytest.raises(JobConflictError):
+        queue.complete(job.id, "r")  # not leased yet
+    with pytest.raises(JobConflictError):
+        queue.mark_running(job.id)
+    queue.lease(1)
+    queue.complete(job.id, "r")
+    with pytest.raises(JobConflictError):
+        queue.fail(job.id, "task-error", "e")  # already settled
+
+
+# ---------------------------------------------------------------------------
+# Idempotency.
+# ---------------------------------------------------------------------------
+
+
+def test_duplicate_submission_joins_active_job(tmp_path):
+    queue = make_queue(tmp_path)
+    first, _ = queue.submit(spec())
+    for _ in range(5):
+        again, deduplicated = queue.submit(spec())
+        assert deduplicated and again.id == first.id
+    assert queue.get(first.id).duplicates == 5
+    assert queue.dedup_hits == 5
+    assert len(queue.jobs()) == 1
+
+
+def test_duplicate_submission_joins_done_job(tmp_path):
+    queue = make_queue(tmp_path)
+    first, _ = queue.submit(spec())
+    queue.lease(1)
+    queue.complete(first.id, "r")
+    again, deduplicated = queue.submit(spec())
+    assert deduplicated and again.id == first.id
+    assert again.state == JobState.DONE
+
+
+def test_failed_job_allows_fresh_resubmission(tmp_path):
+    queue = make_queue(tmp_path)
+    first, _ = queue.submit(spec())
+    queue.lease(1)
+    queue.fail(first.id, "task-error", "boom")
+    fresh, deduplicated = queue.submit(spec())
+    assert not deduplicated and fresh.id != first.id
+    assert fresh.state == JobState.SUBMITTED
+
+
+def test_concurrent_duplicate_submissions_create_one_job(tmp_path):
+    queue = make_queue(tmp_path, max_depth=500)
+    results = []
+    barrier = threading.Barrier(8)
+
+    def submitter():
+        barrier.wait()
+        for seed in range(10):
+            job, _ = queue.submit(spec(seed=seed))
+            results.append((seed, job.id))
+
+    threads = [threading.Thread(target=submitter) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    # 8 racing clients x 10 seeds -> exactly 10 jobs, and every client
+    # was handed the same id for the same seed.
+    by_seed = {}
+    for seed, job_id in results:
+        by_seed.setdefault(seed, set()).add(job_id)
+    assert len(queue.jobs()) == 10
+    assert all(len(ids) == 1 for ids in by_seed.values())
+    # The WAL agrees: one submit per idempotency key.
+    ops = [r for r in JobWAL(queue.wal.path).replay()
+           if r["op"] == "submit"]
+    assert len(ops) == 10
+    assert len({r["key"] for r in ops}) == 10
+
+
+# ---------------------------------------------------------------------------
+# Admission control.
+# ---------------------------------------------------------------------------
+
+
+def test_bounded_queue_rejects_with_retry_after(tmp_path):
+    queue = make_queue(tmp_path, max_depth=3)
+    for seed in range(3):
+        queue.submit(spec(seed=seed))
+    with pytest.raises(QueueFullError) as excinfo:
+        queue.submit(spec(seed=99))
+    assert excinfo.value.http_status == 429
+    assert excinfo.value.retry_after >= 1
+    # Duplicates of active jobs still join (no capacity consumed)...
+    _, deduplicated = queue.submit(spec(seed=0))
+    assert deduplicated
+    # ...and settling a job frees a slot.
+    [job, *_] = queue.lease(1)
+    queue.complete(job.id, "r")
+    fresh, _ = queue.submit(spec(seed=99))
+    assert fresh.state == JobState.SUBMITTED
+
+
+def test_submit_raises_store_failure_when_wal_append_fails(tmp_path):
+    class Injector:
+        def mangle_store_append(self, data):
+            raise OSError(28, "No space left on device")
+
+    wal = JobWAL(os.path.join(str(tmp_path), "q.wal"), chaos=Injector())
+    queue = JobQueue(wal)
+    with pytest.raises(StoreFailureError) as excinfo:
+        queue.submit(spec())
+    assert excinfo.value.http_status == 503
+    # Nothing was admitted: the submission is safe to retry.
+    assert queue.jobs() == []
+
+
+# ---------------------------------------------------------------------------
+# Recovery.
+# ---------------------------------------------------------------------------
+
+
+def test_recover_rebuilds_jobs_and_rewinds_in_flight(tmp_path):
+    queue = make_queue(tmp_path)
+    done, _ = queue.submit(spec(seed=1))
+    running, _ = queue.submit(spec(seed=2))
+    leased, _ = queue.submit(spec(seed=3))
+    pending, _ = queue.submit(spec(seed=4))
+    queue.lease(3)
+    queue.mark_running(done.id)
+    queue.complete(done.id, "r1")
+    queue.mark_running(running.id)
+
+    # "kill -9": a brand-new queue over the same journal.
+    revived = JobQueue(JobWAL(queue.wal.path))
+    summary = revived.recover()
+    assert revived.get(done.id).state == JobState.DONE
+    assert revived.get(done.id).report == "r1"
+    # In-flight work rewound to submitted, in original order.
+    assert set(summary["rewound"]) == {running.id, leased.id}
+    ids = [job.id for job in revived.lease(10)]
+    assert ids == [running.id, leased.id, pending.id]
+
+
+def test_recover_preserves_idempotency_across_restart(tmp_path):
+    queue = make_queue(tmp_path)
+    first, _ = queue.submit(spec())
+    revived = JobQueue(JobWAL(queue.wal.path))
+    revived.recover()
+    again, deduplicated = revived.submit(spec())
+    assert deduplicated and again.id == first.id
+
+
+def test_recover_survives_torn_tail(tmp_path):
+    queue = make_queue(tmp_path)
+    queue.submit(spec(seed=1))
+    queue.submit(spec(seed=2))
+    with open(queue.wal.path, "ab") as handle:
+        handle.write(b'{"op": "done", "jo')  # torn final append
+    revived = JobQueue(JobWAL(queue.wal.path))
+    summary = revived.recover()
+    assert summary["jobs"] == 2
+    assert summary["recovered_records"] == 1
+    assert len(revived.lease(10)) == 2
+
+
+def test_wait_settled_blocks_until_terminal(tmp_path):
+    queue = make_queue(tmp_path)
+    job, _ = queue.submit(spec())
+
+    def settle():
+        [leased] = queue.lease(1)
+        queue.complete(leased.id, "r")
+
+    thread = threading.Timer(0.05, settle)
+    thread.start()
+    settled = queue.wait_settled(job.id, timeout=5.0)
+    thread.join()
+    assert settled.state == JobState.DONE
+    # And an immediate timeout on an unsettled job returns it as-is.
+    other, _ = queue.submit(spec(seed=9))
+    assert queue.wait_settled(other.id, timeout=0.01).state == (
+        JobState.SUBMITTED
+    )
