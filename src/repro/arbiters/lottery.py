@@ -63,6 +63,24 @@ class StaticLotteryArbiter(_LotteryArbiter):
         """The scaled holdings the hardware uses."""
         return self.manager.tickets.tickets
 
+    def vector_profile(self):
+        """Export the arbitration state the batch engine lifts into
+        arrays (:mod:`repro.vector`): the full precomputed lookup table
+        (one partial-sum row per packed request map), the draw policy,
+        and the random source the per-lane LFSR stream is cloned from."""
+        manager = self.manager
+        return {
+            "family": "lottery-static",
+            "rows": [
+                list(manager.table.partial_sums_at(index))
+                for index in range(1 << manager.num_masters)
+            ],
+            "draw_policy": manager.draw_policy,
+            "random_source": manager.random_source,
+            "lotteries_held": manager.lotteries_held,
+            "rejected_draws": manager.rejected_draws,
+        }
+
 
 class CompensatedLotteryArbiter(_LotteryArbiter):
     """LOTTERYBUS with Waldspurger-style compensation tickets.
@@ -94,6 +112,25 @@ class CompensatedLotteryArbiter(_LotteryArbiter):
             self.manager.note_grant(grant.master, burst)
         return grant
 
+    def vector_profile(self):
+        """Batch-engine export: current holdings plus the compensation
+        loop's parameters, so the engine can replay ``note_grant``
+        (factor update + holdings recompute + clamp) with array ops."""
+        manager = self.manager
+        policy = manager.policy
+        return {
+            "family": "lottery-compensated",
+            "tickets": list(manager.tickets),
+            "base_tickets": list(policy.base.tickets),
+            "factors": list(policy.factors),
+            "policy_max_burst": policy.max_burst,
+            "cap": policy.cap,
+            "max_ticket": manager._manager.max_ticket,
+            "arbiter_max_burst": self.max_burst,
+            "random_source": manager._manager.random_source,
+            "lotteries_held": manager.lotteries_held,
+        }
+
 
 class DynamicLotteryArbiter(_LotteryArbiter):
     """LOTTERYBUS with dynamically assigned tickets (Section 4.4)."""
@@ -119,3 +156,17 @@ class DynamicLotteryArbiter(_LotteryArbiter):
 
     def set_all_tickets(self, tickets):
         self.manager.set_all_tickets(tickets)
+
+    def vector_profile(self):
+        """Batch-engine export: the current holdings (the adder-tree
+        partial sums are a per-cycle cumsum in the engine) and the
+        random source.  The channel-up flag lets the planner refuse
+        systems carrying an active ticket-channel fault."""
+        manager = self.manager
+        return {
+            "family": "lottery-dynamic",
+            "tickets": list(manager.tickets),
+            "ticket_channel_up": manager.ticket_channel_up,
+            "random_source": manager.random_source,
+            "lotteries_held": manager.lotteries_held,
+        }

@@ -40,3 +40,8 @@ class StaticPriorityArbiter(Arbiter):
             if pending[master]:
                 return Grant(master)
         return None
+
+    def vector_profile(self):
+        """Batch-engine export: the fixed highest-to-lowest scan order
+        (the whole arbiter — it holds no run-time state)."""
+        return {"family": "static-priority", "order": list(self._order)}

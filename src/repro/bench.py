@@ -50,6 +50,23 @@ DEFAULT_CAMPAIGN_OUTPUT = os.path.join(
 DEFAULT_SERVICE_OUTPUT = os.path.join(
     "benchmarks", "perf", "BENCH_service.json"
 )
+DEFAULT_BATCH_OUTPUT = os.path.join(
+    "benchmarks", "perf", "BENCH_batch.json"
+)
+
+
+def _platform_info():
+    """Host fingerprint recorded in every benchmark report header, so
+    checked-in numbers can be read next to the machine they came from."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "system": platform.system(),
+        "release": platform.release(),
+        "cpu_count": os.cpu_count(),
+    }
 
 
 def _fingerprint(simulator, summary):
@@ -225,6 +242,7 @@ def run_benchmarks(quick=False, repeats=3):
         "quick": quick,
         "repeats": repeats,
         "python": platform.python_version(),
+        "platform": _platform_info(),
         "scenarios": scenarios,
         "all_identical": all_match,
     }
@@ -399,6 +417,7 @@ def run_campaign_benchmark(quick=False, jobs=4, cache_dir=None,
         "benchmark": "repro.bench --campaign",
         "quick": quick,
         "python": platform.python_version(),
+        "platform": _platform_info(),
         "cpus": default_jobs(),
         "tasks": len(calls),
         "cycles_per_task": calls[0][3],
@@ -422,6 +441,171 @@ def run_campaign_benchmark(quick=False, jobs=4, cache_dir=None,
         "chaos": chaos_entry,
         "all_identical": all_identical,
     }
+
+
+# -- batch (vectorized) benchmark ------------------------------------------
+#
+# Times the saturated Table 1 sweep two ways: one dense scalar run per
+# lane (the reference) and one struct-of-arrays VectorEngine hosting
+# every lane at once (repro.vector).  Every lane's metrics summary and
+# arbiter state are fingerprinted on both sides and compared
+# byte-for-byte; any divergence fails the benchmark (exit status 1).
+
+
+# The engine-hosted architectures of the saturated sweep: the full
+# lottery family plus static priority (TDMA stays on the scalar path —
+# its wheel state has no vector profile).
+BATCH_ARCHITECTURES = (
+    ("static priority", "static-priority", {}),
+    ("LOTTERYBUS", "lottery-static", {}),
+    ("lottery dynamic", "lottery-dynamic", {}),
+    ("lottery compensated", "lottery-compensated", {}),
+)
+
+
+def _batch_lane_specs(quick):
+    """The batch workload: lottery-family architectures x seeds.
+
+    Saturated fixed-size bursts (the ``table1_saturated`` scenario,
+    Table 1 weights) with a per-lane ``lfsr_seed`` so every lottery
+    lane replays a different draw stream.
+    """
+    seeds_per_arch = 24 if quick else 96
+    cycles = 2_500 if quick else 12_000
+    specs = []
+    for label, arb_name, kwargs in BATCH_ARCHITECTURES:
+        for seed in range(1, seeds_per_arch + 1):
+            lane_kwargs = dict(kwargs)
+            if arb_name.startswith("lottery"):
+                lane_kwargs["lfsr_seed"] = seed
+            specs.append(
+                ("{} seed{}".format(label, seed), arb_name, lane_kwargs)
+            )
+    return specs, cycles
+
+
+def _batch_lane_builder(arb_name, kwargs):
+    def build():
+        arbiter = make_arbiter(
+            arb_name, NUM_MASTERS, list(TABLE1_WEIGHTS), **kwargs
+        )
+        return build_single_bus_system(
+            NUM_MASTERS, arbiter, generator_factory=_saturating_factory
+        )
+
+    return build
+
+
+def run_batch_benchmark(quick=False, repeats=3, block_size=32):
+    """Scalar-dense vs vectorized batch run; returns the results doc.
+
+    Raises :class:`repro.vector.VectorUnavailableError` when numpy is
+    not installed — the batch benchmark has no scalar fallback to
+    measure against itself.
+    """
+    from repro.core.lookup_table import (
+        lookup_table_cache_stats,
+        reset_lookup_table_cache,
+    )
+    from repro.vector import scalar_fingerprint
+    from repro.vector.engine import VectorEngine
+    from repro.vector.lanes import plan_lane
+
+    specs, cycles = _batch_lane_specs(quick)
+    builders = [
+        (label, _batch_lane_builder(arb_name, kwargs))
+        for label, arb_name, kwargs in specs
+    ]
+
+    # Scalar reference leg: one dense run per lane.
+    scalar_prints = []
+    start = time.perf_counter()
+    for _, builder in builders:
+        system, bus = builder()
+        system.simulator.mode = "dense"
+        system.run(cycles)
+        scalar_prints.append(scalar_fingerprint(bus))
+    scalar_wall = time.perf_counter() - start
+
+    # Vector leg: every lane in one engine; best wall over repeats, and
+    # repeats must reproduce the same fingerprints (determinism guard).
+    reset_lookup_table_cache()
+    vector_wall = None
+    vector_prints = None
+    for _ in range(max(1, repeats)):
+        plans = [
+            plan_lane(builder, label=label) for label, builder in builders
+        ]
+        engine = VectorEngine(plans, block_size=block_size)
+        start = time.perf_counter()
+        engine.run(cycles)
+        elapsed = time.perf_counter() - start
+        prints = [
+            engine.lane_fingerprint(lane) for lane in range(len(plans))
+        ]
+        if vector_prints is not None and prints != vector_prints:
+            raise AssertionError(
+                "vector engine is non-deterministic across repeats"
+            )
+        vector_prints = prints
+        if vector_wall is None or elapsed < vector_wall:
+            vector_wall = elapsed
+
+    mismatches = [
+        label
+        for (label, _), scalar, vector in zip(
+            builders, scalar_prints, vector_prints
+        )
+        if scalar != vector
+    ]
+    lanes = len(builders)
+    total_cycles = lanes * cycles
+    return {
+        "benchmark": "repro.bench --batch",
+        "quick": quick,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "platform": _platform_info(),
+        "lanes": lanes,
+        "cycles_per_lane": cycles,
+        "scalar_dense": {
+            "wall_seconds": round(scalar_wall, 4),
+            "cycles_per_second": round(total_cycles / scalar_wall, 1),
+        },
+        "vector": {
+            "wall_seconds": round(vector_wall, 4),
+            "cycles_per_second": round(total_cycles / vector_wall, 1),
+            "block_size": block_size,
+            "lookup_table_cache": lookup_table_cache_stats(),
+        },
+        "speedup": round(scalar_wall / vector_wall, 2),
+        "mismatched_lanes": mismatches[:10],
+        "all_identical": not mismatches,
+    }
+
+
+def _print_batch(results):
+    print("batch: {} lanes x {} cycles (block_size={})".format(
+        results["lanes"], results["cycles_per_lane"],
+        results["vector"]["block_size"],
+    ))
+    print("  scalar dense {:>9.3f}s  {:>12.1f} cycles/s".format(
+        results["scalar_dense"]["wall_seconds"],
+        results["scalar_dense"]["cycles_per_second"],
+    ))
+    print("  vector       {:>9.3f}s  {:>12.1f} cycles/s".format(
+        results["vector"]["wall_seconds"],
+        results["vector"]["cycles_per_second"],
+    ))
+    cache = results["vector"]["lookup_table_cache"]
+    print("  speedup      {:>8.2f}x  identical={}  table cache: "
+          "{} builds / {} hits".format(
+              results["speedup"],
+              "yes" if results["all_identical"] else "NO",
+              cache["builds"], cache["hits"],
+          ))
+    for label in results["mismatched_lanes"]:
+        print("  MISMATCH: {}".format(label))
 
 
 # -- service benchmark -----------------------------------------------------
@@ -557,6 +741,7 @@ def run_service_benchmark(quick=False, workers=2, clients=4):
             "benchmark": "repro.bench --service",
             "quick": quick,
             "python": platform.python_version(),
+            "platform": _platform_info(),
             "workers": workers,
             "clients": clients,
             "requests_per_client": per_client,
@@ -735,6 +920,26 @@ def main(argv=None):
         "(default: %(default)s)",
     )
     parser.add_argument(
+        "--batch",
+        action="store_true",
+        help="benchmark the vectorized batch engine (repro.vector) "
+        "against per-lane dense scalar runs on the saturated Table 1 "
+        "sweep; requires numpy (pip install .[vector])",
+    )
+    parser.add_argument(
+        "--batch-output",
+        default=DEFAULT_BATCH_OUTPUT,
+        help="where --batch writes its JSON report (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--block-size",
+        type=int,
+        default=32,
+        metavar="N",
+        help="with --batch: LFSR samples pre-drawn per refill block "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
         "--chaos-rate",
         type=float,
         default=0.0,
@@ -748,12 +953,24 @@ def main(argv=None):
         parser.error("--chaos-rate must be within [0, 1]")
     if args.chaos_rate and not args.campaign:
         parser.error("--chaos-rate requires --campaign")
-    if args.service and args.campaign:
-        parser.error("--service and --campaign are mutually exclusive")
+    if sum((args.service, args.campaign, args.batch)) > 1:
+        parser.error("--service, --campaign and --batch are mutually "
+                     "exclusive")
     if args.clients < 1:
         parser.error("--clients must be >= 1")
+    if args.block_size < 1:
+        parser.error("--block-size must be >= 1")
 
-    if args.service:
+    if args.batch:
+        results = run_batch_benchmark(
+            quick=args.quick, repeats=args.repeats,
+            block_size=args.block_size,
+        )
+        _print_batch(results)
+        output = args.batch_output
+        failure = ("FAIL: vectorized batch engine diverged from the "
+                   "dense scalar reference")
+    elif args.service:
         results = run_service_benchmark(
             quick=args.quick, workers=args.jobs, clients=args.clients
         )

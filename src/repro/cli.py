@@ -66,6 +66,17 @@ def build_parser():
         ),
     )
     parser.add_argument(
+        "--backend",
+        choices=("scalar", "vector", "auto"),
+        default=None,
+        help=(
+            "sweep only: execution engine — scalar simulator, the "
+            "vectorized batch engine (requires numpy, pip install "
+            ".[vector]), or auto-detect; rows are bit-identical either "
+            "way (default scalar)"
+        ),
+    )
+    parser.add_argument(
         "--output",
         help="also write the report to this file",
     )
@@ -156,6 +167,12 @@ def _validate(args):
     """One-line usage errors instead of tracebacks; None when valid."""
     if args.scale <= 0:
         return "--scale must be positive (got {})".format(args.scale)
+    if args.backend is not None and args.experiment != "sweep":
+        return "--backend applies only to the sweep experiment"
+    if args.fault_rate is not None and args.experiment not in (
+        "faultsweep", "all"
+    ):
+        return "--fault-rate applies only to faultsweep"
     if args.seed < 0:
         return "--seed must be non-negative (got {})".format(args.seed)
     if args.jobs is not None and args.jobs < 1:
@@ -246,6 +263,8 @@ def main(argv=None):
     options = {}
     if args.fault_rate is not None:
         options["fault_rates"] = (0.0, args.fault_rate)
+    if args.backend is not None:
+        options["backend"] = args.backend
     from repro.experiments.errors import CampaignDrained
 
     exit_code = 0

@@ -47,6 +47,11 @@ class CompensationPolicy(Snapshottable):
     def num_masters(self):
         return self.base.num_masters
 
+    @property
+    def factors(self):
+        """Current per-master inflation factors (read-only copy)."""
+        return tuple(self._factors)
+
     def holdings(self):
         """Current inflated holdings (integers, >= 1, <= cap)."""
         return [

@@ -150,6 +150,29 @@ class LFSR(Snapshottable):
         self.state = result
         return result
 
+    def sample_block(self, count):
+        """Pre-draw ``count`` consecutive samples in one call.
+
+        Returns a list of the next ``count`` :meth:`sample` values and
+        leaves the register in the state of the last one, so a block is
+        bit-identical to ``count`` sequential one-shot draws — blocks,
+        single samples and snapshot save/restore boundaries can be
+        interleaved freely without perturbing the stream.  This is the
+        scalar reference for the batch engine's block pre-draws
+        (:mod:`repro.vector`), which evaluate the same GF(2) jump map
+        over whole lane arrays at once.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.sample() for _ in range(count)]
+
+    @property
+    def jump_masks(self):
+        """The GF(2) jump map for one :meth:`sample`: output bit ``i`` is
+        the parity of ``state & jump_masks[i]``.  Exported so the batch
+        engine can lift the same linear map into vectorized draws."""
+        return self._jump_masks
+
     def draw(self):
         """Sample a fresh word; value in ``[0, 2**width - 1)``."""
         return self.sample() - 1

@@ -8,6 +8,9 @@ the table with the request map and compares the random draw against the
 stored sums in parallel.
 """
 
+import threading
+from collections import OrderedDict
+
 from repro.core.tickets import TicketAssignment
 
 
@@ -75,3 +78,67 @@ class LotteryLookupTable:
         return "LotteryLookupTable(masters={}, total={})".format(
             self.num_masters, self.tickets.total
         )
+
+
+# Replicated systems and sweep points routinely share a ticket
+# assignment (every seed of a replication, every traffic class of a
+# sweep row), yet each static manager used to rebuild the same 2**n-row
+# table.  The table is immutable after construction, so one instance can
+# back any number of managers; this process-wide memo shares it and
+# counts the reuse.  Workers in a process pool each hold their own memo
+# (the cache is per-process state, never pickled), and the lock keeps
+# the count honest under threads.
+_SHARED_LOCK = threading.Lock()
+_SHARED_TABLES = OrderedDict()
+_SHARED_STATS = {"builds": 0, "hits": 0, "evictions": 0}
+_SHARED_CAPACITY = 256
+
+
+def shared_lookup_table(tickets):
+    """A (possibly shared) :class:`LotteryLookupTable` for ``tickets``.
+
+    Identical scaled holdings return the *same* table object; distinct
+    holdings build and memoize a new one.  The memo is LRU-bounded to
+    ``256`` assignments so unbounded sweeps cannot grow it without
+    limit.
+    """
+    if not isinstance(tickets, TicketAssignment):
+        tickets = TicketAssignment(tickets)
+    key = tuple(tickets.tickets)
+    with _SHARED_LOCK:
+        table = _SHARED_TABLES.get(key)
+        if table is not None:
+            _SHARED_STATS["hits"] += 1
+            _SHARED_TABLES.move_to_end(key)
+            return table
+    # Build outside the lock: construction is O(2**n) and pure, and a
+    # rare duplicate build under a race costs only the wasted table.
+    table = LotteryLookupTable(tickets)
+    with _SHARED_LOCK:
+        existing = _SHARED_TABLES.get(key)
+        if existing is not None:
+            _SHARED_STATS["hits"] += 1
+            _SHARED_TABLES.move_to_end(key)
+            return existing
+        _SHARED_STATS["builds"] += 1
+        _SHARED_TABLES[key] = table
+        while len(_SHARED_TABLES) > _SHARED_CAPACITY:
+            _SHARED_TABLES.popitem(last=False)
+            _SHARED_STATS["evictions"] += 1
+    return table
+
+
+def lookup_table_cache_stats():
+    """Reuse counters for the shared-table memo (plus current size)."""
+    with _SHARED_LOCK:
+        stats = dict(_SHARED_STATS)
+        stats["entries"] = len(_SHARED_TABLES)
+    return stats
+
+
+def reset_lookup_table_cache():
+    """Drop all memoized tables and zero the counters (test hook)."""
+    with _SHARED_LOCK:
+        _SHARED_TABLES.clear()
+        for key in _SHARED_STATS:
+            _SHARED_STATS[key] = 0

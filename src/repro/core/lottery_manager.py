@@ -31,7 +31,7 @@ The hardware has two realizable behaviours, both modelled here:
 
 from repro.core.adder_tree import AdderTree
 from repro.core.lfsr import LFSR
-from repro.core.lookup_table import LotteryLookupTable, request_map_to_index
+from repro.core.lookup_table import request_map_to_index, shared_lookup_table
 from repro.core.scaling import is_power_of_two, next_power_of_two, scale_to_power_of_two
 from repro.core.tickets import TicketAssignment
 from repro.sim.snapshot import Snapshottable
@@ -138,7 +138,11 @@ class StaticLotteryManager(Snapshottable):
         else:
             scaled = list(requested.tickets)
         self.tickets = TicketAssignment(scaled)
-        self.table = LotteryLookupTable(self.tickets)
+        # Shared across managers with identical scaled holdings — every
+        # seed of a replication and every point of a sweep that lands on
+        # the same assignment reuses one immutable table (reuse is
+        # counted by repro.core.lookup_table.lookup_table_cache_stats).
+        self.table = shared_lookup_table(self.tickets)
         self.draw_policy = draw_policy
         if random_source is None:
             # The register is 8 bits wider than the ticket index so the

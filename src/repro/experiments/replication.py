@@ -83,12 +83,17 @@ def _replication_chunk(
             warmup=warmup,
             **arbiter_kwargs
         )
-        replication.record("utilization", result.utilization)
-        for master, share in enumerate(result.bandwidth_shares):
-            replication.record("share{}".format(master), share)
-        for master, latency in enumerate(result.latencies_per_word):
-            replication.record("latency{}".format(master), latency)
+        _record_replication(replication, result)
     return replication.state_dict()
+
+
+def _record_replication(replication, result):
+    """Fold one replication's TestbedResult into the running summary."""
+    replication.record("utilization", result.utilization)
+    for master, share in enumerate(result.bandwidth_shares):
+        replication.record("share{}".format(master), share)
+    for master, latency in enumerate(result.latencies_per_word):
+        replication.record("latency{}".format(master), latency)
 
 
 def run_replicated_testbed(
@@ -100,6 +105,7 @@ def run_replicated_testbed(
     warmup=2_000,
     seed_mode="shared",
     jobs=None,
+    backend="scalar",
     **arbiter_kwargs
 ):
     """Replicate one test-bed point; returns a :class:`ReplicatedResult`.
@@ -112,9 +118,52 @@ def run_replicated_testbed(
     (the default keeps the historical ``seed_mode="shared"`` seeds so
     existing checked-in numbers stay reproducible; pass
     ``seed_mode="derived"`` for decorrelated streams).
+
+    ``backend="vector"`` runs every replication as one lane of the
+    struct-of-arrays engine (:mod:`repro.vector`) — per-run summaries
+    are bit-identical to the scalar path, so the merged statistics are
+    too; ``"auto"`` picks the vector engine when numpy is available.
     """
     seeds = list(seeds)
     from repro.experiments.supervisor import pool_map
+
+    if backend not in ("scalar", "vector", "auto"):
+        raise ValueError(
+            "backend must be 'scalar', 'vector' or 'auto', got {!r}".format(
+                backend
+            )
+        )
+    if backend != "scalar":
+        from repro.vector import have_numpy
+
+        if backend == "vector" or have_numpy():
+            from repro.vector import run_testbed_batch
+
+            batch = run_testbed_batch(
+                [
+                    dict(
+                        arbiter_name=arbiter_name,
+                        traffic_class_name=traffic_class,
+                        weights=list(weights),
+                        cycles=cycles,
+                        seed=replication_seed(seed, seed_mode),
+                        warmup=warmup,
+                        arbiter_kwargs=arbiter_kwargs,
+                    )
+                    for seed in seeds
+                ]
+            )
+            # Summarize each replication as its own chunk and merge in
+            # seed order — the exact shape of the pooled scalar path, so
+            # the statistics stay bit-identical whatever the backend.
+            replication = StreamingReplication()
+            for result in batch.results:
+                chunk = StreamingReplication()
+                _record_replication(chunk, result)
+                replication.merge(chunk.state_dict())
+            return ReplicatedResult(
+                arbiter_name, traffic_class, weights, replication
+            )
 
     states = pool_map(
         _replication_chunk,

@@ -18,7 +18,21 @@ from repro.experiments.hardware import (
     run_hardware_scaling,
 )
 from repro.experiments.starvation import run_starvation
+from repro.experiments.sweep import run_sweep
 from repro.experiments.table1 import run_table1
+
+# The standard sweep: every batch-engine-supported arbiter crossed with
+# all nine traffic classes at the Table 1 weights.  ``backend=`` picks
+# the execution engine (scalar / vector / auto); rows are bit-identical
+# across backends.
+_SWEEP_ARBITERS = (
+    "static-priority",
+    "lottery-static",
+    "lottery-dynamic",
+    "lottery-compensated",
+)
+_SWEEP_TRAFFIC = tuple("T{}".format(i) for i in range(1, 10))
+_SWEEP_WEIGHTS = (12, 2, 6, 1)
 
 # Cycle counts are scaled by ``scale`` (1.0 = the EXPERIMENTS.md values).
 _EXPERIMENTS = {
@@ -55,11 +69,20 @@ _EXPERIMENTS = {
     "faultsweep": lambda scale, seed, **options: run_fault_sweep(
         cycles=int(60_000 * scale), seed=seed, **options
     ),
+    "sweep": lambda scale, seed, **options: run_sweep(
+        _SWEEP_ARBITERS,
+        _SWEEP_TRAFFIC,
+        weights=_SWEEP_WEIGHTS,
+        cycles=int(50_000 * scale),
+        seed=seed,
+        **options
+    ),
 }
 
 # Experiments accepting extra keyword options (e.g. the CLI's
-# ``--fault-rate``); passing options to any other experiment is an error.
-_OPTION_AWARE = {"faultsweep"}
+# ``--fault-rate`` or ``--backend``); passing options to any other
+# experiment is an error.
+_OPTION_AWARE = {"faultsweep", "sweep"}
 
 # Deterministic/analytic experiments whose lambdas take no cycle count
 # or RNG: --scale/--seed cannot change their result, so passing

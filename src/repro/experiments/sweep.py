@@ -115,19 +115,8 @@ def point_seed(seed, arbiter_name, traffic_name, seed_mode="derived"):
     )
 
 
-def _sweep_point(
-    arbiter_name, traffic_name, weights, cycles, seed, warmup, kwargs
-):
-    """One cross-product point as a plain row dict (pool fan-out unit)."""
-    result = run_testbed(
-        arbiter_name,
-        traffic_name,
-        list(weights),
-        cycles=cycles,
-        seed=seed,
-        warmup=warmup,
-        **kwargs
-    )
+def _result_row(arbiter_name, traffic_name, weights, result):
+    """One TestbedResult flattened into a sweep row dict."""
     row = {
         "arbiter": arbiter_name,
         "traffic": traffic_name,
@@ -141,6 +130,25 @@ def _sweep_point(
     return row
 
 
+def _sweep_point(
+    arbiter_name, traffic_name, weights, cycles, seed, warmup, kwargs
+):
+    """One cross-product point as a plain row dict (pool fan-out unit)."""
+    result = run_testbed(
+        arbiter_name,
+        traffic_name,
+        list(weights),
+        cycles=cycles,
+        seed=seed,
+        warmup=warmup,
+        **kwargs
+    )
+    return _result_row(arbiter_name, traffic_name, weights, result)
+
+
+BACKENDS = ("scalar", "vector", "auto")
+
+
 def run_sweep(
     arbiters,
     traffic_classes,
@@ -151,6 +159,7 @@ def run_sweep(
     arbiter_kwargs=None,
     seed_mode="derived",
     jobs=None,
+    backend="scalar",
 ):
     """Run the full cross product; returns a :class:`SweepResult`.
 
@@ -164,9 +173,21 @@ def run_sweep(
         the legacy shim feeding the root seed to every point.
     :param jobs: fan points over the worker pool (``None``/1 = inline);
         row order and values are independent of ``jobs``.
+    :param backend: ``"scalar"`` (default) runs every point on the
+        scalar simulator; ``"vector"`` batches supported points through
+        the struct-of-arrays engine (:mod:`repro.vector`) and raises
+        :class:`~repro.vector.VectorUnavailableError` without numpy;
+        ``"auto"`` uses the vector engine when numpy is importable and
+        silently falls back otherwise.  Rows are bit-identical across
+        backends (the vector engine falls back per point for configs it
+        does not model); ``jobs`` only applies to the scalar path.
     """
     from repro.experiments.supervisor import pool_map
 
+    if backend not in BACKENDS:
+        raise ValueError(
+            "backend must be one of {}, got {!r}".format(BACKENDS, backend)
+        )
     arbiter_kwargs = arbiter_kwargs or {}
     calls = []
     for arbiter_name in arbiters:
@@ -181,5 +202,31 @@ def run_sweep(
                     warmup,
                     arbiter_kwargs.get(arbiter_name, {}),
                 )
+            )
+    if backend != "scalar":
+        from repro.vector import have_numpy
+
+        if backend == "vector" or have_numpy():
+            from repro.vector import run_testbed_batch
+
+            batch = run_testbed_batch(
+                [
+                    dict(
+                        arbiter_name=call[0],
+                        traffic_class_name=call[1],
+                        weights=list(call[2]),
+                        cycles=call[3],
+                        seed=call[4],
+                        warmup=call[5],
+                        arbiter_kwargs=call[6],
+                    )
+                    for call in calls
+                ]
+            )
+            return SweepResult(
+                [
+                    _result_row(call[0], call[1], call[2], result)
+                    for call, result in zip(calls, batch.results)
+                ]
             )
     return SweepResult(pool_map(_sweep_point, calls, jobs=jobs))

@@ -1,0 +1,57 @@
+"""Vectorized struct-of-arrays batch engine for saturated workloads.
+
+Hosts many independent test-bed systems as lanes of numpy arrays and
+advances all of them one bus cycle per vectorized step — bit-identical
+to the scalar dense simulator (equivalence is enforced by fingerprint
+comparison and a strict cross-check; see :mod:`repro.vector.lanes`).
+
+numpy is an optional extra (``pip install .[vector]``): importing this
+package never requires it; anything that actually needs the arrays
+raises :class:`VectorUnavailableError`, and the experiment runners fall
+back to the scalar path (``backend="auto"``).
+"""
+
+from repro.vector._compat import VectorUnavailableError, have_numpy
+from repro.vector.backend import (
+    BatchRun,
+    make_testbed_builder,
+    run_testbed_batch,
+)
+from repro.vector.lanes import (
+    LanePlan,
+    UnsupportedConfigError,
+    VectorDivergenceError,
+    arbiter_check_state,
+    plan_lane,
+    scalar_fingerprint,
+)
+
+__all__ = [
+    "BatchRun",
+    "LanePlan",
+    "UnsupportedConfigError",
+    "VectorDivergenceError",
+    "VectorEngine",
+    "VectorLFSR",
+    "VectorUnavailableError",
+    "arbiter_check_state",
+    "have_numpy",
+    "make_testbed_builder",
+    "plan_lane",
+    "run_testbed_batch",
+    "scalar_fingerprint",
+]
+
+
+def __getattr__(name):
+    # VectorEngine / VectorLFSR construct numpy arrays; import them
+    # lazily so `import repro.vector` works on a numpy-less install.
+    if name == "VectorEngine":
+        from repro.vector.engine import VectorEngine
+
+        return VectorEngine
+    if name == "VectorLFSR":
+        from repro.vector.lfsr import VectorLFSR
+
+        return VectorLFSR
+    raise AttributeError(name)

@@ -1,0 +1,54 @@
+"""The numpy gate for the batch engine.
+
+numpy is an *optional* extra (``pip install .[vector]``): every import
+of it in this package funnels through :func:`get_numpy`, so the rest of
+the codebase — and every scalar code path — works on a bare stdlib
+install.  Callers that can degrade use :func:`have_numpy` to pick the
+scalar fallback; callers that cannot raise the typed
+:class:`VectorUnavailableError` so the CLI can print something better
+than an ImportError traceback.
+"""
+
+_numpy = None
+_numpy_checked = False
+
+# Test seam: set to True (see tests) to simulate a numpy-less install
+# without uninstalling anything.
+_FORCE_UNAVAILABLE = False
+
+
+class VectorUnavailableError(RuntimeError):
+    """The batch engine was requested but numpy is not installed."""
+
+    def __init__(self, message=None):
+        super().__init__(
+            message
+            or "the vector backend needs numpy; install the optional "
+            "extra (pip install .[vector]) or use the scalar backend"
+        )
+
+
+def get_numpy():
+    """The numpy module, or raise :class:`VectorUnavailableError`."""
+    global _numpy, _numpy_checked
+    if _FORCE_UNAVAILABLE:
+        raise VectorUnavailableError()
+    if not _numpy_checked:
+        try:
+            import numpy
+        except ImportError:
+            numpy = None
+        _numpy = numpy
+        _numpy_checked = True
+    if _numpy is None:
+        raise VectorUnavailableError()
+    return _numpy
+
+
+def have_numpy():
+    """True when the batch engine can run in this interpreter."""
+    try:
+        get_numpy()
+    except VectorUnavailableError:
+        return False
+    return True

@@ -1,0 +1,80 @@
+"""Shared lottery lookup tables: identical ticket assignments reuse one
+precomputed table across managers (replicated systems), with reuse
+counted in the cache stats.
+"""
+
+import pytest
+
+from repro.core.lookup_table import (
+    lookup_table_cache_stats,
+    reset_lookup_table_cache,
+    shared_lookup_table,
+)
+from repro.core.lottery_manager import StaticLotteryManager
+from repro.core.tickets import TicketAssignment
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    reset_lookup_table_cache()
+    yield
+    reset_lookup_table_cache()
+
+
+def test_identical_assignments_share_one_table():
+    first = shared_lookup_table(TicketAssignment([3, 1, 2]))
+    second = shared_lookup_table(TicketAssignment([3, 1, 2]))
+    assert second is first
+    stats = lookup_table_cache_stats()
+    assert stats["builds"] == 1
+    assert stats["hits"] == 1
+    assert stats["entries"] == 1
+
+
+def test_distinct_assignments_build_distinct_tables():
+    first = shared_lookup_table(TicketAssignment([3, 1, 2]))
+    second = shared_lookup_table(TicketAssignment([1, 3, 2]))
+    assert second is not first
+    stats = lookup_table_cache_stats()
+    assert stats["builds"] == 2
+    assert stats["hits"] == 0
+
+
+def test_managers_reuse_tables_for_replicated_systems():
+    managers = [
+        StaticLotteryManager([12, 2, 6, 1], lfsr_seed=seed)
+        for seed in range(1, 9)
+    ]
+    tables = {id(manager.table) for manager in managers}
+    assert len(tables) == 1
+    stats = lookup_table_cache_stats()
+    assert stats["builds"] == 1
+    assert stats["hits"] == len(managers) - 1
+
+
+def test_shared_table_draws_match_private_behaviour():
+    # Sharing is a pure memoization: winners are identical to a fresh
+    # manager's, draw for draw.
+    shared = StaticLotteryManager([4, 3, 2, 1], lfsr_seed=5)
+    reset_lookup_table_cache()
+    fresh = StaticLotteryManager([4, 3, 2, 1], lfsr_seed=5)
+    request_map = [True, False, True, True]
+    for _ in range(200):
+        ours = shared.draw(request_map)
+        theirs = fresh.draw(request_map)
+        assert ours.winner == theirs.winner
+        assert ours.draw == theirs.draw
+
+
+def test_lru_eviction_is_counted(monkeypatch):
+    monkeypatch.setattr("repro.core.lookup_table._SHARED_CAPACITY", 2)
+    shared_lookup_table(TicketAssignment([1, 2]))
+    shared_lookup_table(TicketAssignment([2, 1]))
+    shared_lookup_table(TicketAssignment([3, 1]))
+    stats = lookup_table_cache_stats()
+    assert stats["builds"] == 3
+    assert stats["evictions"] == 1
+    assert stats["entries"] == 2
+    # The evicted (least recently used) entry is rebuilt on next use.
+    shared_lookup_table(TicketAssignment([1, 2]))
+    assert lookup_table_cache_stats()["builds"] == 4
