@@ -1,0 +1,233 @@
+"""Fixed-point solvers behind the analytic surrogate.
+
+Closed-loop classes (T1-T5, T7-T9) are a machine-repairman system:
+each master cycles think -> wait -> transfer, and the waiting time
+couples the masters through the arbiter.  The solver iterates the
+family waiting model to a fixed point, then applies a *consistency
+projection*: the bus's idle fraction implied by the solved rates
+(``1 - sum(rho_i)``) must equal the probability that every master is
+simultaneously thinking (``prod(Z_i / P_i)`` under independence).  A
+single scalar ``alpha`` multiplying all waits is bisected to enforce
+it — Weierstrass's product inequality guarantees a bracket — which
+pins saturation utilization to ~1 exactly where the paper's closed
+forms are exact, without disturbing the family's share structure.
+
+Open-loop classes (T6) are flow-conserving instead: served shares
+follow offered rates while stable, and latency is an M/G/1-style
+waiting estimate against each source's ON-phase peak rate.
+"""
+
+_EPS = 1e-9
+_ALPHA_LO = 1e-4
+_ALPHA_HI = 1e4
+
+
+class SteadyState:
+    """Converged per-master operating point of one configuration."""
+
+    __slots__ = (
+        "throughputs", "shares", "utilization", "delays",
+        "latencies_per_word", "alpha", "model",
+    )
+
+    def __init__(self, throughputs, shares, utilization, delays,
+                 latencies_per_word, alpha, model):
+        self.throughputs = throughputs
+        self.shares = shares
+        self.utilization = utilization
+        self.delays = delays
+        self.latencies_per_word = latencies_per_word
+        self.alpha = alpha
+        self.model = model
+
+
+def _idle_balance(wait, wbar, think):
+    """``(1 - sum rho) - prod(think fraction)`` for the given waits."""
+    idle = 1.0
+    product = 1.0
+    for i in range(len(wbar)):
+        period = think[i] + wait[i] + wbar[i]
+        idle -= wbar[i] / period
+        product *= think[i] / period
+    return idle - product
+
+
+def solve_closed(profiles, family, iterations=64, damping=0.0):
+    """Fixed point + consistency projection for closed-loop masters."""
+    n = len(profiles)
+    wbar = [p.mean_words for p in profiles]
+    think = [p.think for p in profiles]
+    # Misalignment: a zero-think master re-requests exactly at a burst
+    # boundary and never sees a partial burst; any thinking at all
+    # lands the arrival at a random phase (bursts are shorter than
+    # think + service), paying the full expected residual.
+    mis = [min(1.0, think[i]) for i in range(n)]
+
+    # Warm start at the saturation solution (everyone always pending)
+    # — exact for the saturated classes, a few damped iterations away
+    # elsewhere.
+    rho0 = [wbar[i] / (think[i] + wbar[i]) for i in range(n)]
+    a0 = [1.0 - think[i] / (think[i] + wbar[i]) for i in range(n)]
+    wait = family.wait_delays(profiles, rho0, a0, [1.0] * n, mis)
+    for _ in range(iterations):
+        period = [think[i] + wait[i] + wbar[i] for i in range(n)]
+        rho = [wbar[i] / period[i] for i in range(n)]
+        a = [1.0 - think[i] / period[i] for i in range(n)]
+        # Boundary presence: of the rounds a competitor could contest
+        # (its wait + think cycle), the fraction it is actually
+        # pending.  Zero-think masters re-request instantly and are
+        # present at every boundary.
+        q = [
+            1.0 if think[i] == 0.0
+            else wait[i] / (think[i] + wait[i])
+            for i in range(n)
+        ]
+        target = family.wait_delays(profiles, rho, a, q, mis)
+        new_wait = [
+            damping * wait[i] + (1.0 - damping) * target[i]
+            for i in range(n)
+        ]
+        drift = max(
+            abs(new_wait[i] - wait[i]) / (1.0 + wait[i])
+            for i in range(n)
+        )
+        wait = new_wait
+        if drift < 1e-6:
+            break
+
+    # Bisection on the global wait multiplier.  f(alpha) rises from
+    # <= 0 (zero waits: Weierstrass gives prod(1 - u) >= 1 - sum(u))
+    # to > 0 (infinite waits: idle -> 1, think fractions -> 0).
+    lo, hi = _ALPHA_LO, _ALPHA_HI
+    if _idle_balance([hi * w for w in wait], wbar, think) <= 0.0:
+        alpha = hi  # total starvation limit (all-zero think + priority)
+    else:
+        for _ in range(28):
+            mid = (lo + hi) / 2.0
+            if _idle_balance([mid * w for w in wait], wbar, think) > 0.0:
+                hi = mid
+            else:
+                lo = mid
+        alpha = (lo + hi) / 2.0
+
+    wait = [alpha * w for w in wait]
+    period = [think[i] + wait[i] + wbar[i] for i in range(n)]
+    throughputs = [1.0 / period[i] for i in range(n)]
+    rho = [wbar[i] / period[i] for i in range(n)]
+    total = sum(rho)
+    shares = [r / total if total > _EPS else 1.0 / n for r in rho]
+    delays = [wait[i] + wbar[i] for i in range(n)]
+    latencies = [delays[i] / wbar[i] for i in range(n)]
+    return SteadyState(
+        throughputs=throughputs,
+        shares=shares,
+        utilization=min(1.0, total),
+        delays=delays,
+        latencies_per_word=latencies,
+        alpha=alpha,
+        model="closed",
+    )
+
+
+def _interference_weights(family, n):
+    """How much of competitor ``j``'s load master ``i`` must wait
+    behind, per family (open-loop latency model)."""
+    ranks = getattr(family, "ranks", None)
+    weights = [[1.0] * n for _ in range(n)]
+    if ranks is not None:
+        for i in range(n):
+            for j in range(n):
+                if ranks[j] < ranks[i]:
+                    # Lower-priority traffic only blocks via the
+                    # residual of an in-flight burst.
+                    weights[i][j] = 0.4
+    return weights
+
+
+def solve_open(profiles, family, contention_weights):
+    """Flow-conserving model for open-loop (rate-driven) masters."""
+    n = len(profiles)
+    wbar = [p.mean_words for p in profiles]
+    offered = [p.rate_words for p in profiles]
+    total_offered = sum(offered)
+    utilization = min(1.0, total_offered)
+
+    if total_offered <= _EPS:
+        shares = [1.0 / n] * n
+        served = [0.0] * n
+    elif total_offered <= 0.995:
+        # Stable: everything offered is eventually served.
+        shares = [offered[i] / total_offered for i in range(n)]
+        served = list(offered)
+    else:
+        # Overload: water-fill capacity by contention weight, never
+        # granting a master more than it offers.
+        weights = [float(max(w, _EPS)) for w in contention_weights]
+        served = [0.0] * n
+        remaining = 1.0
+        active = set(range(n))
+        for _ in range(n):
+            weight_sum = sum(weights[i] for i in active)
+            if remaining <= _EPS or weight_sum <= _EPS:
+                break
+            capped = {
+                i for i in active
+                if offered[i] - served[i]
+                <= remaining * weights[i] / weight_sum
+            }
+            for i in capped:
+                remaining -= offered[i] - served[i]
+                served[i] = offered[i]
+            active -= capped
+            if not capped:
+                for i in active:
+                    served[i] += remaining * weights[i] / weight_sum
+                remaining = 0.0
+        total_served = sum(served)
+        shares = [
+            s / total_served if total_served > _EPS else 1.0 / n
+            for s in served
+        ]
+
+    # Latency: each source queues behind its own ON-phase peak plus the
+    # mean load of the competitors the family makes it wait for.
+    interference = _interference_weights(family, n)
+    tdma = hasattr(family, "wheel")
+    latencies = []
+    delays = []
+    for i, p in enumerate(profiles):
+        load = p.peak_rate + sum(
+            interference[i][j] * offered[j] for j in range(n) if j != i
+        )
+        load = min(load, 0.98)
+        # Geo/D/1 waiting time: arrivals are Bernoulli per cycle (not
+        # Poisson), so the numerator carries ``s - 1``, not ``s``.
+        queue_wait = load * max(wbar[i] - 1.0, 0.0) / (2.0 * (1.0 - load))
+        if tdma:
+            # Slot misalignment: a burst arriving mid-wheel waits for
+            # its block unless reclamation hands it idle slots first.
+            gap = family.wheel - family.slots[i]
+            phase = gap * gap / (2.0 * family.wheel)
+            if family.reclaim == "scan":
+                phase *= min(1.0, sum(
+                    offered[j] for j in range(n) if j != i
+                ))
+            elif family.reclaim == "single":
+                phase *= 0.5 + 0.5 * min(1.0, sum(
+                    offered[j] for j in range(n) if j != i
+                ))
+            queue_wait += phase
+        delay = queue_wait + wbar[i]
+        delays.append(delay)
+        latencies.append(delay / wbar[i])
+
+    return SteadyState(
+        throughputs=[served[i] / wbar[i] if wbar[i] else 0.0
+                     for i in range(n)],
+        shares=shares,
+        utilization=utilization,
+        delays=delays,
+        latencies_per_word=latencies,
+        alpha=1.0,
+        model="open",
+    )

@@ -1,0 +1,167 @@
+"""Per-master traffic parameters extracted from the T1-T9 class specs.
+
+The surrogate never samples a generator; it works from the *moments* of
+each master's traffic process:
+
+* the message-size distribution's mean and its expected grant count
+  under the bus's maximum transfer size (a 24-word message on a
+  16-word-burst bus re-arbitrates twice),
+* the think gap of closed-loop sources (the only cycles a closed-loop
+  master is invisible to the arbiter), and
+* the offered word rate and ON-phase peak rate of open-loop sources.
+
+Profiles are deterministic functions of the checked-in traffic classes,
+so they are memoized per (class, max_burst).
+"""
+
+from repro.traffic.classes import get_traffic_class
+from repro.traffic.message import FixedWords, GeometricWords, UniformWords
+
+# Generator kinds whose masters block until completion (one outstanding
+# message, think, repeat).  Saturating sources are the think-0 limit.
+_CLOSED_KINDS = ("closedloop", "saturating")
+_RATE_KINDS = ("poisson", "periodic", "onoff")
+
+
+class MasterProfile:
+    """Analytic view of one master's traffic source.
+
+    :param closed: True for blocking (closed-loop) sources.
+    :param mean_words: expected words per message, E[w].
+    :param mean_grants: expected arbitration grants per message,
+        E[ceil(w / max_burst)] — heavy-tailed messages split.
+    :param think: mean idle gap between completion and the next request
+        (closed-loop only; the request after a 0-think completion is
+        visible to the very next arbitration, so the gap is 0).
+    :param rate_words: offered words per cycle (open-loop only).
+    :param peak_rate: ON-phase words per cycle (on-off sources; equals
+        ``rate_words`` for memoryless sources).
+    :param duty: fraction of time the source is ON (1.0 if always).
+    """
+
+    __slots__ = (
+        "closed", "mean_words", "mean_grants", "think",
+        "rate_words", "peak_rate", "duty",
+    )
+
+    def __init__(self, closed, mean_words, mean_grants, think=0.0,
+                 rate_words=0.0, peak_rate=0.0, duty=1.0):
+        self.closed = closed
+        self.mean_words = mean_words
+        self.mean_grants = mean_grants
+        self.think = think
+        self.rate_words = rate_words
+        self.peak_rate = peak_rate
+        self.duty = duty
+
+    @property
+    def words_per_grant(self):
+        """Mean burst length actually moved per grant."""
+        return self.mean_words / self.mean_grants
+
+    @property
+    def solo_demand(self):
+        """Words per cycle if the bus never made this master wait."""
+        if self.closed:
+            return self.mean_words / (self.mean_words + self.think)
+        return self.rate_words
+
+
+def _mean_grants(dist, max_burst):
+    """E[ceil(w / max_burst)] under the message-size distribution."""
+    if isinstance(dist, FixedWords):
+        return float(-(-dist.words // max_burst))
+    if isinstance(dist, UniformWords):
+        total = sum(
+            -(-w // max_burst) for w in range(dist.low, dist.high + 1)
+        )
+        return total / float(dist.high - dist.low + 1)
+    if isinstance(dist, GeometricWords):
+        # Truncated geometric: P(w=k) = p(1-p)^(k-1) for k < cap, the
+        # remaining tail mass lands on the cap.
+        p = 1.0 / dist.mean_words
+        grants = 0.0
+        survive = 1.0  # P(w >= k) entering iteration k
+        for k in range(1, dist.cap):
+            grants += survive * p * -(-k // max_burst)
+            survive *= 1.0 - p
+        grants += survive * -(-dist.cap // max_burst)
+        return grants
+    raise ValueError(
+        "no analytic grant model for message distribution {!r}".format(dist)
+    )
+
+
+def _mean_words(dist):
+    """E[w]; exact for the truncated geometric (``.mean()`` ignores the
+    cap, which is fine for offered-load planning but not for shares)."""
+    if isinstance(dist, GeometricWords):
+        p = 1.0 / dist.mean_words
+        words = 0.0
+        survive = 1.0
+        for k in range(1, dist.cap):
+            words += survive * p * k
+            survive *= 1.0 - p
+        words += survive * dist.cap
+        return words
+    return float(dist.mean())
+
+
+def _profile_from_spec(kind, params, max_burst):
+    if kind not in _CLOSED_KINDS + _RATE_KINDS:
+        raise ValueError(
+            "no analytic traffic model for generator kind {!r}".format(kind)
+        )
+    words = params["words"]
+    mean_words = _mean_words(words)
+    mean_grants = _mean_grants(words, max_burst)
+    if kind in _CLOSED_KINDS:
+        think = float(params.get("mean_think", 0.0)) if (
+            kind == "closedloop"
+        ) else 0.0
+        return MasterProfile(
+            closed=True,
+            mean_words=mean_words,
+            mean_grants=mean_grants,
+            think=think,
+        )
+    if kind == "poisson":
+        rate = params["rate"] * mean_words
+        return MasterProfile(
+            closed=False, mean_words=mean_words, mean_grants=mean_grants,
+            rate_words=rate, peak_rate=rate, duty=1.0,
+        )
+    if kind == "periodic":
+        rate = mean_words / float(params["period"])
+        return MasterProfile(
+            closed=False, mean_words=mean_words, mean_grants=mean_grants,
+            rate_words=rate, peak_rate=rate, duty=1.0,
+        )
+    # on-off: words flow at on_rate only during ON dwells.
+    duty = params["mean_on"] / float(params["mean_on"] + params["mean_off"])
+    peak = params["on_rate"] * mean_words
+    return MasterProfile(
+        closed=False, mean_words=mean_words, mean_grants=mean_grants,
+        rate_words=duty * peak, peak_rate=peak, duty=duty,
+    )
+
+
+_PROFILE_CACHE = {}
+
+
+def traffic_profiles(traffic_name, max_burst=16):
+    """Per-master :class:`MasterProfile` list for a named traffic class.
+
+    Memoized: the checked-in classes are immutable, so repeat
+    predictions over a sweep grid pay for the moment integrals once.
+    """
+    key = (traffic_name, max_burst)
+    cached = _PROFILE_CACHE.get(key)
+    if cached is None:
+        traffic = get_traffic_class(traffic_name)
+        cached = tuple(
+            _profile_from_spec(kind, params, max_burst)
+            for kind, params in traffic.specs
+        )
+        _PROFILE_CACHE[key] = cached
+    return cached

@@ -53,6 +53,9 @@ DEFAULT_SERVICE_OUTPUT = os.path.join(
 DEFAULT_BATCH_OUTPUT = os.path.join(
     "benchmarks", "perf", "BENCH_batch.json"
 )
+DEFAULT_ANALYTIC_OUTPUT = os.path.join(
+    "benchmarks", "perf", "BENCH_analytic.json"
+)
 
 
 def _platform_info():
@@ -608,6 +611,181 @@ def _print_batch(results):
         print("  MISMATCH: {}".format(label))
 
 
+# -- analytic surrogate benchmark ------------------------------------------
+#
+# Two legs.  Accuracy: the surrogate is cross-validated against one
+# simulated sweep at the pinned calibration settings and every
+# combination must land inside its checked-in error bound
+# (repro.analytic.bounds) — any violation fails the benchmark (exit
+# status 1).  Speed: the surrogate scores a large replicated grid while
+# the vectorized simulator runs the standard-sweep grid at the standard
+# 50k-cycle budget; the per-configuration speedup must clear 1000x
+# (gated in full runs; --quick still reports it).
+
+
+# The simulator side of the speed leg: the standard sweep's
+# engine-hosted arbiters (see repro.experiments.runner).
+_ANALYTIC_SIM_ARBITERS = (
+    "static-priority",
+    "lottery-static",
+    "lottery-dynamic",
+    "lottery-compensated",
+)
+_ANALYTIC_SIM_CYCLES = 50_000
+_ANALYTIC_SPEEDUP_TARGET = 1000.0
+
+
+def run_analytic_benchmark(quick=False, repeats=3, jobs=None):
+    """Surrogate accuracy + throughput vs the vector engine.
+
+    Raises :class:`repro.vector.VectorUnavailableError` when numpy is
+    not installed — the speed leg's baseline is the vectorized batch
+    engine.
+    """
+    from repro.analytic import (
+        CALIBRATION,
+        score_grid,
+        supported_arbiters,
+        validate_surrogate,
+    )
+    from repro.vector import run_testbed_batch
+
+    # Accuracy leg: one cross-validation sweep at the calibration
+    # settings.  --quick trims the arbiter families, not the settings —
+    # the bounds are only meaningful at the cycles they were
+    # calibrated for.
+    families = list(supported_arbiters())
+    if quick:
+        families = ["lottery-static", "static-priority", "tdma"]
+    validation = validate_surrogate(
+        arbiters=families, backend="auto", jobs=jobs
+    )
+
+    # Surrogate timing: the full supported grid, replicated so the
+    # batch path dominates fixed overheads; best wall over repeats.
+    weights = tuple(CALIBRATION["weights"])
+    traffic = list(CALIBRATION["traffic_classes"])
+    base_grid = [
+        {
+            "arbiter_name": arbiter_name,
+            "traffic_class_name": traffic_name,
+            "weights": weights,
+        }
+        for arbiter_name in supported_arbiters()
+        for traffic_name in traffic
+    ]
+    grid = base_grid * (8 if quick else 40)
+    surrogate_wall = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        predictions = score_grid(grid, horizon=_ANALYTIC_SIM_CYCLES)
+        elapsed = time.perf_counter() - start
+        if surrogate_wall is None or elapsed < surrogate_wall:
+            surrogate_wall = elapsed
+    surrogate_per_config = surrogate_wall / len(grid)
+
+    # Simulator baseline: the standard sweep grid on the vector engine
+    # at the standard cycle budget (what a screened sweep avoids
+    # paying per screened-out configuration).
+    sim_calls = [
+        dict(
+            arbiter_name=arbiter_name,
+            traffic_class_name=traffic_name,
+            weights=list(weights),
+            cycles=_ANALYTIC_SIM_CYCLES,
+            seed=CALIBRATION["seed"],
+        )
+        for arbiter_name in _ANALYTIC_SIM_ARBITERS
+        for traffic_name in traffic
+    ]
+    if quick:
+        sim_calls = sim_calls[:: len(traffic) // 3]
+    start = time.perf_counter()
+    run_testbed_batch(sim_calls)
+    sim_wall = time.perf_counter() - start
+    sim_per_config = sim_wall / len(sim_calls)
+
+    speedup = sim_per_config / surrogate_per_config
+    speedup_ok = quick or speedup >= _ANALYTIC_SPEEDUP_TARGET
+    max_errors = validation.max_errors()
+    return {
+        "benchmark": "repro.bench --analytic",
+        "quick": quick,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "platform": _platform_info(),
+        "validation": {
+            "cycles": validation.cycles,
+            "seed": validation.seed,
+            "arbiters": families,
+            "combinations": len(validation.rows),
+            "max_share_error": round(max_errors["share"], 4),
+            "max_utilization_error": round(max_errors["utilization"], 4),
+            "max_latency_error": round(max_errors["latency"], 4),
+            "violations": [
+                "{}/{}".format(row["arbiter"], row["traffic"])
+                for row in validation.violations
+            ][:10],
+            "ok": validation.ok,
+        },
+        "surrogate": {
+            "configs": len(grid),
+            "wall_seconds": round(surrogate_wall, 4),
+            "per_config_microseconds": round(
+                surrogate_per_config * 1e6, 2
+            ),
+            "configs_per_second": round(len(grid) / surrogate_wall, 1),
+            "sample_utilization": round(predictions[0].utilization, 4),
+        },
+        "simulator": {
+            "backend": "vector",
+            "configs": len(sim_calls),
+            "cycles_per_config": _ANALYTIC_SIM_CYCLES,
+            "wall_seconds": round(sim_wall, 4),
+            "per_config_milliseconds": round(sim_per_config * 1e3, 2),
+            "configs_per_second": round(len(sim_calls) / sim_wall, 2),
+        },
+        "speedup": round(speedup, 1),
+        "speedup_target": _ANALYTIC_SPEEDUP_TARGET,
+        "speedup_gated": not quick,
+        "all_identical": validation.ok and speedup_ok,
+    }
+
+
+def _print_analytic(results):
+    validation = results["validation"]
+    print("analytic: {} combinations validated ({} cycles, seed {})".format(
+        validation["combinations"], validation["cycles"],
+        validation["seed"],
+    ))
+    print("  max error    share={} util={} latency={}  bounds={}".format(
+        validation["max_share_error"],
+        validation["max_utilization_error"],
+        validation["max_latency_error"],
+        "ok" if validation["ok"] else "VIOLATED",
+    ))
+    print("  surrogate   {:>9.3f}s  {:>10.1f} configs/s  ({} configs, "
+          "{}us each)".format(
+              results["surrogate"]["wall_seconds"],
+              results["surrogate"]["configs_per_second"],
+              results["surrogate"]["configs"],
+              results["surrogate"]["per_config_microseconds"],
+          ))
+    print("  simulator   {:>9.3f}s  {:>10.2f} configs/s  ({} configs, "
+          "{} cycles each)".format(
+              results["simulator"]["wall_seconds"],
+              results["simulator"]["configs_per_second"],
+              results["simulator"]["configs"],
+              results["simulator"]["cycles_per_config"],
+          ))
+    print("  speedup     {:>8.0f}x  (target {:.0f}x, {})".format(
+        results["speedup"], results["speedup_target"],
+        "gated" if results["speedup_gated"] else "reported only",
+    ))
+    for label in validation["violations"]:
+        print("  VIOLATED: {}".format(label))
+
+
 # -- service benchmark -----------------------------------------------------
 #
 # Hammers a live in-process DSE server (stdlib front-end, real sockets)
@@ -940,6 +1118,20 @@ def main(argv=None):
         "(default: %(default)s)",
     )
     parser.add_argument(
+        "--analytic",
+        action="store_true",
+        help="benchmark the analytic surrogate (repro.analytic): "
+        "cross-validate it against the simulator at the calibration "
+        "settings and time it against the vector engine; any error-"
+        "bound violation fails the run",
+    )
+    parser.add_argument(
+        "--analytic-output",
+        default=DEFAULT_ANALYTIC_OUTPUT,
+        help="where --analytic writes its JSON report "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
         "--chaos-rate",
         type=float,
         default=0.0,
@@ -953,15 +1145,24 @@ def main(argv=None):
         parser.error("--chaos-rate must be within [0, 1]")
     if args.chaos_rate and not args.campaign:
         parser.error("--chaos-rate requires --campaign")
-    if sum((args.service, args.campaign, args.batch)) > 1:
-        parser.error("--service, --campaign and --batch are mutually "
-                     "exclusive")
+    if sum((args.service, args.campaign, args.batch, args.analytic)) > 1:
+        parser.error("--service, --campaign, --batch and --analytic are "
+                     "mutually exclusive")
     if args.clients < 1:
         parser.error("--clients must be >= 1")
     if args.block_size < 1:
         parser.error("--block-size must be >= 1")
 
-    if args.batch:
+    if args.analytic:
+        results = run_analytic_benchmark(
+            quick=args.quick, repeats=args.repeats, jobs=args.jobs
+        )
+        _print_analytic(results)
+        output = args.analytic_output
+        failure = ("FAIL: surrogate exceeded its checked-in error "
+                   "bounds or missed the {}x speedup target".format(
+                       int(_ANALYTIC_SPEEDUP_TARGET)))
+    elif args.batch:
         results = run_batch_benchmark(
             quick=args.quick, repeats=args.repeats,
             block_size=args.block_size,

@@ -77,6 +77,26 @@ def build_parser():
         ),
     )
     parser.add_argument(
+        "--screen",
+        action="store_true",
+        help=(
+            "sweep only: two-tier screened sweep — the analytic "
+            "surrogate (repro.analytic) scores the whole grid and only "
+            "the configurations whose error band overlaps the top-k "
+            "are simulated; confirmed rows are bit-identical to the "
+            "exhaustive sweep's"
+        ),
+    )
+    parser.add_argument(
+        "--screen-top-k",
+        type=int,
+        default=None,
+        help=(
+            "sweep with --screen only: frontier size the screen must "
+            "preserve (default 8)"
+        ),
+    )
+    parser.add_argument(
         "--output",
         help="also write the report to this file",
     )
@@ -169,6 +189,15 @@ def _validate(args):
         return "--scale must be positive (got {})".format(args.scale)
     if args.backend is not None and args.experiment != "sweep":
         return "--backend applies only to the sweep experiment"
+    if args.screen and args.experiment != "sweep":
+        return "--screen applies only to the sweep experiment"
+    if args.screen_top_k is not None:
+        if not args.screen:
+            return "--screen-top-k requires --screen"
+        if args.screen_top_k < 1:
+            return "--screen-top-k must be >= 1 (got {})".format(
+                args.screen_top_k
+            )
     if args.fault_rate is not None and args.experiment not in (
         "faultsweep", "all"
     ):
@@ -265,6 +294,10 @@ def main(argv=None):
         options["fault_rates"] = (0.0, args.fault_rate)
     if args.backend is not None:
         options["backend"] = args.backend
+    if args.screen:
+        options["screen"] = True
+        if args.screen_top_k is not None:
+            options["screen_top_k"] = args.screen_top_k
     from repro.experiments.errors import CampaignDrained
 
     exit_code = 0

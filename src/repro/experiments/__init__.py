@@ -21,6 +21,10 @@ from repro.experiments.hardware import (
     run_hardware_scaling,
 )
 from repro.experiments.replication import run_replicated_testbed
+from repro.experiments.screen import (
+    ScreenedSweepResult,
+    run_screened_sweep,
+)
 from repro.experiments.starvation import run_starvation
 from repro.experiments.sweep import run_sweep
 from repro.experiments.system import run_testbed
@@ -35,6 +39,7 @@ from repro.experiments.table1 import run_table1
 __all__ = [
     "ExperimentCheckpointer",
     "ResultStore",
+    "ScreenedSweepResult",
     "StageCheckpoint",
     "Supervisor",
     "TaskSpec",
@@ -51,6 +56,7 @@ __all__ = [
     "run_hardware_comparison",
     "run_hardware_scaling",
     "run_replicated_testbed",
+    "run_screened_sweep",
     "run_starvation",
     "run_sweep",
     "run_testbed",

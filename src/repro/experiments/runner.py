@@ -34,6 +34,31 @@ _SWEEP_ARBITERS = (
 _SWEEP_TRAFFIC = tuple("T{}".format(i) for i in range(1, 10))
 _SWEEP_WEIGHTS = (12, 2, 6, 1)
 
+
+def _run_standard_sweep(scale, seed, screen=False, screen_top_k=8,
+                        **options):
+    """The standard sweep grid, exhaustive or two-tier screened.
+
+    With ``screen=True`` the grid is scored by the analytic surrogate
+    first and only the surviving candidates are simulated (see
+    :func:`repro.experiments.run_screened_sweep`); confirmed rows stay
+    bit-identical to the exhaustive sweep's.
+    """
+    common = dict(
+        weights=_SWEEP_WEIGHTS,
+        cycles=int(50_000 * scale),
+        seed=seed,
+        **options
+    )
+    if screen:
+        from repro.experiments.screen import run_screened_sweep
+
+        return run_screened_sweep(
+            _SWEEP_ARBITERS, _SWEEP_TRAFFIC,
+            top_k=screen_top_k, **common
+        )
+    return run_sweep(_SWEEP_ARBITERS, _SWEEP_TRAFFIC, **common)
+
 # Cycle counts are scaled by ``scale`` (1.0 = the EXPERIMENTS.md values).
 _EXPERIMENTS = {
     "figure4": lambda scale, seed: run_figure4(
@@ -69,14 +94,7 @@ _EXPERIMENTS = {
     "faultsweep": lambda scale, seed, **options: run_fault_sweep(
         cycles=int(60_000 * scale), seed=seed, **options
     ),
-    "sweep": lambda scale, seed, **options: run_sweep(
-        _SWEEP_ARBITERS,
-        _SWEEP_TRAFFIC,
-        weights=_SWEEP_WEIGHTS,
-        cycles=int(50_000 * scale),
-        seed=seed,
-        **options
-    ),
+    "sweep": _run_standard_sweep,
 }
 
 # Experiments accepting extra keyword options (e.g. the CLI's

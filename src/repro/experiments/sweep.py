@@ -46,8 +46,35 @@ class SweepResult:
     def __init__(self, rows):
         self.rows = rows
 
+    def _known(self, column):
+        seen = []
+        for row in self.rows:
+            if row[column] not in seen:
+                seen.append(row[column])
+        return seen
+
     def filter(self, arbiter=None, traffic=None):
-        """Rows matching the given arbiter and/or traffic class."""
+        """Rows matching the given arbiter and/or traffic class.
+
+        A name this sweep never ran raises :class:`KeyError` listing
+        the names it did — a typo'd arbiter should fail loudly, not
+        masquerade as an empty result set.
+        """
+        if arbiter is not None:
+            known = self._known("arbiter")
+            if arbiter not in known:
+                raise KeyError(
+                    "unknown arbiter {!r}; this sweep has: {}".format(
+                        arbiter, ", ".join(known) or "(no rows)"
+                    )
+                )
+        if traffic is not None:
+            known = self._known("traffic")
+            if traffic not in known:
+                raise KeyError(
+                    "unknown traffic class {!r}; this sweep has: "
+                    "{}".format(traffic, ", ".join(known) or "(no rows)")
+                )
         out = []
         for row in self.rows:
             if arbiter is not None and row["arbiter"] != arbiter:
@@ -65,7 +92,14 @@ class SweepResult:
                     arbiter, traffic, len(rows)
                 )
             )
-        return rows[0][column]
+        row = rows[0]
+        if column not in row:
+            raise KeyError(
+                "unknown column {!r}; sweep rows have: {}".format(
+                    column, ", ".join(self.COLUMNS)
+                )
+            )
+        return row[column]
 
     def save_csv(self, path):
         # Render in memory, then land the whole file atomically — a

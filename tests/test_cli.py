@@ -74,6 +74,28 @@ def test_run_experiment_rejects_stray_options():
         run_experiment("figure8", fault_rates=(0.0, 0.1))
 
 
+def test_screen_rejected_for_other_experiments(capsys):
+    assert main(["figure8", "--screen"]) == 2
+    assert "--screen applies only to the sweep" in capsys.readouterr().err
+
+
+def test_screen_top_k_requires_screen(capsys):
+    assert main(["sweep", "--screen-top-k", "4"]) == 2
+    assert "--screen-top-k requires --screen" in capsys.readouterr().err
+
+
+def test_screen_top_k_must_be_positive(capsys):
+    assert main(["sweep", "--screen", "--screen-top-k", "0"]) == 2
+    assert "--screen-top-k must be >= 1" in capsys.readouterr().err
+
+
+def test_screened_sweep_runs_end_to_end(capsys):
+    assert main(["sweep", "--screen", "--scale", "0.04"]) == 0
+    out = capsys.readouterr().out
+    assert "Screened sweep frontier" in out
+    assert "funnel:" in out
+
+
 def test_bad_scale_rejected_with_one_line_error(capsys):
     assert main(["table1", "--scale", "-1"]) == 2
     err = capsys.readouterr().err

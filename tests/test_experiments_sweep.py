@@ -36,6 +36,38 @@ def test_sweep_value_requires_unique_row(small_sweep):
         small_sweep.value("round-robin", "T9", "utilization")
 
 
+def test_filter_names_valid_arbiters_on_typo(small_sweep):
+    with pytest.raises(KeyError) as excinfo:
+        small_sweep.filter(arbiter="lotery-static")
+    message = str(excinfo.value)
+    assert "lotery-static" in message
+    assert "round-robin" in message and "lottery-static" in message
+
+
+def test_filter_names_valid_traffic_classes_on_typo(small_sweep):
+    with pytest.raises(KeyError) as excinfo:
+        small_sweep.filter(traffic="T99")
+    message = str(excinfo.value)
+    assert "T99" in message
+    assert "T3" in message and "T8" in message
+
+
+def test_value_names_valid_columns_on_typo(small_sweep):
+    with pytest.raises(KeyError) as excinfo:
+        small_sweep.value("lottery-static", "T8", "thruput")
+    message = str(excinfo.value)
+    assert "thruput" in message
+    assert "utilization" in message and "latency3" in message
+
+
+def test_empty_sweep_filter_says_no_rows():
+    from repro.experiments.sweep import SweepResult
+
+    with pytest.raises(KeyError) as excinfo:
+        SweepResult([]).filter(arbiter="lottery-static")
+    assert "(no rows)" in str(excinfo.value)
+
+
 def test_sweep_csv_round_trip(small_sweep, tmp_path):
     path = tmp_path / "sweep.csv"
     small_sweep.save_csv(str(path))
