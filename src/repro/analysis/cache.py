@@ -1,0 +1,104 @@
+"""Content-hash incremental cache: warm lint runs re-parse nothing.
+
+Whole-program analysis made the linter do strictly more work per file
+(parse → extract a flow summary → project passes), so PR 10 also makes
+repeat runs cheap: each file's *per-file* results — the file-rule
+findings (post-suppression) and the flow summary — are keyed by a
+sha256 of the file's bytes and persisted to ``.lint-cache.json``.  On a
+warm run every unchanged file is a cache hit: no parse, no AST walk, no
+extraction.  The project passes (call graph, thread reachability,
+LB2xx rules) always run, rebuilt from the cached summaries — they are
+cross-file by definition and cheap next to parsing.
+
+The cache is invalidated wholesale when anything that could change
+per-file results changes: the cache format, the summary schema
+(:data:`~repro.analysis.flow.summary.SUMMARY_VERSION`), or the selected
+rule set.  A corrupt or stale cache file is indistinguishable from an
+empty one — the linter silently runs cold and rewrites it.  The file is
+local state, never committed (gitignored).
+"""
+
+import hashlib
+import json
+import os
+
+from repro.analysis.flow.summary import SUMMARY_VERSION
+from repro.ioutil import atomic_write
+
+CACHE_VERSION = 1
+DEFAULT_CACHE_NAME = ".lint-cache.json"
+
+
+def content_digest(text):
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class LintCache:
+    """Per-file (findings, summary) results keyed by content hash."""
+
+    def __init__(self, path, rule_ids):
+        self.path = path
+        self.rule_ids = sorted(rule_ids)
+        self.entries = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+
+    @classmethod
+    def load(cls, path, rule_ids):
+        """Load the cache; any mismatch or damage yields an empty one."""
+        cache = cls(path, rule_ids)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return cache
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != CACHE_VERSION
+            or payload.get("summary_version") != SUMMARY_VERSION
+            or payload.get("rules") != cache.rule_ids
+            or not isinstance(payload.get("entries"), dict)
+        ):
+            return cache
+        cache.entries = payload["entries"]
+        return cache
+
+    def lookup(self, display_path, digest):
+        """The cached ``{"findings": [...], "summary": {...}}`` for an
+        unchanged file, or ``None`` (counts hit/miss either way)."""
+        entry = self.entries.get(display_path)
+        if entry is not None and entry.get("digest") == digest:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def store(self, display_path, digest, findings, summary):
+        self.entries[display_path] = {
+            "digest": digest,
+            "findings": findings,
+            "summary": summary,
+        }
+        self._dirty = True
+
+    def save(self):
+        if not self._dirty and os.path.exists(self.path):
+            return
+        payload = {
+            "version": CACHE_VERSION,
+            "summary_version": SUMMARY_VERSION,
+            "rules": self.rule_ids,
+            "entries": self.entries,
+        }
+        try:
+            atomic_write(self.path, json.dumps(payload, sort_keys=True))
+        except OSError:
+            pass  # a read-only checkout still lints, just never warm
+
+    def stats_line(self):
+        total = self.hits + self.misses
+        rate = (100.0 * self.hits / total) if total else 0.0
+        return "cache: {} hits / {} misses ({:.1f}% warm, {})".format(
+            self.hits, self.misses, rate, self.path
+        )

@@ -7,12 +7,14 @@ Exit codes follow the supervisor's convention (PR 2): ``0`` clean,
 import argparse
 import os
 import sys
+import time
 
 from repro.analysis.baseline import (
     Baseline,
     BaselineError,
     DEFAULT_BASELINE_NAME,
 )
+from repro.analysis.cache import DEFAULT_CACHE_NAME, LintCache
 from repro.analysis.core import LintError, get_rules, lint_paths
 from repro.analysis.reporters import json_report, text_report
 
@@ -26,7 +28,8 @@ def build_parser():
         prog="python -m repro.lint",
         description=(
             "Static determinism & contract linter for the LOTTERYBUS "
-            "reproduction (rules LB101-LB105)."
+            "reproduction: per-file rules (LB1xx) plus whole-program "
+            "flow rules (LB2xx)."
         ),
     )
     parser.add_argument(
@@ -60,8 +63,29 @@ def build_parser():
         help="comma-separated rule IDs to run (default: all)",
     )
     parser.add_argument(
+        "--prune-baseline", action="store_true",
+        help=(
+            "rewrite the baseline file without its stale entries "
+            "(entries matching no current finding) before reporting"
+        ),
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="lint cache-miss files with N worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--no-incremental", action="store_true",
+        help="disable the content-hash incremental cache (always cold)",
+    )
+    parser.add_argument(
+        "--cache-file", metavar="FILE", default=DEFAULT_CACHE_NAME,
+        help="incremental cache location (default: {})".format(
+            DEFAULT_CACHE_NAME
+        ),
     )
     return parser
 
@@ -91,10 +115,30 @@ def main(argv=None):
     select = args.select.split(",") if args.select else None
     try:
         rules = get_rules(select)
-        findings = lint_paths(paths, rules=rules)
     except LintError as error:
         print("error: {}".format(error), file=sys.stderr)
         return EXIT_USAGE
+
+    cache = None
+    if not args.no_incremental:
+        cache = LintCache.load(args.cache_file, [rule.id for rule in rules])
+
+    started = time.perf_counter()
+    try:
+        findings = lint_paths(
+            paths, rules=rules, jobs=args.jobs, cache=cache
+        )
+    except LintError as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return EXIT_USAGE
+    elapsed = time.perf_counter() - started
+    if cache is not None:
+        cache.save()
+        print(cache.stats_line(), file=sys.stderr)
+    print(
+        "lint: completed in {:.3f}s (jobs={})".format(elapsed, args.jobs),
+        file=sys.stderr,
+    )
 
     if args.write_baseline:
         Baseline.from_findings(findings).save(args.write_baseline)
@@ -113,6 +157,10 @@ def main(argv=None):
         baseline_path = args.baseline
         if baseline_path is None and os.path.isfile(DEFAULT_BASELINE_NAME):
             baseline_path = DEFAULT_BASELINE_NAME
+        if baseline_path is None and args.prune_baseline:
+            print("error: --prune-baseline needs a baseline file",
+                  file=sys.stderr)
+            return EXIT_USAGE
         if baseline_path is not None:
             try:
                 baseline = Baseline.load(baseline_path)
@@ -120,6 +168,23 @@ def main(argv=None):
                 print("error: {}".format(error), file=sys.stderr)
                 return EXIT_USAGE
             findings, accepted, stale = baseline.apply(findings)
+            if args.prune_baseline and stale:
+                kept = [
+                    entry for entry in baseline.entries
+                    if all(entry is not gone for gone in stale)
+                ]
+                Baseline(kept).save(baseline_path)
+                print(
+                    "pruned {} stale entr{} from {}".format(
+                        len(stale), "y" if len(stale) == 1 else "ies",
+                        baseline_path,
+                    ),
+                    file=sys.stderr,
+                )
+                stale = []
+    if args.prune_baseline and args.no_baseline:
+        print("error: --prune-baseline needs a baseline", file=sys.stderr)
+        return EXIT_USAGE
 
     reporter = json_report if args.format == "json" else text_report
     print(reporter(findings, accepted=len(accepted), stale=stale))

@@ -219,13 +219,25 @@ class Rule:
     ``description``, and implement :meth:`check` yielding
     :class:`Finding` objects.  Suppression is handled by the driver —
     rules simply report everything they see.
+
+    Whole-program rules (the LB2xx family) set ``project = True`` and
+    implement :meth:`check_project` instead: the driver runs them once
+    per invocation against the :class:`~repro.analysis.flow.Project`
+    built from every linted file's flow summary, after all per-file
+    rules have run.
     """
 
     id = None
     name = None
     description = None
+    #: True for rules that consume the whole-program index (phase two)
+    #: instead of one file at a time.
+    project = False
 
     def check(self, source):
+        raise NotImplementedError
+
+    def check_project(self, project):
         raise NotImplementedError
 
 
@@ -278,14 +290,59 @@ ALL_RULE_IDS = _AllRuleIds()
 
 
 # ---------------------------------------------------------------------------
-# Drivers.
+# Drivers.  Linting is two-phase: per-file rules run against each
+# SourceFile (parallelizable, cacheable by content hash); project rules
+# run once against the whole-program index built from flow summaries.
 # ---------------------------------------------------------------------------
 
 
+def partition_rules(rules):
+    """Split into ``(file_rules, project_rules)``."""
+    file_rules = [r for r in rules if not getattr(r, "project", False)]
+    project_rules = [r for r in rules if getattr(r, "project", False)]
+    return file_rules, project_rules
+
+
+def _project_findings(summaries, project_rules):
+    """Phase two: build the project from summaries, run LB2xx rules,
+    apply noqa suppression via the summaries' own noqa tables (the
+    SourceFile may never have existed this run — cache hit)."""
+    from repro.analysis.flow import build_project
+
+    project = build_project(summaries)
+    noqa = {
+        summary["path"]: summary.get("noqa", {}) for summary in summaries
+    }
+    findings = []
+    for rule in project_rules:
+        for finding in rule.check_project(project):
+            suppressed = noqa.get(finding.path, {}).get(str(finding.line))
+            if suppressed is not None and (
+                "" in suppressed or finding.rule.upper() in suppressed
+            ):
+                continue
+            findings.append(finding)
+    return findings
+
+
 def lint_source(text, path="<string>", rules=None, module=None):
-    """Lint a source string; returns the unsuppressed findings, sorted."""
+    """Lint a source string; returns the unsuppressed findings, sorted.
+
+    Project rules see a single-file project — exactly how the
+    self-contained lint fixtures exercise LB2xx."""
+    from repro.analysis.flow import extract_summary
+
     source = SourceFile(path, text, module=module)
-    return _run(source, rules if rules is not None else get_rules())
+    file_rules, project_rules = partition_rules(
+        rules if rules is not None else get_rules()
+    )
+    findings = _run(source, file_rules)
+    if project_rules:
+        findings.extend(
+            _project_findings([extract_summary(source)], project_rules)
+        )
+        findings.sort(key=Finding.sort_key)
+    return findings
 
 
 def lint_file(path, rules=None):
@@ -295,8 +352,7 @@ def lint_file(path, rules=None):
             text = handle.read()
     except OSError as error:
         raise LintError("cannot read {}: {}".format(path, error)) from error
-    source = SourceFile(_display_path(path), text)
-    return _run(source, rules if rules is not None else get_rules())
+    return lint_source(text, path=_display_path(path), rules=rules)
 
 
 def iter_python_files(paths, excluded_dirs=DEFAULT_EXCLUDED_DIRS):
@@ -323,15 +379,115 @@ def iter_python_files(paths, excluded_dirs=DEFAULT_EXCLUDED_DIRS):
     return result
 
 
-def lint_paths(paths, rules=None, excluded_dirs=DEFAULT_EXCLUDED_DIRS):
-    """Lint files and directory trees; returns sorted findings."""
+def _lint_one(display_path, text, file_rules):
+    """Per-file phase for one file: findings (as dicts, already
+    suppression-filtered) plus the flow summary.  Everything returned
+    is JSON-serializable — the unit the incremental cache stores and
+    the multiprocessing workers ship back."""
+    from repro.analysis.flow import extract_summary
+
+    source = SourceFile(display_path, text)
+    findings = _run(source, file_rules)
+    return (
+        [finding.as_dict() for finding in findings],
+        extract_summary(source),
+    )
+
+
+_POOL_RULES = None
+
+
+def _pool_init(select_ids):
+    global _POOL_RULES
+    _POOL_RULES = partition_rules(get_rules(select_ids))[0]
+
+
+def _pool_lint_one(item):
+    display_path, text = item
+    return _lint_one(display_path, text, _POOL_RULES)
+
+
+def lint_paths(paths, rules=None, excluded_dirs=DEFAULT_EXCLUDED_DIRS,
+               jobs=0, cache=None):
+    """Lint files and directory trees; returns sorted findings.
+
+    :param jobs: fan per-file work for cache-miss files across this
+        many worker processes (``0``/``1`` = in-process).
+    :param cache: a :class:`~repro.analysis.cache.LintCache`; hits skip
+        parsing entirely and the caller is responsible for ``save()``.
+    """
     if rules is None:
         rules = get_rules()
-    findings = []
+    file_rules, project_rules = partition_rules(rules)
+    select_ids = [rule.id for rule in rules]
+
+    results = {}   # display path -> (finding dicts, summary)
+    misses = []    # (display path, text, digest)
     for file_path in iter_python_files(paths, excluded_dirs):
-        findings.extend(lint_file(file_path, rules))
+        display = _display_path(file_path)
+        try:
+            with open(file_path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            raise LintError(
+                "cannot read {}: {}".format(file_path, error)
+            ) from error
+        digest = None
+        if cache is not None:
+            from repro.analysis.cache import content_digest
+            digest = content_digest(text)
+            entry = cache.lookup(display, digest)
+            if entry is not None:
+                results[display] = (entry["findings"], entry["summary"])
+                continue
+        misses.append((display, text, digest))
+
+    if jobs and jobs > 1 and len(misses) > 1:
+        outputs = _lint_parallel(misses, select_ids, jobs)
+    else:
+        outputs = [
+            _lint_one(display, text, file_rules)
+            for display, text, _ in misses
+        ]
+    for (display, text, digest), (finding_dicts, summary) in zip(
+            misses, outputs):
+        results[display] = (finding_dicts, summary)
+        if cache is not None:
+            cache.store(display, digest, finding_dicts, summary)
+
+    findings, summaries = [], []
+    for display in sorted(results):
+        finding_dicts, summary = results[display]
+        findings.extend(Finding(**d) for d in finding_dicts)
+        summaries.append(summary)
+    if project_rules:
+        findings.extend(_project_findings(summaries, project_rules))
     findings.sort(key=Finding.sort_key)
     return findings
+
+
+def _lint_parallel(misses, select_ids, jobs):
+    """Fan the per-file phase over worker processes; falls back to
+    in-process on any pool setup failure (restricted environments)."""
+    try:
+        import multiprocessing
+
+        pool = multiprocessing.Pool(
+            min(jobs, len(misses)), initializer=_pool_init,
+            initargs=(select_ids,),
+        )
+    except (ImportError, OSError, ValueError):
+        return [
+            _lint_one(display, text, partition_rules(get_rules(select_ids))[0])
+            for display, text, _ in misses
+        ]
+    try:
+        return pool.map(
+            _pool_lint_one, [(display, text) for display, text, _ in misses]
+        )
+    finally:
+        pool.close()
+        pool.join()
 
 
 def _display_path(path):

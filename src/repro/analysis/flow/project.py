@@ -1,0 +1,952 @@
+"""Project index: call graph, thread roots, held-lock reachability.
+
+Consumes the JSON summaries produced by :mod:`.summary` — never the
+ASTs — and builds the whole-program view the LB2xx rules check:
+
+* a symbol index resolving imports and dotted names across modules;
+* instance-type propagation (constructor calls, parameter binding
+  through resolved call sites, ``threading.Thread(args=...)`` binding)
+  run to a fixpoint;
+* a call graph with the indirect edges the concurrency stack uses
+  (``Thread(target=...)`` spawns, ``signal.signal`` handlers,
+  ``add_completion_hook`` callbacks);
+* thread roots (spawned targets, ``BaseHTTPRequestHandler.do_*``
+  methods, signal handlers) and per-function root reachability, with
+  everything else attributed to the implicit ``main`` root;
+* an entry-held-lock fixpoint: the set of locks *always* held when a
+  function is entered (intersection over call sites), so a helper only
+  ever called under ``with self._lock:`` is known to be guarded.
+
+Known approximations (see docs/API.md for the full list): aliasing
+through containers is invisible; a function reachable from a thread
+root is attributed only to that root even if main-thread code also
+calls it; completion hooks are modelled as ordinary call edges from
+the registration site, not as fresh roots.
+"""
+
+from repro.analysis.flow.summary import SUMMARY_VERSION  # noqa: F401
+
+#: Types whose instances are locks for held-lock tracking.
+LOCK_TYPES = frozenset((
+    "threading.Lock", "threading.RLock",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+    "multiprocessing.Lock", "multiprocessing.RLock",
+))
+
+#: Condition variables alias the lock they wrap.
+CONDITION_TYPES = frozenset(("threading.Condition", "multiprocessing.Condition"))
+
+#: Attribute types that are internally synchronized — accesses to them
+#: are not races even when unguarded.
+THREADSAFE_TYPES = frozenset(
+    tuple(LOCK_TYPES) + tuple(CONDITION_TYPES) + (
+        "threading.Event", "threading.Barrier", "threading.local",
+        "queue.Queue", "queue.SimpleQueue", "queue.LifoQueue",
+        "queue.PriorityQueue",
+    )
+)
+
+#: Base classes whose ``do_*`` methods run on server handler threads.
+HTTP_HANDLER_BASES = frozenset((
+    "BaseHTTPRequestHandler",
+    "http.server.BaseHTTPRequestHandler",
+    "SimpleHTTPRequestHandler",
+))
+
+
+class LockId:
+    """Normalized identity of a lock: ``(kind, owner, name)``.
+
+    ``attr`` locks are owned by the class that creates them, so
+    ``self._lock`` in a base and in a subclass method are the same
+    lock; ``global`` locks are owned by their module; ``local`` /
+    ``param`` / ``opaque`` locks are owned by one function and never
+    compare equal across functions (deliberately: they cannot prove a
+    cross-thread discipline).
+    """
+
+    __slots__ = ("kind", "owner", "name")
+
+    def __init__(self, kind, owner, name):
+        self.kind = kind
+        self.owner = owner
+        self.name = name
+
+    def _key(self):
+        return (self.kind, self.owner, self.name)
+
+    def __eq__(self, other):
+        return isinstance(other, LockId) and self._key() == other._key()
+
+    def __hash__(self):
+        return hash(self._key())
+
+    def __repr__(self):
+        return "LockId({}, {}, {})".format(self.kind, self.owner, self.name)
+
+    def describe(self):
+        if self.kind == "attr":
+            return "self.{} ({})".format(self.name, self.owner.rsplit(".", 1)[-1])
+        if self.kind == "global":
+            return "{}.{}".format(self.owner, self.name)
+        return self.name
+
+
+class ThreadRoot:
+    """One concurrent entry point into the program."""
+
+    __slots__ = ("name", "kind", "funcs", "line", "module", "daemon")
+
+    def __init__(self, name, kind, funcs, line=0, module="", daemon=None):
+        self.name = name
+        self.kind = kind          # thread | signal | http | main
+        self.funcs = tuple(funcs)  # entry function keys
+        self.line = line
+        self.module = module
+        self.daemon = daemon
+
+    def __repr__(self):
+        return "ThreadRoot({}, {})".format(self.name, self.kind)
+
+
+class AccessSite:
+    """One read or write of a shared attribute / module global."""
+
+    __slots__ = ("func", "kind", "line", "code", "locks", "roots",
+                 "module", "path")
+
+    def __init__(self, func, kind, line, code, locks, roots, module, path):
+        self.func = func
+        self.kind = kind        # read | write
+        self.line = line
+        self.code = code
+        self.locks = locks      # frozenset of LockId always held here
+        self.roots = roots      # frozenset of root names reaching func
+        self.module = module
+        self.path = path
+
+
+class _Func:
+    """A function summary plus its module context."""
+
+    __slots__ = ("key", "module", "summary", "param_types", "local_types",
+                 "entry_held", "roots")
+
+    def __init__(self, key, module, summary):
+        self.key = key
+        self.module = module
+        self.summary = summary
+        self.param_types = {}
+        self.local_types = {}
+        self.entry_held = None   # None = TOP (never called)
+        self.roots = set()
+
+
+class Project:
+    """The whole-program index handed to ``project = True`` rules."""
+
+    def __init__(self, summaries):
+        # module -> summary (test files and scripts have module "" and
+        # do not participate in cross-module resolution, but their
+        # in-file flow is still analyzed under a synthetic key).
+        self.files = {}
+        self._anon = []
+        for summary in summaries:
+            module = summary.get("module") or ""
+            if module:
+                self.files[module] = summary
+            else:
+                self._anon.append(summary)
+        self.funcs = {}          # key -> _Func
+        self.classes = {}        # class key -> info dict
+        self.class_attr_types = {}   # class key -> {attr: type}
+        self.class_attr_aliases = {} # class key -> {attr: lock path or None}
+        self.call_edges = []     # (caller key, call record, callee key)
+        self.roots = []          # ThreadRoot list (main last)
+        self._attr_sites = {}    # class key -> {attr: [AccessSite]}
+        self._global_sites = {}  # module -> {name: [AccessSite]}
+        self._spawn_sites = []
+        self._build_index()
+        self._propagate_types()
+        self._build_call_graph()
+        self._find_roots()
+        self._compute_reachability()
+        self._compute_entry_held()
+        self._collect_sites()
+
+    # -- indexing --------------------------------------------------------
+
+    def _all_summaries(self):
+        for module in sorted(self.files):
+            yield module, self.files[module]
+        for index, summary in enumerate(self._anon):
+            yield "<file{}:{}>".format(index, summary.get("path", "?")), summary
+
+    def _build_index(self):
+        for module, summary in self._all_summaries():
+            for qualname, func in summary["funcs"].items():
+                key = module + ":" + qualname
+                self.funcs[key] = _Func(key, module, func)
+            for qualname, info in summary["classes"].items():
+                self.classes[module + "." + qualname] = {
+                    "module": module,
+                    "qualname": qualname,
+                    "bases": info["bases"],
+                    "line": info["line"],
+                }
+        # Per-class attribute types and lock aliases, from self-assigns
+        # in any method (``__init__`` first so it wins ties).
+        for class_key, info in self.classes.items():
+            module = info["module"]
+            summary = self.files.get(module)
+            if summary is None:
+                summary = self._anon_summary(module)
+            types, aliases = {}, {}
+            prefix = info["qualname"] + "."
+            ordered = sorted(
+                (q for q in summary["funcs"] if q.startswith(prefix)
+                 and "." not in q[len(prefix):]),
+                key=lambda q: (not q.endswith(".__init__"), q),
+            )
+            for qualname in ordered:
+                func = summary["funcs"][qualname]
+                for attr, descriptor in func["self_assigns"].items():
+                    if attr in types:
+                        continue
+                    typ = self._descriptor_type(module, descriptor)
+                    if typ is not None:
+                        types[attr] = typ
+                    if descriptor.get("k") == "call":
+                        target = self.resolve_name(
+                            module, descriptor["t"]
+                        ) or descriptor["t"]
+                        if target in CONDITION_TYPES and descriptor["a"]:
+                            aliases[attr] = descriptor["a"][0]
+            self.class_attr_types[class_key] = types
+            self.class_attr_aliases[class_key] = aliases
+
+    def _anon_summary(self, module):
+        for index, summary in enumerate(self._anon):
+            if module == "<file{}:{}>".format(index, summary.get("path", "?")):
+                return summary
+        raise KeyError(module)
+
+    def resolve_name(self, module, dotted):
+        """Resolve ``dotted`` as written in ``module`` to a fully
+        qualified name, following import bindings (one re-export hop).
+        Returns the input unchanged when nothing local matches."""
+        summary = self.files.get(module)
+        if summary is None:
+            try:
+                summary = self._anon_summary(module)
+            except KeyError:
+                return dotted
+        parts = dotted.split(".")
+        head = parts[0]
+        imports = summary["imports"]
+        if head in imports:
+            full = imports[head]
+            if len(parts) > 1:
+                full = full + "." + ".".join(parts[1:])
+        elif (module + "." + dotted) in self.classes or \
+                (module + ":" + dotted) in self.funcs or \
+                head in summary["classes"] or head in summary["funcs"]:
+            full = module + "." + dotted
+        else:
+            return dotted
+        # One re-export hop: ``from repro.service import ServiceCore``
+        # where repro/service/__init__.py itself imports it.
+        owner, _, symbol = full.rpartition(".")
+        hop = self.files.get(owner)
+        if hop is not None and symbol in hop["imports"] and \
+                symbol not in hop["classes"] and symbol not in hop["funcs"]:
+            full = hop["imports"][symbol]
+        return full
+
+    def _descriptor_type(self, module, descriptor):
+        kind = descriptor.get("k")
+        if kind == "call":
+            # Keep the resolved dotted name even when it is not a known
+            # class: external types (``threading.RLock``) classify locks
+            # and thread-safe attrs by exact name.
+            return self.resolve_name(module, descriptor["t"]) or None
+        return None
+
+    def class_mro(self, class_key):
+        """The class plus its in-index base chain (linearized, cycles
+        guarded)."""
+        result, queue, seen = [], [class_key], set()
+        while queue:
+            key = queue.pop(0)
+            if key in seen or key not in self.classes:
+                continue
+            seen.add(key)
+            result.append(key)
+            info = self.classes[key]
+            for base in info["bases"]:
+                queue.append(self.resolve_name(info["module"], base))
+        return result
+
+    def is_subclass_of(self, class_key, base_name):
+        """True when ``class_key``'s base chain contains a class whose
+        unqualified name is ``base_name`` (matches out-of-index bases
+        by their written name too)."""
+        queue, seen = [class_key], set()
+        while queue:
+            key = queue.pop(0)
+            if key in seen:
+                continue
+            seen.add(key)
+            if key.rsplit(".", 1)[-1] == base_name:
+                return True
+            info = self.classes.get(key)
+            if info is None:
+                continue
+            for base in info["bases"]:
+                resolved = self.resolve_name(info["module"], base)
+                queue.append(resolved)
+        return False
+
+    def owning_class(self, class_key, attr):
+        """The topmost in-index base that assigns ``self.attr`` —
+        accesses in base and subclass methods group under one key."""
+        owner = class_key
+        for key in self.class_mro(class_key):
+            info = self.classes[key]
+            summary = self.files.get(info["module"])
+            if summary is None:
+                continue
+            prefix = info["qualname"] + "."
+            for qualname, func in summary["funcs"].items():
+                if qualname.startswith(prefix) and attr in func["self_assigns"]:
+                    owner = key
+        return owner
+
+    def method_of(self, class_key, method):
+        """Resolve ``self.method`` through the in-index MRO."""
+        for key in self.class_mro(class_key):
+            info = self.classes[key]
+            qualname = info["qualname"] + "." + method
+            func_key = info["module"] + ":" + qualname
+            if func_key in self.funcs:
+                return func_key
+        return None
+
+    def enclosing_class(self, func):
+        if func.summary["cls"] is None:
+            return None
+        return func.module + "." + func.summary["cls"]
+
+    def _lookup_free(self, func, name):
+        """Resolve a free variable of a nested function/method through
+        the lexical parent chain — ``core`` inside the handler class
+        returned by ``_make_handler(core)`` resolves to the factory's
+        parameter.  Returns (owner_func, kind) where kind is ``local``
+        or ``param``, or ``None``."""
+        parent = func.summary.get("parent")
+        seen = 0
+        while parent and seen < 8:
+            owner = self.funcs.get(func.module + ":" + parent)
+            if owner is None:
+                return None
+            if name in owner.summary["local_assigns"] or \
+                    name in owner.local_types:
+                return (owner, "local")
+            if name in owner.summary["params"]:
+                return (owner, "param")
+            parent = owner.summary.get("parent")
+            seen += 1
+        return None
+
+    # -- type propagation ------------------------------------------------
+
+    def type_of_path(self, func, path):
+        """Instance type of a dotted path in ``func``'s context."""
+        if not path:
+            return None
+        parts = path.split(".")
+        head = parts[0]
+        if head == "self":
+            cls = self.enclosing_class(func)
+            if cls is None:
+                return None
+            if len(parts) == 1:
+                return cls
+            typ = self._class_attr_type(cls, parts[1])
+            for attr in parts[2:]:
+                if typ is None:
+                    return None
+                typ = self._class_attr_type(typ, attr)
+            return typ
+        typ = func.local_types.get(head) or func.param_types.get(head)
+        if typ is None and head not in func.summary["params"] and \
+                head not in func.summary["local_assigns"]:
+            free = self._lookup_free(func, head)
+            if free is not None:
+                owner, kind = free
+                typ = owner.local_types.get(head) or \
+                    owner.param_types.get(head)
+            else:
+                summary = self.files.get(func.module)
+                if summary is not None and \
+                        head in summary.get("global_types", {}):
+                    typ = self._descriptor_type(
+                        func.module, summary["global_types"][head]
+                    )
+        for attr in parts[1:]:
+            if typ is None:
+                return None
+            typ = self._class_attr_type(typ, attr)
+        return typ
+
+    def _class_attr_type(self, class_key, attr):
+        for key in self.class_mro(class_key):
+            typ = self.class_attr_types.get(key, {}).get(attr)
+            if typ is not None:
+                return typ
+        return None
+
+    def _propagate_types(self):
+        # Seed local types from assignments, then push parameter types
+        # through resolved call sites to a fixpoint.
+        for func in self.funcs.values():
+            for name, descriptor in func.summary["local_assigns"].items():
+                typ = self._descriptor_type(func.module, descriptor)
+                if typ is not None:
+                    func.local_types[name] = typ
+        for _ in range(6):  # call-chain depth bound; real chains are short
+            changed = False
+            for func in self.funcs.values():
+                for record in func.summary["calls"]:
+                    callee = self.resolve_call(func, record)
+                    if callee is None:
+                        continue
+                    changed |= self._bind_params(func, record, callee)
+                # ``self.queue = queue`` only types the attr once the
+                # parameter's own type has propagated — refresh inside
+                # the fixpoint.
+                cls = self.enclosing_class(func)
+                if cls is not None:
+                    types = self.class_attr_types.setdefault(cls, {})
+                    for attr, descriptor in \
+                            func.summary["self_assigns"].items():
+                        if attr in types:
+                            continue
+                        typ = None
+                        if descriptor.get("k") == "name":
+                            typ = func.param_types.get(descriptor["n"]) \
+                                or func.local_types.get(descriptor["n"])
+                        elif descriptor.get("k") == "attr":
+                            typ = self.type_of_path(func, descriptor["p"])
+                        if typ is not None:
+                            types[attr] = typ
+                            changed = True
+                for spawn in func.summary["spawns"]:
+                    if spawn["kind"] != "thread" or not spawn["target"]:
+                        continue
+                    target = self._resolve_callable(func, spawn["target"])
+                    if target is None:
+                        continue
+                    callee = self.funcs[target]
+                    params = list(callee.summary["params"])
+                    if params and params[0] == "self":
+                        params = params[1:]
+                    for param, arg in zip(params, spawn["args"]):
+                        typ = self.type_of_path(func, arg)
+                        if typ is not None and \
+                                callee.param_types.get(param) != typ:
+                            callee.param_types[param] = typ
+                            changed = True
+            if not changed:
+                break
+
+    def _bind_params(self, caller, record, callee_key):
+        callee = self.funcs[callee_key]
+        params = list(callee.summary["params"])
+        # Calls in this codebase are always bound (obj.m(...)) or
+        # constructors — the implicit self never appears in the args.
+        if params and params[0] == "self" and \
+                callee.summary["cls"] is not None:
+            params = params[1:]
+        changed = False
+        for param, arg in zip(params, record["args"]):
+            typ = self.type_of_path(caller, arg) if arg else None
+            if typ is not None and callee.param_types.get(param) != typ:
+                callee.param_types[param] = typ
+                changed = True
+        for name, arg in record["kwargs"].items():
+            if name not in callee.summary["params"] or not arg:
+                continue
+            typ = self.type_of_path(caller, arg)
+            if typ is not None and callee.param_types.get(name) != typ:
+                callee.param_types[name] = typ
+                changed = True
+        return changed
+
+    # -- call graph ------------------------------------------------------
+
+    def resolve_call(self, func, record):
+        """Resolve one call record to a function key, or ``None``."""
+        return self._resolve_callable(func, record["t"])
+
+    def _resolve_callable(self, func, target):
+        if not target:
+            return None
+        parts = target.split(".")
+        cls = self.enclosing_class(func)
+        if parts[0] == "super" and cls is not None and len(parts) == 2:
+            mro = self.class_mro(cls)
+            for key in mro[1:]:
+                found = self.method_of(key, parts[1])
+                if found is not None:
+                    return found
+            return None
+        if parts[0] == "self" and cls is not None:
+            if len(parts) == 2:
+                return self.method_of(cls, parts[1])
+            receiver = self.type_of_path(func, ".".join(parts[:-1]))
+            if receiver is not None and receiver in self.classes:
+                return self.method_of(receiver, parts[-1])
+            return None
+        if len(parts) == 1:
+            # Bare name: nested function, module function, class
+            # constructor, callable default, or forwarded callable.
+            name = parts[0]
+            parent = func.summary["parent"]
+            if parent is not None:
+                nested = func.module + ":" + parent + "." + name
+                if nested in self.funcs:
+                    return nested
+            sibling = func.module + ":" + func.summary["qualname"] + "." + name
+            if sibling in self.funcs:
+                return sibling
+            default = func.summary["callable_defaults"].get(name)
+            if default is not None and default != name:
+                return self._resolve_callable(func, default)
+            resolved = self.resolve_name(func.module, name)
+            return self._callable_key(resolved)
+        # Dotted: receiver may be a typed local/param or an import.
+        receiver = self.type_of_path(func, ".".join(parts[:-1]))
+        if receiver is not None and receiver in self.classes:
+            return self.method_of(receiver, parts[-1])
+        resolved = self.resolve_name(func.module, target)
+        return self._callable_key(resolved)
+
+    def _callable_key(self, resolved):
+        if resolved in self.classes:
+            init = self.method_of(resolved, "__init__")
+            return init
+        owner, _, symbol = resolved.rpartition(".")
+        key = owner + ":" + symbol
+        if key in self.funcs:
+            return key
+        if resolved in getattr(self, "_plain_funcs", ()):
+            return resolved
+        # Module-level function written as mod.func: owner is a module.
+        return None
+
+    def _build_call_graph(self):
+        self._callers = {}   # callee -> [(caller, locks)]
+        self._callees = {}   # caller -> [(callee, locks)]
+        for func in self.funcs.values():
+            for record in func.summary["calls"]:
+                callee = self.resolve_call(func, record)
+                if callee is None:
+                    continue
+                self.call_edges.append((func.key, record, callee))
+                self._callees.setdefault(func.key, []).append(
+                    (callee, record["locks"])
+                )
+                self._callers.setdefault(callee, []).append(
+                    (func.key, record["locks"])
+                )
+            # Completion hooks run on the bus-driving thread; model them
+            # as plain call edges from the registering function.
+            for handler in func.summary["handlers"]:
+                if handler["via"] != "hook":
+                    continue
+                target = self._resolve_callable(func, handler["target"])
+                if target is None:
+                    continue
+                record = {"t": handler["target"], "args": [], "kwargs": {},
+                          "line": handler["line"], "code": "", "locks": []}
+                self.call_edges.append((func.key, record, target))
+                self._callees.setdefault(func.key, []).append((target, []))
+                self._callers.setdefault(target, []).append((func.key, []))
+
+    # -- thread roots ----------------------------------------------------
+
+    def _find_roots(self):
+        seen = set()
+        for func in sorted(self.funcs.values(), key=lambda f: f.key):
+            for spawn in func.summary["spawns"]:
+                if spawn["kind"] != "thread" or not spawn["target"]:
+                    continue
+                target = self._resolve_callable(func, spawn["target"])
+                if target is None:
+                    continue
+                name = "thread:" + target.split(":", 1)[1]
+                if name in seen:
+                    continue
+                seen.add(name)
+                self.roots.append(ThreadRoot(
+                    name, "thread", [target], line=spawn["line"],
+                    module=func.module, daemon=spawn["daemon"],
+                ))
+            for handler in func.summary["handlers"]:
+                if handler["via"] != "signal":
+                    continue
+                target = self._resolve_callable(func, handler["target"])
+                if target is None:
+                    continue
+                name = "signal:" + target.split(":", 1)[1]
+                if name in seen:
+                    continue
+                seen.add(name)
+                self.roots.append(ThreadRoot(
+                    name, "signal", [target], line=handler["line"],
+                    module=func.module,
+                ))
+        # BaseHTTPRequestHandler subclasses: each do_* method runs on a
+        # fresh handler thread.
+        for class_key in sorted(self.classes):
+            info = self.classes[class_key]
+            if not any(self.is_subclass_of(
+                    self.resolve_name(info["module"], base),
+                    "BaseHTTPRequestHandler")
+                    or base in HTTP_HANDLER_BASES
+                    or base.rsplit(".", 1)[-1] in (
+                        "BaseHTTPRequestHandler", "SimpleHTTPRequestHandler")
+                    for base in info["bases"]):
+                continue
+            summary = self.files.get(info["module"])
+            if summary is None:
+                continue
+            prefix = info["qualname"] + "."
+            entries = [
+                info["module"] + ":" + qualname
+                for qualname in sorted(summary["funcs"])
+                if qualname.startswith(prefix)
+                and qualname[len(prefix):].startswith("do_")
+            ]
+            if entries:
+                name = "http:" + class_key.rsplit(".", 1)[-1]
+                if name not in seen:
+                    seen.add(name)
+                    self.roots.append(ThreadRoot(
+                        name, "http", entries, line=info["line"],
+                        module=info["module"],
+                    ))
+
+    def _compute_reachability(self):
+        for root in self.roots:
+            frontier = list(root.funcs)
+            visited = set()
+            while frontier:
+                key = frontier.pop()
+                if key in visited:
+                    continue
+                visited.add(key)
+                self.funcs[key].roots.add(root.name)
+                for callee, _ in self._callees.get(key, ()):
+                    frontier.append(callee)
+        # Everything not reachable from a concurrent root belongs to the
+        # implicit main root.
+        main_funcs = [
+            func.key for func in self.funcs.values() if not func.roots
+        ]
+        self.roots.append(ThreadRoot("main", "main", sorted(main_funcs)))
+        for key in main_funcs:
+            self.funcs[key].roots.add("main")
+
+    # -- locks -----------------------------------------------------------
+
+    def resolve_lock(self, func, path, _depth=0):
+        """Normalize a ``with`` context path to a :class:`LockId`, or
+        ``None`` when the context is not a lock."""
+        if not path or _depth > 4:
+            return None
+        parts = path.split(".")
+        cls = self.enclosing_class(func)
+        if parts[0] == "self" and cls is not None and len(parts) == 2:
+            attr = parts[1]
+            owner = self.owning_class(cls, attr)
+            alias = self._lock_alias(cls, attr)
+            if alias is not None and alias != path:
+                return self.resolve_lock(func, alias, _depth + 1)
+            typ = self._class_attr_type(cls, attr)
+            if typ in LOCK_TYPES:
+                return LockId("attr", owner, attr)
+            if typ in CONDITION_TYPES:
+                return LockId("attr", owner, attr)
+            if typ is None and _lockish(attr):
+                return LockId("attr", owner, attr)
+            return None
+        if len(parts) == 1:
+            name = parts[0]
+            descriptor = func.summary["local_assigns"].get(name)
+            if descriptor is None and name not in func.summary["params"]:
+                free = self._lookup_free(func, name)
+                if free is not None and free[1] == "local":
+                    descriptor = free[0].summary["local_assigns"].get(name)
+                    if descriptor is not None and \
+                            descriptor.get("k") == "attr":
+                        return self.resolve_lock(
+                            free[0], descriptor["p"], _depth + 1
+                        )
+            if descriptor is not None:
+                if descriptor.get("k") == "attr":
+                    return self.resolve_lock(func, descriptor["p"], _depth + 1)
+                if descriptor.get("k") == "call":
+                    target = self.resolve_name(func.module, descriptor["t"])
+                    if target in LOCK_TYPES or target in CONDITION_TYPES:
+                        return LockId("local", func.key, name)
+            typ = func.param_types.get(name)
+            if typ in LOCK_TYPES or typ in CONDITION_TYPES:
+                return LockId("param", func.key, name)
+            summary = self.files.get(func.module)
+            if summary is not None and name in summary["module_globals"]:
+                descriptor = summary.get("global_types", {}).get(name)
+                typ = self._descriptor_type(func.module, descriptor) \
+                    if descriptor else None
+                if typ in LOCK_TYPES or typ in CONDITION_TYPES or \
+                        (typ is None and _lockish(name)):
+                    return LockId("global", func.module, name)
+                return None
+            if _lockish(name):
+                return LockId("opaque", func.key, name)
+            return None
+        # self.a.b or name.a: resolve the receiver's class, then the attr.
+        receiver = self.type_of_path(func, ".".join(parts[:-1]))
+        attr = parts[-1]
+        if receiver is not None and receiver in self.classes:
+            owner = self.owning_class(receiver, attr)
+            alias = self._lock_alias(receiver, attr)
+            if alias is not None:
+                # Alias path is written against the *owner's* methods
+                # (``self._lock``); resolve it in that class's context.
+                init = self.method_of(receiver, "__init__")
+                if init is not None:
+                    return self.resolve_lock(
+                        self.funcs[init], alias, _depth + 1
+                    )
+            typ = self._class_attr_type(receiver, attr)
+            if typ in LOCK_TYPES or typ in CONDITION_TYPES or \
+                    (typ is None and _lockish(attr)):
+                return LockId("attr", owner, attr)
+            return None
+        if _lockish(attr):
+            return LockId("opaque", func.key, path)
+        return None
+
+    def _lock_alias(self, class_key, attr):
+        for key in self.class_mro(class_key):
+            alias = self.class_attr_aliases.get(key, {}).get(attr)
+            if alias is not None:
+                return alias
+        return None
+
+    def site_locks(self, func, lock_paths):
+        """Resolve the syntactic lock stack at a site to LockIds."""
+        result = set()
+        for path in lock_paths:
+            lock = self.resolve_lock(func, path)
+            if lock is not None:
+                result.add(lock)
+        return frozenset(result)
+
+    def _compute_entry_held(self):
+        # Seeds: concurrent-root entries, plus main-root functions with
+        # no in-project callers (true external entries).  A main-root
+        # helper only ever called under ``with self._lock:`` keeps the
+        # lock in its entry set instead of being flattened to ∅.
+        root_entries = set()
+        for root in self.roots:
+            if root.kind == "main":
+                root_entries.update(
+                    key for key in root.funcs if key not in self._callers
+                )
+            else:
+                root_entries.update(root.funcs)
+        for key in root_entries:
+            self.funcs[key].entry_held = frozenset()
+        frontier = list(root_entries)
+        while frontier:
+            key = frontier.pop()
+            caller = self.funcs[key]
+            if caller.entry_held is None:
+                continue
+            for callee_key, lock_paths in self._callees.get(key, ()):
+                callee = self.funcs[callee_key]
+                held = caller.entry_held | self.site_locks(
+                    caller, lock_paths
+                )
+                if callee.entry_held is None:
+                    callee.entry_held = frozenset(held)
+                    frontier.append(callee_key)
+                else:
+                    merged = callee.entry_held & held
+                    if merged != callee.entry_held:
+                        callee.entry_held = merged
+                        frontier.append(callee_key)
+        for func in self.funcs.values():
+            if func.entry_held is None:
+                func.entry_held = frozenset()
+
+    # -- shared-state sites ----------------------------------------------
+
+    def held_at(self, func, lock_paths):
+        return func.entry_held | self.site_locks(func, lock_paths)
+
+    def _collect_sites(self):
+        for func in self.funcs.values():
+            roots = frozenset(func.roots)
+            for base, attr, kind, line, code, lock_paths in \
+                    func.summary["accesses"]:
+                class_key = self._access_class(func, base)
+                if class_key is None:
+                    continue
+                owner = self.owning_class(class_key, attr)
+                site = AccessSite(
+                    func.key, kind, line, code,
+                    self.held_at(func, lock_paths), roots,
+                    func.module, self._func_path(func),
+                )
+                self._attr_sites.setdefault(owner, {}) \
+                    .setdefault(attr, []).append(site)
+            for name, kind, line, code, lock_paths in \
+                    func.summary["global_ops"]:
+                site = AccessSite(
+                    func.key, kind, line, code,
+                    self.held_at(func, lock_paths), roots,
+                    func.module, self._func_path(func),
+                )
+                self._global_sites.setdefault(func.module, {}) \
+                    .setdefault(name, []).append(site)
+            for spawn in func.summary["spawns"]:
+                self._spawn_sites.append({
+                    "func": func.key,
+                    "kind": spawn["kind"],
+                    "target": spawn["target"],
+                    "daemon": spawn["daemon"],
+                    "line": spawn["line"],
+                    "code": spawn["code"],
+                    "locks": self.held_at(func, spawn["locks"]),
+                    "roots": roots,
+                    "module": func.module,
+                    "path": self._func_path(func),
+                })
+        # Site order must not depend on the order summaries arrived in
+        # (serial walk vs cache replay vs worker merge): rules anchor
+        # findings at "the first unguarded site", so an unstable order
+        # moves anchors — and noqa suppression is anchored by line.
+        order = lambda site: (site.path, site.line, site.kind, site.func)
+        for attrs in self._attr_sites.values():
+            for sites in attrs.values():
+                sites.sort(key=order)
+        for names in self._global_sites.values():
+            for sites in names.values():
+                sites.sort(key=order)
+        self._spawn_sites.sort(
+            key=lambda spawn: (spawn["path"], spawn["line"], spawn["func"])
+        )
+
+    def _func_path(self, func):
+        summary = self.files.get(func.module)
+        if summary is None:
+            try:
+                summary = self._anon_summary(func.module)
+            except KeyError:
+                return ""
+        return summary.get("path", "")
+
+    def _access_class(self, func, base):
+        if base == "self":
+            return self.enclosing_class(func)
+        if base.startswith("selfattr:"):
+            cls = self.enclosing_class(func)
+            if cls is None:
+                return None
+            typ = self._class_attr_type(cls, base.split(":", 1)[1])
+            return typ if typ in self.classes else None
+        if base.startswith("name:"):
+            typ = self.type_of_path(func, base.split(":", 1)[1])
+            return typ if typ in self.classes else None
+        return None
+
+    # -- rule-facing accessors -------------------------------------------
+
+    def attr_sites(self, class_key=None):
+        """``class key -> {attr: [AccessSite]}`` (or one class's map)."""
+        if class_key is not None:
+            return self._attr_sites.get(class_key, {})
+        return self._attr_sites
+
+    def global_sites(self, module=None):
+        if module is not None:
+            return self._global_sites.get(module, {})
+        return self._global_sites
+
+    def spawn_sites(self):
+        return list(self._spawn_sites)
+
+    def attr_type(self, class_key, attr):
+        return self._class_attr_type(class_key, attr)
+
+    def callees_of(self, func_key):
+        return [callee for callee, _ in self._callees.get(func_key, ())]
+
+    def reachable_from(self, func_keys):
+        """All function keys reachable from ``func_keys`` over resolved
+        call edges (spawn targets excluded — those are new roots)."""
+        frontier, visited = list(func_keys), set()
+        while frontier:
+            key = frontier.pop()
+            if key in visited or key not in self.funcs:
+                continue
+            visited.add(key)
+            frontier.extend(self.callees_of(key))
+        return visited
+
+    def written_in_init(self, class_key, attr):
+        for key in self.class_mro(class_key):
+            info = self.classes.get(key)
+            if info is None:
+                continue
+            init = self.method_of(key, "__init__")
+            if init is not None and attr in \
+                    self.funcs[init].summary["self_assigns"]:
+                return True
+        return False
+
+    def is_suppressed(self, module, rule_id, line):
+        """Noqa lookup via summaries — project rules anchor findings on
+        files whose SourceFile may no longer be in memory (cache hit)."""
+        summary = self.files.get(module)
+        if summary is None:
+            try:
+                summary = self._anon_summary(module)
+            except KeyError:
+                return False
+        rules = summary.get("noqa", {}).get(str(line))
+        if rules is None:
+            return False
+        return "" in rules or rule_id.upper() in rules
+
+
+def _lockish(name):
+    lowered = name.lower()
+    return "lock" in lowered or "mutex" in lowered
+
+
+def build_project(summaries):
+    """Build the whole-program :class:`Project` from per-file summary
+    dicts (cached or freshly extracted — indistinguishable here).
+
+    Summaries are canonically ordered by path first, so the analysis —
+    and in particular every finding anchor — is identical however the
+    summaries were produced (serial walk, cache replay, worker pool).
+    """
+    ordered = sorted(summaries, key=lambda s: (s["path"], s["module"]))
+    return Project(ordered)
+

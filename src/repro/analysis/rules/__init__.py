@@ -8,4 +8,8 @@ from repro.analysis.rules import (  # noqa: F401  (imported for registration)
     lb105_seeds,
     lb106_durability,
     lb107_swallow,
+    lb201_races,
+    lb202_forks,
+    lb203_seedflow,
+    lb204_errors,
 )

@@ -1,0 +1,135 @@
+"""LB201: lock-discipline race detector (whole-program).
+
+A shared attribute — one accessed from two or more thread roots with at
+least one write after construction — must be consistently guarded by
+the *same* lock at every access site.  The flow engine computes, for
+every attribute of every class (and every module global), the set of
+thread roots reaching each access and the set of locks provably held
+there (syntactic ``with`` scopes plus the entry-held fixpoint over the
+call graph); this rule reports the attributes whose site-wise lock
+intersection is empty.
+
+Exclusions that keep the rule quiet on correct code:
+
+* accesses inside ``__init__`` — construction happens-before any thread
+  that can see the object;
+* attributes whose type is internally synchronized (``Lock``,
+  ``RLock``, ``Condition``, ``Event``, ``Queue``, ...);
+* attributes never written outside ``__init__`` (read-only after
+  construction — publication is the constructor's happens-before edge);
+* attributes touched from fewer than two roots.
+
+Intentionally unguarded state (GIL-atomic flags with benign races,
+single-writer counters read for monitoring) is suppressed with a
+prose-justified ``# lb: noqa[LB201]`` on the write line.
+"""
+
+from collections import Counter
+
+from repro.analysis.core import Finding, Rule, register
+from repro.analysis.flow.project import (
+    CONDITION_TYPES,
+    LOCK_TYPES,
+    THREADSAFE_TYPES,
+)
+
+_SAFE_TYPES = frozenset(
+    tuple(THREADSAFE_TYPES) + tuple(LOCK_TYPES) + tuple(CONDITION_TYPES)
+)
+
+
+def _post_init(sites):
+    return [
+        site for site in sites
+        if not site.func.split(":", 1)[1].split(".")[-1] == "__init__"
+    ]
+
+
+def _describe_roots(roots):
+    return ", ".join(sorted(roots))
+
+
+@register
+class LockDisciplineRule(Rule):
+    id = "LB201"
+    name = "lock-discipline"
+    description = (
+        "attribute shared across thread roots with a write but no "
+        "consistently held lock"
+    )
+    project = True
+
+    def check_project(self, project):
+        for class_key in sorted(project.attr_sites()):
+            attrs = project.attr_sites(class_key)
+            for attr in sorted(attrs):
+                finding = self._check_sites(
+                    project, attrs[attr],
+                    "attribute '{}' of {}".format(
+                        attr, class_key.rsplit(".", 1)[-1]
+                    ),
+                    attr_type=project.attr_type(class_key, attr),
+                )
+                if finding is not None:
+                    yield finding
+        for module in sorted(project.global_sites()):
+            names = project.global_sites(module)
+            for name in sorted(names):
+                finding = self._check_sites(
+                    project, names[name],
+                    "module global '{}.{}'".format(module, name),
+                    attr_type=None,
+                )
+                if finding is not None:
+                    yield finding
+
+    def _check_sites(self, project, sites, what, attr_type):
+        if attr_type in _SAFE_TYPES:
+            return None
+        posts = _post_init(sites)
+        writes = [site for site in posts if site.kind == "write"]
+        if not writes:
+            return None
+        roots = set()
+        for site in posts:
+            roots.update(site.roots)
+        # HTTP handler roots are multi-instance — every request is a
+        # fresh thread — so they can race with themselves: count double.
+        concurrency = len(roots) + sum(
+            1 for root in roots if root.startswith("http:")
+        )
+        if concurrency < 2:
+            return None
+        common = None
+        for site in posts:
+            common = site.locks if common is None else (common & site.locks)
+        if common:
+            return None
+        counter = Counter()
+        for site in posts:
+            counter.update(site.locks)
+        candidate = counter.most_common(1)[0][0] if counter else None
+        if candidate is not None:
+            unguarded = [s for s in posts if candidate not in s.locks]
+        else:
+            unguarded = posts
+        anchor = next(
+            (s for s in unguarded if s.kind == "write"), unguarded[0]
+        )
+        if candidate is not None:
+            detail = (
+                "{} is held at {} of {} access sites but not here".format(
+                    candidate.describe(), counter[candidate], len(posts)
+                )
+            )
+        else:
+            detail = "no lock is held at any access site"
+        message = (
+            "{} is written while shared across thread roots [{}] "
+            "without a consistent lock: {}".format(
+                what, _describe_roots(roots), detail
+            )
+        )
+        return Finding(
+            self.id, anchor.path, anchor.line, 0, message, anchor.code
+        )

@@ -1,0 +1,62 @@
+"""LB202: fork/thread hygiene on concurrent paths.
+
+Two contracts the chaos suite (PR 7) depends on:
+
+* **No lock held across a spawn.**  Forking or spawning a child
+  process while holding a lock can deadlock the child (the lock is
+  copied in its acquired state with no owner to release it) and
+  spawning a thread under a lock invites lock-ordering deadlocks when
+  the child immediately contends for it.  The flow engine knows every
+  lock provably held at each ``Thread(...)`` / ``Process(...)`` /
+  ``Popen(...)`` / pool-spawn site (syntactic ``with`` scopes plus the
+  entry-held fixpoint), so any non-empty held set is reported.
+* **Service threads must be daemons.**  A non-daemon thread in
+  ``repro.service`` keeps the interpreter alive after ``main`` exits —
+  the drain/SIGTERM story (PR 6) assumes the process can always die.
+  Every ``threading.Thread(...)`` spawn in a ``repro.service`` module
+  must pass ``daemon=True`` explicitly.
+"""
+
+from repro.analysis.core import Finding, Rule, register
+
+
+@register
+class ForkHygieneRule(Rule):
+    id = "LB202"
+    name = "fork-hygiene"
+    description = (
+        "lock held across a thread/process spawn, or service thread "
+        "without daemon=True"
+    )
+    project = True
+
+    def check_project(self, project):
+        for spawn in project.spawn_sites():
+            if spawn["locks"]:
+                held = ", ".join(
+                    sorted(lock.describe() for lock in spawn["locks"])
+                )
+                yield Finding(
+                    self.id, spawn["path"], spawn["line"], 0,
+                    "{} spawn in {} while holding [{}] — a child "
+                    "inheriting or contending for a held lock can "
+                    "deadlock; move the spawn outside the lock "
+                    "scope".format(spawn["kind"], spawn["func"], held),
+                    spawn["code"],
+                )
+            if (
+                spawn["kind"] == "thread"
+                and spawn["daemon"] is not True
+                and _service_module(spawn["module"])
+            ):
+                yield Finding(
+                    self.id, spawn["path"], spawn["line"], 0,
+                    "service thread spawned in {} without daemon=True — "
+                    "non-daemon threads block interpreter exit and break "
+                    "the drain/SIGTERM contract".format(spawn["func"]),
+                    spawn["code"],
+                )
+
+
+def _service_module(module):
+    return module == "repro.service" or module.startswith("repro.service.")

@@ -1,0 +1,164 @@
+"""LB203: interprocedural seed threading.
+
+LB105 (PR 5) checks *signatures*: experiment entry points must accept a
+seed parameter and mention it somewhere in the body.  That is easy to
+satisfy vacuously — pass the seed to a helper that drops it on the
+floor and LB105 is happy while every run still self-seeds from the OS.
+
+LB203 follows the value: every seed-carrying parameter of every
+function in the ``repro`` package must *reach a sink* — an RNG or
+derived-seed constructor, a ``self.*`` store (deliberate threading for
+later use), a return value (the caller inherits the obligation), or an
+arithmetic use (seed derivation).  Forwarding to another in-project
+function discharges the obligation only if that function's matching
+parameter reaches a sink itself, computed recursively over the resolved
+call graph; forwarding to code outside the index is trusted (no view
+inside, so no claim — a documented false-negative source, never a
+false positive).
+"""
+
+from repro.analysis.core import Finding, Rule, register
+from repro.analysis.rules.lb105_seeds import SEED_PARAMS
+
+#: Call-target suffixes that consume a seed by construction.
+SINK_SUFFIXES = frozenset((
+    "Random", "RandomState", "default_rng", "SeedSequence", "seed",
+    "getrandbits", "child_seed", "derive_seed", "spawn_seed",
+))
+
+_MAX_DEPTH = 8
+
+
+@register
+class SeedFlowRule(Rule):
+    id = "LB203"
+    name = "seed-flow"
+    description = (
+        "seed parameter never reaches an RNG or derived-seed sink "
+        "(accepted but discarded)"
+    )
+    project = True
+
+    def check_project(self, project):
+        memo = {}
+        for key in sorted(project.funcs):
+            func = project.funcs[key]
+            if not _in_repro(func.module):
+                continue
+            summary = func.summary
+            if _is_abstract(summary):
+                continue
+            for param in summary["params"]:
+                if param not in SEED_PARAMS:
+                    continue
+                if self._consumed(project, func, param, memo, 0):
+                    continue
+                yield Finding(
+                    self.id,
+                    project._func_path(func),
+                    summary["line"], 0,
+                    "seed parameter {!r} of {} never reaches an RNG, "
+                    "derived-seed constructor, store or return — the "
+                    "caller's seed is silently discarded and the run "
+                    "self-seeds".format(param, key.split(":", 1)[1]),
+                    summary["code"],
+                )
+
+    def _consumed(self, project, func, param, memo, depth):
+        key = (func.key, param)
+        if key in memo:
+            return memo[key]
+        if depth > _MAX_DEPTH:
+            return True  # recursion bound: trust rather than accuse
+        memo[key] = True  # cycles count as consumed (no false positives)
+        result = self._consumed_uncached(project, func, param, memo, depth)
+        memo[key] = result
+        return result
+
+    def _consumed_uncached(self, project, func, param, memo, depth):
+        summary = func.summary
+        uses = summary["param_uses"].get(param, {})
+        # Arithmetic / computed use: the seed feeds a derivation.
+        if uses.get("escapes"):
+            return True
+        # Closure capture: a nested function reads the name — the
+        # factory pattern (``def make(): return Random(seed)``).
+        if self._captured_by_descendant(project, func, param):
+            return True
+        # Stored on self (threading for later use) or returned.
+        for descriptor in summary["self_assigns"].values():
+            if descriptor.get("k") == "name" and descriptor.get("n") == param:
+                return True
+        for descriptor in summary["returns"]:
+            if descriptor.get("k") == "name" and descriptor.get("n") == param:
+                return True
+        # Passed to a thread/process entry: consumed there.
+        for spawn in summary["spawns"]:
+            if param in spawn["args"]:
+                return True
+        # Forwarded into calls.
+        for record in summary["calls"]:
+            slots = [
+                index for index, arg in enumerate(record["args"])
+                if arg == param
+            ]
+            kw_slots = [
+                name for name, arg in record["kwargs"].items()
+                if arg == param
+            ]
+            if not slots and not kw_slots:
+                continue
+            target_last = record["t"].rsplit(".", 1)[-1]
+            if target_last in SINK_SUFFIXES or "seed" in target_last.lower() \
+                    or "rng" in target_last.lower():
+                return True
+            callee_key = project.resolve_call(func, record)
+            if callee_key is None:
+                return True  # out-of-index callee: trusted
+            callee = project.funcs[callee_key]
+            params = list(callee.summary["params"])
+            if params and params[0] == "self" and \
+                    callee.summary["cls"] is not None:
+                params = params[1:]
+            for slot in slots:
+                if slot < len(params) and self._consumed(
+                        project, callee, params[slot], memo, depth + 1):
+                    return True
+            for name in kw_slots:
+                if name in callee.summary["params"] and self._consumed(
+                        project, callee, name, memo, depth + 1):
+                    return True
+        return False
+
+    def _captured_by_descendant(self, project, func, param):
+        target = func.summary["qualname"]
+        prefix = func.module + ":"
+        for key, other in project.funcs.items():
+            if not key.startswith(prefix) or other is func:
+                continue
+            if param not in other.summary["name_reads"]:
+                continue
+            if param in other.summary["params"]:
+                continue  # shadowed: its own parameter, not our capture
+            parent = other.summary.get("parent")
+            hops = 0
+            while parent is not None and hops < 8:
+                if parent == target:
+                    return True
+                owner = project.funcs.get(prefix + parent)
+                if owner is None:
+                    break
+                parent = owner.summary.get("parent")
+                hops += 1
+        return False
+
+
+def _in_repro(module):
+    return module == "repro" or module.startswith("repro.")
+
+
+def _is_abstract(summary):
+    for record in summary["raises"]:
+        if record["exc"].rsplit(".", 1)[-1] == "NotImplementedError":
+            return True
+    return False

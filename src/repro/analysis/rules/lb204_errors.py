@@ -1,0 +1,122 @@
+"""LB204: error-taxonomy conformance on concurrent entry paths.
+
+Both halves of the stack define a typed error taxonomy precisely so
+that failure *policy* (HTTP status, retryability, crash accounting)
+lives on the exception class, not in string matching at the catch site:
+
+* the DSE service maps :class:`~repro.service.models.ServiceError`
+  subclasses to HTTP statuses — anything else raised on a request path
+  escapes the handler as a 500 with a traceback in the log and no
+  machine-readable ``error.kind`` for the client;
+* the campaign engine's retry/quarantine/crash accounting dispatches on
+  :class:`~repro.experiments.errors.CampaignError` — a bare
+  ``RuntimeError`` on a campaign path bypasses retry policy entirely.
+
+The flow engine knows which functions are reachable from the HTTP
+handler threads and from the campaign entry points, so this rule walks
+every ``raise`` on those paths and checks the exception class against
+the owning taxonomy (resolved through imports and the class hierarchy).
+Bare re-raises pass through; control-flow exceptions
+(``StopIteration``, ``KeyboardInterrupt``, ``SystemExit``,
+``NotImplementedError``, ``AssertionError``) are exempt; an exception
+we cannot resolve to a class is trusted rather than accused.  On the
+campaign side, raises inside ``__init__`` are also exempt: constructor
+argument validation is a programmer error surfaced at wiring time,
+before any campaign work runs — it is not a task outcome the
+retry/quarantine machinery should ever see.
+"""
+
+from repro.analysis.core import Finding, Rule, register
+
+#: Exception names that are flow control or programmer-error signals,
+#: not service/campaign outcomes.
+CONTROL_EXCEPTIONS = frozenset((
+    "StopIteration", "StopAsyncIteration", "KeyboardInterrupt",
+    "SystemExit", "GeneratorExit", "NotImplementedError",
+    "AssertionError",
+))
+
+#: Campaign entry points (module-level or method qualnames, matched by
+#: suffix against ``module:qualname`` keys in ``repro.experiments``).
+CAMPAIGN_ENTRIES = ("run_campaign", "Supervisor.run", "pool_map")
+
+
+@register
+class ErrorTaxonomyRule(Rule):
+    id = "LB204"
+    name = "error-taxonomy"
+    description = (
+        "exception on a service request / campaign path outside the "
+        "owning error taxonomy"
+    )
+    project = True
+
+    def check_project(self, project):
+        http_funcs = set()
+        for root in project.roots:
+            if root.kind == "http":
+                http_funcs.update(root.funcs)
+        service_reach = project.reachable_from(http_funcs)
+        campaign_entries = [
+            key for key in project.funcs
+            if key.startswith("repro.experiments")
+            and key.split(":", 1)[1] in CAMPAIGN_ENTRIES
+        ]
+        campaign_reach = project.reachable_from(campaign_entries)
+
+        for key in sorted(service_reach):
+            func = project.funcs[key]
+            for record in func.summary["raises"]:
+                if self._conforms(project, func, record, "ServiceError"):
+                    continue
+                yield Finding(
+                    self.id, project._func_path(func), record["line"], 0,
+                    "{} is reachable from HTTP handler threads but "
+                    "raises {} — request paths must raise ServiceError "
+                    "subclasses so the handler can map a status and "
+                    "error.kind".format(
+                        key.split(":", 1)[1], record["exc"] or "a bare value"
+                    ),
+                    record["code"],
+                )
+        for key in sorted(campaign_reach - service_reach):
+            func = project.funcs[key]
+            if not func.module.startswith("repro.experiments"):
+                continue
+            if func.summary["name"] == "__init__":
+                continue  # constructor validation precedes the campaign
+            for record in func.summary["raises"]:
+                if self._conforms(project, func, record, "CampaignError",
+                                  extra=("CampaignDrained",)):
+                    continue
+                yield Finding(
+                    self.id, project._func_path(func), record["line"], 0,
+                    "{} is on a campaign path but raises {} — campaign "
+                    "failures must use the errors.py taxonomy "
+                    "(CampaignError subclasses) so retry/quarantine "
+                    "policy applies".format(
+                        key.split(":", 1)[1], record["exc"] or "a bare value"
+                    ),
+                    record["code"],
+                )
+
+    def _conforms(self, project, func, record, base, extra=()):
+        name = record["exc"]
+        if not name:
+            return True  # bare re-raise
+        last = name.rsplit(".", 1)[-1]
+        if last in CONTROL_EXCEPTIONS or last in extra or last == base:
+            return True
+        resolved = project.resolve_name(func.module, name)
+        if resolved in project.classes:
+            return project.is_subclass_of(resolved, base) or any(
+                project.is_subclass_of(resolved, other) for other in extra
+            )
+        # Locals holding exception instances, computed raises, or
+        # classes outside the index: trusted rather than accused —
+        # except the obvious builtins, which are the whole point.
+        if last in ("ValueError", "TypeError", "KeyError", "RuntimeError",
+                    "OSError", "IOError", "Exception", "LookupError",
+                    "IndexError", "ArithmeticError", "ZeroDivisionError"):
+            return False
+        return True

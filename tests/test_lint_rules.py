@@ -225,6 +225,7 @@ def test_rule_registry_has_the_documented_rules():
     ids = [rule.id for rule in get_rules()]
     assert ids == [
         "LB101", "LB102", "LB103", "LB104", "LB105", "LB106", "LB107",
+        "LB201", "LB202", "LB203", "LB204",
     ]
     for rule in get_rules():
         assert rule.name and rule.description
