@@ -68,6 +68,10 @@ class RateLimiter:
             bucket[0] = tokens - 1.0
             bucket[1] = now
 
+    def denied_count(self):
+        with self._lock:
+            return self.denied
+
     def _prune(self, now):
         """Drop the least-recently-refilled buckets over the cap.
 
