@@ -35,7 +35,6 @@ import threading
 from repro.experiments.errors import CampaignDrained
 from repro.experiments.runner import run_experiment
 from repro.experiments.supervisor import Supervisor, TaskSpec
-from repro.service.models import JobState
 
 
 def service_task_runner(spec, resume):
@@ -104,6 +103,11 @@ class ServiceEngine:
         self.batch_max = batch_max or max(1, jobs * 2)
         self.backoff = backoff
         self.on_event = on_event
+        # _state_lock guards everything the engine thread mutates while
+        # other threads (HTTP handlers via stats/healthz, the drain
+        # thread via stop) read: the counters, the published supervisor,
+        # and the engine thread handle itself.
+        self._state_lock = threading.Lock()
         self.executed = 0  # jobs that actually ran (not cache-served)
         self.memo_hits = 0  # jobs served from the shared cache at lease
         self.breaker_opened = False  # sticky: any batch tripped it
@@ -120,12 +124,14 @@ class ServiceEngine:
     # -- lifecycle -------------------------------------------------------
 
     def start(self):
-        if self._thread is not None:
-            raise RuntimeError("engine already started")
-        self._thread = threading.Thread(
+        thread = threading.Thread(
             target=self._loop, name="service-engine", daemon=True
         )
-        self._thread.start()
+        with self._state_lock:
+            if self._thread is not None:
+                raise RuntimeError("engine already started")
+            self._thread = thread
+        thread.start()
 
     def stop(self, drain=True, timeout=None):
         """Stop the loop; with ``drain`` wait for in-flight jobs.
@@ -136,15 +142,27 @@ class ServiceEngine:
         daemon-thread fate — only for tests.
         """
         self._stop.set()
-        supervisor = self._supervisor
+        with self._state_lock:
+            supervisor = self._supervisor
+            thread = self._thread
         if supervisor is not None:
             supervisor.request_drain()
         self.queue.close()
-        if drain and self._thread is not None:
-            self._thread.join(timeout)
+        if drain and thread is not None:
+            thread.join(timeout)
 
     def busy(self):
         return not self._idle.is_set()
+
+    def counters(self):
+        """Locked snapshot of the cross-thread monitoring counters —
+        what ``/stats`` and ``/healthz`` report."""
+        with self._state_lock:
+            return {
+                "executed": self.executed,
+                "memo_hits": self.memo_hits,
+                "breaker_opened": self.breaker_opened,
+            }
 
     # -- the loop --------------------------------------------------------
 
@@ -200,7 +218,8 @@ class ServiceEngine:
             task_runner=service_task_runner,
             drain_on_sigterm=False,  # the HTTP layer owns SIGTERM
         )
-        self._supervisor = supervisor
+        with self._state_lock:
+            self._supervisor = supervisor
         if self._stop.is_set():
             # A drain landed between the check above and publishing the
             # supervisor; honour it before dispatch begins.
@@ -225,16 +244,13 @@ class ServiceEngine:
             # by the reconciliation below.
             self._emit("engine drain: {}".format(drained))
         finally:
-            if supervisor.breaker_opened:
-                self.breaker_opened = True
-            self._supervisor = None
+            with self._state_lock:
+                if supervisor.breaker_opened:
+                    self.breaker_opened = True
+                self._supervisor = None
             # Reconcile: anything the batch left unsettled (a drain, a
             # settle defect) is rewound so no job can wedge in flight.
-            leftovers = [
-                job.id for job in by_id.values()
-                if self.queue.get(job.id).state in
-                (JobState.LEASED, JobState.RUNNING)
-            ]
+            leftovers = self.queue.in_flight(list(by_id))
             if leftovers:
                 self.queue.requeue(leftovers)
 
@@ -245,7 +261,8 @@ class ServiceEngine:
         record = self.cache.get(job.key)
         if record is None:
             return False
-        self.memo_hits += 1
+        with self._state_lock:
+            self.memo_hits += 1
         self.queue.complete(job.id, record["report"], cached=True)
         self._emit("job {}: served from cache".format(job.id))
         return True
@@ -257,7 +274,8 @@ class ServiceEngine:
             return
         if record.get("status") == "done":
             report = record.get("report")
-            self.executed += 1
+            with self._state_lock:
+                self.executed += 1
             if self.cache is not None:
                 try:
                     self.cache.put(
@@ -278,9 +296,6 @@ class ServiceEngine:
             )
 
     def _rewind_unfinished(self):
-        stuck = [
-            job.id for job in self.queue.jobs()
-            if job.state in (JobState.LEASED, JobState.RUNNING)
-        ]
+        stuck = self.queue.in_flight()
         if stuck:
             self.queue.requeue(stuck)
