@@ -93,7 +93,9 @@ class ServiceCore:
         """Recover the queue from the WAL and start the lease loop."""
         if self._started:
             raise RuntimeError("core already started")
-        self.recovery = self.queue.recover()
+        # Written exactly once, before the engine and the HTTP listener
+        # start — publication happens-before the first request thread.
+        self.recovery = self.queue.recover()  # lb: noqa[LB201]
         self.engine.start()
         self._started = True
         return self.recovery
@@ -147,19 +149,19 @@ class ServiceCore:
         consuming queue capacity or an execution.
         """
         if self.cache is not None:
-            existing = self.queue.find_by_key(spec.key())
-            if existing is None or existing.state not in JobState.ACTIVE:
+            state = self.queue.key_state(spec.key())
+            if state is None or state not in JobState.ACTIVE:
                 record = self.cache.get(spec.key())
                 if record is not None:
                     job, deduplicated = self.queue.submit(
                         spec, client=client,
                         completed_report=record["report"], cached=True,
                     )
-                    body = job.status_dict()
+                    body = self.queue.status_of(job.id)
                     body["deduplicated"] = deduplicated
                     return body
         job, deduplicated = self.queue.submit(spec, client=client)
-        body = job.status_dict()
+        body = self.queue.status_of(job.id)
         body["deduplicated"] = deduplicated
         return body
 
@@ -213,10 +215,10 @@ class ServiceCore:
     def job_status(self, job_id):
         """``GET /jobs/{id}`` — the job's full status body."""
         try:
-            job = self.queue.get(job_id)
+            body = self.queue.status_of(job_id)
         except ServiceError as error:
             return self._error_response(error)
-        return 200, job.status_dict(), {}
+        return 200, body, {}
 
     def job_result(self, job_id):
         """``GET /jobs/{id}/result`` — the report, or where it stands.
@@ -226,34 +228,35 @@ class ServiceCore:
         error taxonomy when failed/quarantined; ``409`` when cancelled.
         """
         try:
-            job = self.queue.get(job_id)
+            snap = self.queue.snapshot(job_id)
         except ServiceError as error:
             return self._error_response(error)
-        if job.state == JobState.DONE:
+        state = snap["state"]
+        if state == JobState.DONE:
             return 200, {
-                "job": job.id,
-                "state": job.state,
-                "report": job.report,
-                "cached": job.cached,
+                "job": snap["job"],
+                "state": state,
+                "report": snap["report"],
+                "cached": snap["cached"],
             }, {}
-        if job.state in (JobState.FAILED, JobState.QUARANTINED):
+        if state in (JobState.FAILED, JobState.QUARANTINED):
             return FAILED_JOB_HTTP_STATUS, {
-                "job": job.id,
-                "state": job.state,
-                "error": job.error,
-                "error_kind": job.error_kind,
-                "attempts": job.attempts,
+                "job": snap["job"],
+                "state": state,
+                "error": snap.get("error"),
+                "error_kind": snap.get("error_kind"),
+                "attempts": snap["attempts"],
             }, {}
-        if job.state == JobState.CANCELLED:
+        if state == JobState.CANCELLED:
             return 409, {
-                "job": job.id,
-                "state": job.state,
+                "job": snap["job"],
+                "state": state,
                 "error": "job was cancelled",
                 "kind": "job-conflict",
             }, {}
         return 202, {
-            "job": job.id,
-            "state": job.state,
+            "job": snap["job"],
+            "state": state,
             "retry_after": POLL_RETRY_AFTER,
         }, {"Retry-After": str(POLL_RETRY_AFTER)}
 
@@ -261,16 +264,15 @@ class ServiceCore:
         """``DELETE /jobs/{id}`` — cancel a not-yet-leased job."""
         try:
             self.queue.cancel(job_id)
-            job = self.queue.get(job_id)
+            body = self.queue.status_of(job_id)
         except ServiceError as error:
             return self._error_response(error)
-        return 200, job.status_dict(), {}
+        return 200, body, {}
 
     def list_jobs(self):
         """``GET /jobs`` — every job (submission order) plus counts."""
-        jobs = self.queue.jobs()
         return 200, {
-            "jobs": [job.status_dict() for job in jobs],
+            "jobs": self.queue.statuses(),
             "counts": self.queue.counts(),
         }, {}
 
@@ -285,7 +287,7 @@ class ServiceCore:
             "depth": self.queue.depth(),
             "max_depth": self.queue.max_depth,
             "counts": self.queue.counts(),
-            "breaker_opened": self.engine.breaker_opened,
+            "breaker_opened": self.engine.counters()["breaker_opened"],
             "busy": self.engine.busy(),
         }, {}
 
@@ -312,15 +314,16 @@ class ServiceCore:
     def stats(self):
         """``GET /stats`` — counters for benchmarks and the chaos
         harness (executions vs memo hits is the duplicate-work probe)."""
+        engine = self.engine.counters()
         body = {
-            "executed": self.engine.executed,
-            "memo_hits": self.engine.memo_hits,
-            "dedup_hits": self.queue.dedup_hits,
-            "rate_limited": self.limiter.denied,
+            "executed": engine["executed"],
+            "memo_hits": engine["memo_hits"],
+            "dedup_hits": self.queue.dedup_count(),
+            "rate_limited": self.limiter.denied_count(),
             "wal_appended": self.wal.appended,
             "recovery": self.recovery,
             "counts": self.queue.counts(),
-            "breaker_opened": self.engine.breaker_opened,
+            "breaker_opened": engine["breaker_opened"],
         }
         if self.cache is not None:
             body["cache"] = self.cache.stats.as_dict()

@@ -96,7 +96,7 @@ def test_warm_cache_admits_job_already_done(tmp_path):
     status, result, _ = core.job_result(body["job"])
     assert status == 200 and result["report"] == "warm report"
     # It is journaled like any other job — the WAL is complete history.
-    assert core.queue.get(body["job"]).cached
+    assert core.queue.status_of(body["job"])["cached"]
 
 
 def test_sweep_admits_each_seed_and_reports_partial_admission(tmp_path):
@@ -142,14 +142,14 @@ def test_rate_limiter_enforces_burst_then_recovers():
     limiter.check("bob")  # other clients are unaffected
     time.sleep(0.01)  # 1000/s refills fast
     limiter.check("alice")
-    assert limiter.denied == 1
+    assert limiter.denied_count() == 1
 
 
 def test_rate_limiter_disabled_when_rate_is_none():
     limiter = RateLimiter(rate=None, burst=1)
     for _ in range(100):
         limiter.check("anyone")
-    assert limiter.denied == 0
+    assert limiter.denied_count() == 0
 
 
 def test_core_surfaces_rate_limit_as_429(tmp_path):
