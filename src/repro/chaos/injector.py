@@ -55,7 +55,11 @@ class ChaosInjector:
         dispatch suffers at most one fate.
         """
         if self.plan.kill_rate and self.rng.random() < self.plan.kill_rate:
-            self.events["kill"] += 1
+            # One injector belongs to one supervisor run: every seam is
+            # called from that run's single dispatch/reap loop, and the
+            # events table is read after the run ends.  The engine
+            # thread and __main__ never share an instance.
+            self.events["kill"] += 1  # lb: noqa[LB201]
             worker.process.kill()
             return "SIGKILL"
         if self.plan.stall_rate and self.rng.random() < self.plan.stall_rate:

@@ -661,7 +661,11 @@ def pool_map(func, calls, jobs=None, task_runner=run_task_spec):
                     pool.checkin(worker)
                     continue
                 pool.discard(worker)
-                raise RuntimeError(
+                # pool_map is the low-level fan-out seam (preload and
+                # benchmarks), documented to raise RuntimeError; the
+                # campaign retry/quarantine machinery never calls it —
+                # Supervisor.run has its own dispatch loop.
+                raise RuntimeError(  # lb: noqa[LB204]
                     "pool_map call {} failed: {}".format(
                         index,
                         payload if status == "error" else "worker crashed",
@@ -798,7 +802,11 @@ class Supervisor:
         :class:`~repro.experiments.errors.CampaignDrained`.  Called by
         the SIGTERM handler, callable directly (e.g. from tests or an
         embedding service)."""
-        self._draining = True
+        # Single-transition bool flag (False -> True), polled by the
+        # dispatch loop.  It must stay lock-free: this runs inside a
+        # signal handler, where taking a lock the interrupted thread
+        # may hold would deadlock.  A GIL-atomic store is the point.
+        self._draining = True  # lb: noqa[LB201]
 
     def _handle_sigterm(self, signum, frame):
         self.request_drain()
@@ -1402,7 +1410,12 @@ def run_campaign(names=None, scale=1.0, seed=1, jobs=None, timeout=None,
     if names is None:
         names = experiment_names()
     if checkpoint_dir is None:
-        raise ValueError("a campaign needs a checkpoint directory")
+        # Argument validation at the wiring seam, before any task runs:
+        # a programmer error, not a task outcome for retry/quarantine
+        # policy (the same rationale as LB204's __init__ exemption).
+        raise ValueError(  # lb: noqa[LB204]
+            "a campaign needs a checkpoint directory"
+        )
     os.makedirs(checkpoint_dir, exist_ok=True)
     if cache is None and use_cache and cache_dir is not None:
         cache = ResultCache(cache_dir, chaos=chaos,

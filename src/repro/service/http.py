@@ -194,7 +194,10 @@ class ServiceServer:
 
     def start(self):
         self.core.start()
-        self._serve_thread = threading.Thread(
+        # Written once by the owning thread before any request or drain
+        # thread exists; the later drain-side read is happens-after the
+        # thread start that publishes it.
+        self._serve_thread = threading.Thread(  # lb: noqa[LB201]
             target=self.httpd.serve_forever, name="service-http",
             daemon=True,
         )
