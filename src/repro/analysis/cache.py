@@ -16,6 +16,14 @@ per-file results changes: the cache format, the summary schema
 rule set.  A corrupt or stale cache file is indistinguishable from an
 empty one — the linter silently runs cold and rewrites it.  The file is
 local state, never committed (gitignored).
+
+The whole-program pass is memoized too, at the coarsest sound grain:
+its result is a pure function of the full set of (path, content-hash)
+pairs, so its findings are cached under a digest of exactly that.  A
+fully warm run therefore skips the project build as well — it reads
+bytes, hashes them, and replays both layers of findings.  Any single
+changed, added or removed file misses the project key and the passes
+rebuild from the (mostly cached) summaries.
 """
 
 import hashlib
@@ -33,6 +41,12 @@ def content_digest(text):
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+def project_key(path_digests):
+    """Digest of the whole analyzed file set — the project-pass key."""
+    blob = json.dumps(sorted(path_digests), sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 class LintCache:
     """Per-file (findings, summary) results keyed by content hash."""
 
@@ -40,6 +54,7 @@ class LintCache:
         self.path = path
         self.rule_ids = sorted(rule_ids)
         self.entries = {}
+        self.project = None  # {"key": ..., "findings": [...]}
         self.hits = 0
         self.misses = 0
         self._dirty = False
@@ -62,6 +77,10 @@ class LintCache:
         ):
             return cache
         cache.entries = payload["entries"]
+        project = payload.get("project")
+        if isinstance(project, dict) and isinstance(
+                project.get("findings"), list):
+            cache.project = project
         return cache
 
     def lookup(self, display_path, digest):
@@ -82,6 +101,17 @@ class LintCache:
         }
         self._dirty = True
 
+    def project_lookup(self, key):
+        """Cached whole-program finding dicts for an unchanged file
+        set, or ``None``."""
+        if self.project is not None and self.project.get("key") == key:
+            return self.project["findings"]
+        return None
+
+    def project_store(self, key, findings):
+        self.project = {"key": key, "findings": findings}
+        self._dirty = True
+
     def save(self):
         if not self._dirty and os.path.exists(self.path):
             return
@@ -90,6 +120,7 @@ class LintCache:
             "summary_version": SUMMARY_VERSION,
             "rules": self.rule_ids,
             "entries": self.entries,
+            "project": self.project,
         }
         try:
             atomic_write(self.path, json.dumps(payload, sort_keys=True))
