@@ -1,0 +1,22 @@
+# lb: module=repro.sim.fixture_racy
+"""LB201 true positive: shared counter written from two roots, no lock."""
+
+import threading
+
+
+class Tracker:
+    def __init__(self):
+        self.count = 0
+
+    def start(self):
+        worker = threading.Thread(target=self._worker, daemon=True)
+        worker.start()
+        return worker
+
+    def _worker(self):
+        for _ in range(1000):
+            self.count += 1
+
+    def snapshot(self):
+        self.count += 0  # touch from the main root too
+        return self.count

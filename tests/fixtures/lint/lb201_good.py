@@ -1,0 +1,24 @@
+# lb: module=repro.sim.fixture_guarded
+"""LB201 true negative: every cross-thread access holds the same lock."""
+
+import threading
+
+
+class Tracker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def start(self):
+        worker = threading.Thread(target=self._worker, daemon=True)
+        worker.start()
+        return worker
+
+    def _worker(self):
+        for _ in range(1000):
+            with self._lock:
+                self.count += 1
+
+    def snapshot(self):
+        with self._lock:
+            return self.count

@@ -1,0 +1,32 @@
+# lb: module=repro.fixture_queue
+"""A miniature JobQueue shaped like the real one: one lock guards the
+pending list and the settled counter, which the submitting (main) root
+and the drain (worker-thread) root both touch.  The seeded-race test
+strips the ``with self._lock:`` acquisition out of ``submit`` and
+asserts LB201 reports the attribute, both roots and the missing lock.
+"""
+
+import threading
+
+
+class MiniQueue:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.pending = []
+        self.settled = 0
+
+    def start(self):
+        worker = threading.Thread(target=self._drain, daemon=True)
+        worker.start()
+        return worker
+
+    def submit(self, item):
+        with self._lock:
+            self.pending.append(item)
+
+    def _drain(self):
+        while True:
+            with self._lock:
+                if self.pending:
+                    self.pending.pop()
+                    self.settled += 1

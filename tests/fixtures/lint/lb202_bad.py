@@ -1,0 +1,25 @@
+# lb: module=repro.service.fixture_spawny
+"""LB202 true positives: spawn under a held lock; non-daemon service thread."""
+
+import subprocess
+import threading
+
+
+class Launcher:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._children = []
+
+    def spawn_locked(self, command):
+        with self._lock:
+            child = subprocess.Popen(command)
+            self._children.append(child)
+        return child
+
+    def start_worker(self):
+        worker = threading.Thread(target=self._serve)
+        worker.start()
+        return worker
+
+    def _serve(self):
+        pass

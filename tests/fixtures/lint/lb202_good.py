@@ -1,0 +1,25 @@
+# lb: module=repro.service.fixture_tidy
+"""LB202 true negative: spawn outside lock scopes, daemonized threads."""
+
+import subprocess
+import threading
+
+
+class Launcher:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._children = []
+
+    def spawn(self, command):
+        child = subprocess.Popen(command)
+        with self._lock:
+            self._children.append(child)
+        return child
+
+    def start_worker(self):
+        worker = threading.Thread(target=self._serve, daemon=True)
+        worker.start()
+        return worker
+
+    def _serve(self):
+        pass

@@ -1,0 +1,11 @@
+# lb: module=repro.sim.fixture_seedless
+"""LB203 true positives: seeds accepted but dropped, directly and via a hop."""
+
+
+def run_sim(cycles, seed=1):
+    # Forwards the seed to a helper that drops it on the floor.
+    return helper(cycles, seed)
+
+
+def helper(cycles, seed):
+    return cycles * 2

@@ -1,0 +1,32 @@
+# lb: module=repro.sim.fixture_seeded
+"""LB203 true negatives: seeds reaching sinks directly, via hops, via closures."""
+
+import random
+
+
+def run_sim(cycles, seed=1):
+    rng = make_generator(seed)
+    return sum(rng.random() for _ in range(cycles))
+
+
+def make_generator(seed):
+    return random.Random(seed)
+
+
+def run_factory(cycles, seed=1):
+    # Closure capture: the nested function consumes the outer seed.
+    def build():
+        return random.Random(seed)
+    return build().random() * cycles
+
+
+def run_stored(cycles, seed=1):
+    return Simulation(seed).run(cycles)
+
+
+class Simulation:
+    def __init__(self, seed):
+        self.seed = seed
+
+    def run(self, cycles):
+        return random.Random(self.seed).random() * cycles

@@ -1,0 +1,23 @@
+# lb: module=repro.experiments.fixture_offtaxonomy
+"""LB204 true positives: builtin raises on campaign and request paths."""
+
+
+def run_campaign(points, checkpoint_dir=None):
+    results = []
+    for point in points:
+        results.append(dispatch(point))
+    return results
+
+
+def dispatch(point):
+    if point is None:
+        raise RuntimeError("bad campaign point")
+    return point * 2
+
+
+class Handler(BaseHTTPRequestHandler):  # noqa: F821 — fixture, never imported
+    def do_GET(self):
+        self.reply()
+
+    def reply(self):
+        raise KeyError("missing resource")

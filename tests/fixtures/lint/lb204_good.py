@@ -1,0 +1,34 @@
+# lb: module=repro.experiments.fixture_taxonomy
+"""LB204 true negatives: typed taxonomy errors on both concurrent paths."""
+
+from repro.experiments.errors import CampaignError
+from repro.service.models import ServiceError
+
+
+class PointError(CampaignError):
+    kind = "bad-point"
+
+
+class MissingResourceError(ServiceError):
+    http_status = 404
+
+
+def run_campaign(points, checkpoint_dir=None):
+    results = []
+    for point in points:
+        results.append(dispatch(point))
+    return results
+
+
+def dispatch(point):
+    if point is None:
+        raise PointError("bad campaign point")
+    return point * 2
+
+
+class Handler(BaseHTTPRequestHandler):  # noqa: F821 — fixture, never imported
+    def do_GET(self):
+        self.reply()
+
+    def reply(self):
+        raise MissingResourceError("missing resource")
