@@ -56,6 +56,9 @@ DEFAULT_BATCH_OUTPUT = os.path.join(
 DEFAULT_ANALYTIC_OUTPUT = os.path.join(
     "benchmarks", "perf", "BENCH_analytic.json"
 )
+DEFAULT_LINT_OUTPUT = os.path.join(
+    "benchmarks", "perf", "BENCH_lint.json"
+)
 
 
 def _platform_info():
@@ -786,6 +789,167 @@ def _print_analytic(results):
         print("  VIOLATED: {}".format(label))
 
 
+# -- lint benchmark --------------------------------------------------------
+#
+# Times the incremental linter (repro.lint) on the repo's own tree:
+# a cold run against an empty cache, a fully warm run (every per-file
+# result and the whole-program pass replayed from the cache), and a
+# cold run fanned across a worker pool.  All three legs must produce
+# byte-identical findings, and the warm run must clear the 5x speedup
+# target — an incremental cache that changes answers is a bug, not a
+# result.
+
+_LINT_TARGETS = ("src", "tests")
+_LINT_WARM_SPEEDUP_TARGET = 5.0
+
+
+def run_lint_benchmark(quick=False, repeats=3, jobs=4,
+                       targets=_LINT_TARGETS):
+    """Cold vs warm vs parallel lint of the repo tree, in process.
+
+    The cache lives in a throwaway directory so the benchmark never
+    touches (or benefits from) the checkout's own ``.lint-cache.json``.
+    Cache load and save are inside the timed region on both the cold
+    and warm legs — persistence is part of what each run costs.
+    """
+    from repro.analysis.cache import LintCache
+    from repro.analysis.core import (
+        get_rules,
+        iter_python_files,
+        lint_paths,
+    )
+
+    rules = get_rules()
+    rule_ids = [rule.id for rule in rules]
+    paths = list(targets)
+    file_count = sum(1 for _ in iter_python_files(paths))
+    repeats = 1 if quick else max(1, repeats)
+
+    def fingerprint(findings):
+        return json.dumps(
+            [finding.as_dict() for finding in findings], sort_keys=True
+        )
+
+    work_dir = tempfile.mkdtemp(prefix="bench-lint-")
+    cache_path = os.path.join(work_dir, ".lint-cache.json")
+    try:
+        # Cold: empty cache, every file parsed and summarized.
+        cold_wall = None
+        for _ in range(repeats):
+            try:
+                os.remove(cache_path)
+            except OSError:
+                pass  # first iteration: nothing written yet
+            start = time.perf_counter()
+            cache = LintCache.load(cache_path, rule_ids)
+            findings = lint_paths(paths, rules=rules, cache=cache)
+            cache.save()
+            elapsed = time.perf_counter() - start
+            if cold_wall is None or elapsed < cold_wall:
+                cold_wall = elapsed
+        cold_fingerprint = fingerprint(findings)
+        finding_count = len(findings)
+
+        # Warm: unchanged tree, reloaded cache — per-file results and
+        # the project pass all replay; no parsing at all.
+        warm_wall = None
+        warm_hits = warm_misses = 0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            cache = LintCache.load(cache_path, rule_ids)
+            findings = lint_paths(paths, rules=rules, cache=cache)
+            cache.save()
+            elapsed = time.perf_counter() - start
+            if warm_wall is None or elapsed < warm_wall:
+                warm_wall = elapsed
+            warm_hits, warm_misses = cache.hits, cache.misses
+        warm_fingerprint = fingerprint(findings)
+
+        # Parallel: cold per-file work fanned across a process pool,
+        # no cache — exercises the multiprocessing path, not reuse.
+        # Reported, never gated: a 1-CPU container legitimately shows
+        # ~1x here.
+        parallel_wall = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            findings = lint_paths(paths, rules=rules, jobs=jobs)
+            elapsed = time.perf_counter() - start
+            if parallel_wall is None or elapsed < parallel_wall:
+                parallel_wall = elapsed
+        parallel_fingerprint = fingerprint(findings)
+    finally:
+        shutil.rmtree(work_dir, ignore_errors=True)
+
+    identical = (
+        cold_fingerprint == warm_fingerprint == parallel_fingerprint
+    )
+    warm_speedup = (cold_wall / warm_wall) if warm_wall else float("inf")
+    speedup_ok = quick or warm_speedup >= _LINT_WARM_SPEEDUP_TARGET
+    return {
+        "benchmark": "repro.bench --lint",
+        "quick": quick,
+        "repeats": repeats,
+        "platform": _platform_info(),
+        "targets": list(targets),
+        "files": file_count,
+        "rules": rule_ids,
+        "findings": finding_count,
+        "cold": {
+            "wall_seconds": round(cold_wall, 4),
+            "files_per_second": round(file_count / cold_wall, 1),
+        },
+        "warm": {
+            "wall_seconds": round(warm_wall, 4),
+            "files_per_second": round(file_count / warm_wall, 1),
+            "cache_hits": warm_hits,
+            "cache_misses": warm_misses,
+        },
+        "parallel": {
+            "jobs": jobs,
+            "wall_seconds": round(parallel_wall, 4),
+            "files_per_second": round(file_count / parallel_wall, 1),
+            "speedup_vs_cold": round(cold_wall / parallel_wall, 2),
+        },
+        "warm_speedup": round(warm_speedup, 1),
+        "warm_speedup_target": _LINT_WARM_SPEEDUP_TARGET,
+        "warm_speedup_gated": not quick,
+        "identical_findings": identical,
+        "all_identical": identical and speedup_ok,
+    }
+
+
+def _print_lint(results):
+    print("lint: {} files, {} rules, {} findings".format(
+        results["files"], len(results["rules"]), results["findings"],
+    ))
+    print("  cold        {:>9.3f}s  {:>8.1f} files/s".format(
+        results["cold"]["wall_seconds"],
+        results["cold"]["files_per_second"],
+    ))
+    print("  warm        {:>9.3f}s  {:>8.1f} files/s  "
+          "({} hits / {} misses)".format(
+              results["warm"]["wall_seconds"],
+              results["warm"]["files_per_second"],
+              results["warm"]["cache_hits"],
+              results["warm"]["cache_misses"],
+          ))
+    print("  parallel    {:>9.3f}s  {:>8.1f} files/s  "
+          "(jobs={}, {:.2f}x vs cold)".format(
+              results["parallel"]["wall_seconds"],
+              results["parallel"]["files_per_second"],
+              results["parallel"]["jobs"],
+              results["parallel"]["speedup_vs_cold"],
+          ))
+    print("  warm speedup {:>7.1f}x  (target {:.0f}x, {})".format(
+        results["warm_speedup"], results["warm_speedup_target"],
+        "gated" if results["warm_speedup_gated"] else "reported only",
+    ))
+    print("  findings     {}".format(
+        "identical across all legs"
+        if results["identical_findings"] else "DIVERGED"
+    ))
+
+
 # -- service benchmark -----------------------------------------------------
 #
 # Hammers a live in-process DSE server (stdlib front-end, real sockets)
@@ -1132,6 +1296,20 @@ def main(argv=None):
         "(default: %(default)s)",
     )
     parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="benchmark the incremental linter (repro.lint) on the "
+        "repo tree: cold vs fully-warm vs parallel runs must produce "
+        "byte-identical findings and the warm run must clear the "
+        "{:.0f}x speedup target".format(_LINT_WARM_SPEEDUP_TARGET),
+    )
+    parser.add_argument(
+        "--lint-output",
+        default=DEFAULT_LINT_OUTPUT,
+        help="where --lint writes its JSON report "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
         "--chaos-rate",
         type=float,
         default=0.0,
@@ -1145,15 +1323,25 @@ def main(argv=None):
         parser.error("--chaos-rate must be within [0, 1]")
     if args.chaos_rate and not args.campaign:
         parser.error("--chaos-rate requires --campaign")
-    if sum((args.service, args.campaign, args.batch, args.analytic)) > 1:
-        parser.error("--service, --campaign, --batch and --analytic are "
-                     "mutually exclusive")
+    if sum((args.service, args.campaign, args.batch, args.analytic,
+            args.lint)) > 1:
+        parser.error("--service, --campaign, --batch, --analytic and "
+                     "--lint are mutually exclusive")
     if args.clients < 1:
         parser.error("--clients must be >= 1")
     if args.block_size < 1:
         parser.error("--block-size must be >= 1")
 
-    if args.analytic:
+    if args.lint:
+        results = run_lint_benchmark(
+            quick=args.quick, repeats=args.repeats, jobs=args.jobs
+        )
+        _print_lint(results)
+        output = args.lint_output
+        failure = ("FAIL: warm or parallel lint diverged from the cold "
+                   "run, or the warm run missed the {:.0f}x speedup "
+                   "target".format(_LINT_WARM_SPEEDUP_TARGET))
+    elif args.analytic:
         results = run_analytic_benchmark(
             quick=args.quick, repeats=args.repeats, jobs=args.jobs
         )
